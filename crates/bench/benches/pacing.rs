@@ -1,0 +1,70 @@
+//! Rate-based clocking and poll-controller hot paths, plus the
+//! transmission-process pipeline at small scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_core::facility::Config;
+use st_core::pacer::{Pacer, PacerConfig};
+use st_core::poller::{PollController, PollControllerConfig};
+use st_tcp::pacing::TransmissionProcess;
+use st_workloads::{TriggerStream, WorkloadId};
+
+fn bench_pacer_step(c: &mut Criterion) {
+    c.bench_function("pacer_on_transmit", |b| {
+        let mut p = Pacer::new(PacerConfig::new(40, 12));
+        p.start_train(0);
+        let mut now = 0u64;
+        b.iter(|| {
+            let interval = p.on_transmit(std::hint::black_box(now));
+            now += interval + 3;
+            interval
+        });
+    });
+}
+
+fn bench_poll_controller_step(c: &mut Criterion) {
+    c.bench_function("poll_controller_on_poll", |b| {
+        let mut pc = PollController::new(PollControllerConfig::with_quota(1.0));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pc.on_poll(std::hint::black_box(i % 3))
+        });
+    });
+}
+
+fn bench_transmission_process(c: &mut Criterion) {
+    // The Table 4 pipeline: real facility + real pacer + the ST-Apache
+    // trigger stream, 10k packets.
+    c.bench_function("transmission_process_10k_packets", |b| {
+        b.iter(|| {
+            let stream = TriggerStream::new(WorkloadId::StApache.spec(), 3);
+            TransmissionProcess::run_soft(
+                PacerConfig::new(40, 12),
+                Config::default(),
+                10_000,
+                stream.tick_gap_fn(),
+            )
+        });
+    });
+}
+
+fn bench_workload_stream(c: &mut Criterion) {
+    // Raw generator throughput: the 2M-sample Table 1 runs depend on it.
+    let mut group = c.benchmark_group("trigger_stream_next_gap");
+    for id in [WorkloadId::StApache, WorkloadId::StNfs] {
+        group.bench_function(id.label(), |b| {
+            let mut s = TriggerStream::new(id.spec(), 9);
+            b.iter(|| s.next_gap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pacer_step,
+    bench_poll_controller_step,
+    bench_transmission_process,
+    bench_workload_stream
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Benchmarks regenerating each *figure* of the paper's evaluation.
+//!
+//! As with `paper_tables`, each bench runs a representative slice of the
+//! figure's pipeline per iteration; full-scale regeneration is the
+//! `repro` binary's job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_experiments::{fig5, fig6_table2, scaling, Scale};
+use st_http::model::{HttpMode, ServerKind, ServerModel};
+use st_http::saturation::{SaturationConfig, SaturationSim, TimerLoad};
+use st_kernel::CostModel;
+use st_sim::SimDuration;
+use st_stats::{Histogram, Samples};
+use st_workloads::{TriggerStream, WorkloadId};
+
+/// Figures 2-3: one loaded sweep point (50 kHz added timer).
+fn bench_fig2_point(c: &mut Criterion) {
+    c.bench_function("fig2_50khz_point", |b| {
+        let machine = CostModel::pentium_ii_300();
+        let server = ServerModel::calibrated(ServerKind::Apache, HttpMode::Http, &machine, 900.0);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut cfg = SaturationConfig::baseline(machine, server.clone(), seed);
+            cfg.duration = SimDuration::from_millis(500);
+            cfg.extra_timer = Some(TimerLoad { freq_hz: 50_000 });
+            SaturationSim::run(cfg)
+        });
+    });
+}
+
+/// Figure 4 / Table 1: one workload's distribution at 200k samples.
+fn bench_fig4_row(c: &mut Criterion) {
+    c.bench_function("fig4_st_apache_200k", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut stream = TriggerStream::new(WorkloadId::StApache.spec(), seed);
+            let mut samples = Samples::with_capacity(200_000);
+            let mut hist = Histogram::new(1.0, 1001);
+            for _ in 0..200_000 {
+                let (gap, _) = stream.next_gap();
+                samples.record(gap);
+                hist.record(gap);
+            }
+            (samples.mean(), hist.fraction_above(100.0))
+        });
+    });
+}
+
+/// Figure 5: windowed medians over the quick-scale run.
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_windowed_medians_quick", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fig5::run(Scale::Quick, seed)
+        });
+    });
+}
+
+/// Figure 6 / Table 2: source fractions and knock-out CDFs.
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_knockouts_quick", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fig6_table2::run(Scale::Quick, seed)
+        });
+    });
+}
+
+/// The §5.10 scaling study.
+fn bench_scaling(c: &mut Criterion) {
+    c.bench_function("scaling_study_quick", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            scaling::run(Scale::Quick, seed)
+        });
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_fig2_point(c);
+    bench_fig4_row(c);
+    bench_fig5(c);
+    bench_fig6(c);
+    bench_scaling(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Benchmarks regenerating each *table* of the paper's evaluation.
+//!
+//! Full-scale regeneration is the `repro` binary's job
+//! (`cargo run -p st-experiments --bin repro -- all`); these benches run
+//! a representative cell of each table per iteration — enough to track
+//! the cost and catch regressions of every table's pipeline — with
+//! expensive one-time setup (model calibration) hoisted out of the
+//! timing loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_core::facility::Config;
+use st_core::pacer::PacerConfig;
+use st_http::model::{HttpMode, ServerKind, ServerModel};
+use st_http::saturation::{RateClocking, SaturationConfig, SaturationSim};
+use st_kernel::CostModel;
+use st_net::driver::DriverStrategy;
+use st_sim::SimDuration;
+use st_tcp::pacing::TransmissionProcess;
+use st_tcp::transfer::{TransferConfig, TransferSim};
+use st_workloads::{TriggerStream, WorkloadId};
+
+fn half_second_cfg(server: ServerKind, tput: f64, seed: u64) -> SaturationConfig {
+    let machine = CostModel::pentium_ii_300();
+    let model = ServerModel::calibrated(server, HttpMode::Http, &machine, tput);
+    let mut cfg = SaturationConfig::baseline(machine, model, seed);
+    cfg.duration = SimDuration::from_millis(500);
+    cfg
+}
+
+/// §5.2: baseline + max-rate null soft event.
+fn bench_sec52_cell(c: &mut Criterion) {
+    c.bench_function("sec52_null_event_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut cfg = half_second_cfg(ServerKind::Apache, 774.0, seed);
+            cfg.soft_null_event = true;
+            SaturationSim::run(cfg)
+        });
+    });
+}
+
+/// Table 3: one soft rate-based-clocking run.
+fn bench_table3_cell(c: &mut Criterion) {
+    c.bench_function("table3_soft_rbc_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut cfg = half_second_cfg(ServerKind::Flash, 1303.0, seed);
+            cfg.rate_clocking = RateClocking::Soft;
+            SaturationSim::run(cfg)
+        });
+    });
+}
+
+/// Tables 4-5: one sweep row (20k paced packets over ST-Apache triggers).
+fn bench_table45_cell(c: &mut Criterion) {
+    c.bench_function("table45_pacing_row", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let stream = TriggerStream::new(WorkloadId::StApache.spec(), seed);
+            TransmissionProcess::run_soft(
+                PacerConfig::new(40, 12),
+                Config::default(),
+                20_000,
+                stream.tick_gap_fn(),
+            )
+        });
+    });
+}
+
+/// Tables 6-7: the 100-packet regular/rate-based pair.
+fn bench_table67_cell(c: &mut Criterion) {
+    c.bench_function("table67_100pkt_pair", |b| {
+        b.iter(|| {
+            let reg = TransferSim::run(TransferConfig::table6(100, false));
+            let rbc = TransferSim::run(TransferConfig::table6(100, true));
+            (reg.response_time, rbc.response_time)
+        });
+    });
+}
+
+/// Table 8: one soft-poll run against a precalibrated model.
+fn bench_table8_cell(c: &mut Criterion) {
+    let machine = CostModel::pentium_ii_333();
+    // Calibration is setup, not the measured work.
+    let model = SaturationSim::calibrate_app_work(
+        machine,
+        ServerModel::uncalibrated(ServerKind::Apache, HttpMode::Http, &machine),
+        854.0,
+        SimDuration::from_millis(500),
+        7,
+    );
+    c.bench_function("table8_soft_poll_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut cfg = SaturationConfig::baseline(machine, model.clone(), seed);
+            cfg.duration = SimDuration::from_millis(500);
+            cfg.driver = DriverStrategy::SoftTimerPolling { quota: 1.0 };
+            SaturationSim::run(cfg)
+        });
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_sec52_cell(c);
+    bench_table3_cell(c);
+    bench_table45_cell(c);
+    bench_table67_cell(c);
+    bench_table8_cell(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,367 @@
+//! The soft-timer facility core: schedule, trigger-state check, backup
+//! sweep, and delay accounting.
+
+use st_wheel::{HashedWheel, TimerHandle, TimerQueue};
+
+use crate::stats::FacilityStats;
+
+/// Facility configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Resolution of the measurement clock in Hz. The paper's typical
+    /// value is 1 MHz (1 µs ticks).
+    pub measure_hz: u64,
+    /// Frequency of the backup periodic hardware interrupt in Hz; the
+    /// paper's typical value is 1 kHz (one sweep per millisecond). This is
+    /// what `interrupt_clock_resolution()` reports.
+    pub interrupt_hz: u64,
+    /// Whether to record per-event delay statistics (small extra cost per
+    /// fire; the experiments keep it on).
+    pub record_stats: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            measure_hz: 1_000_000,
+            interrupt_hz: 1_000,
+            record_stats: true,
+        }
+    }
+}
+
+impl Config {
+    /// `X`: the resolution of the interrupt clock relative to the
+    /// measurement clock — `measure_resolution / interrupt_clock_resolution`
+    /// in the paper's notation. An event scheduled with delta `T` fires at
+    /// an actual delta strictly between `T` and `T + X + 1`.
+    pub fn x_ticks(&self) -> u64 {
+        self.measure_hz / self.interrupt_hz
+    }
+}
+
+/// Why an event fired: found due at a trigger state, or swept up by the
+/// backup hardware interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FireOrigin {
+    /// A trigger-state check found the event due.
+    TriggerState,
+    /// The periodic backup interrupt swept the overdue event.
+    BackupInterrupt,
+}
+
+/// A fired soft-timer event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expired<P> {
+    /// The scheduled payload.
+    pub payload: P,
+    /// The earliest tick at which the event was allowed to fire
+    /// (`schedule_time + T + 1`).
+    pub due: u64,
+    /// The tick at which it actually fired.
+    pub fired_at: u64,
+    /// What fired it.
+    pub origin: FireOrigin,
+}
+
+impl<P> Expired<P> {
+    /// Delay past the earliest allowed tick (0 = fired as early as legal).
+    pub fn delay(&self) -> u64 {
+        self.fired_at - self.due
+    }
+}
+
+/// The facility core, generic over payload type and timer store.
+///
+/// All methods take the current measurement-clock tick explicitly, which
+/// keeps the core free of clock plumbing and lets the simulated kernel and
+/// the real-time runtime share it unchanged. The timer store defaults to
+/// the paper's choice — a hashed timing wheel — but any
+/// [`TimerQueue`] implementation works (see the `wheel_ablation` bench).
+///
+/// The firing rule follows section 3 of the paper exactly: an event
+/// scheduled at tick `S` with delta `T` fires at the first check whose
+/// tick satisfies `now >= S + T + 1` (the paper's "exceeds ... by at least
+/// `T + 1`"); the periodic backup sweep bounds the actual firing tick to
+/// `S + T < fired_at < S + T + X + 1`.
+#[derive(Debug)]
+pub struct SoftTimerCore<P, Q: TimerQueue<P> = HashedWheel<P>> {
+    wheel: Q,
+    /// Cached earliest deadline; `None` when no events are pending. May be
+    /// stale-early after a cancel (causing one spurious wheel advance),
+    /// never stale-late.
+    earliest: Option<u64>,
+    config: Config,
+    stats: FacilityStats,
+    /// Monotonic check guard: ticks seen so far.
+    last_seen: u64,
+    _payload: std::marker::PhantomData<P>,
+}
+
+impl<P> SoftTimerCore<P> {
+    /// Creates an empty facility over the default hashed timing wheel.
+    pub fn new(config: Config) -> Self {
+        SoftTimerCore::with_queue(config, HashedWheel::new())
+    }
+}
+
+impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
+    /// Creates an empty facility over an explicit timer store.
+    pub fn with_queue(config: Config, queue: Q) -> Self {
+        SoftTimerCore {
+            wheel: queue,
+            earliest: None,
+            config,
+            stats: FacilityStats::new(),
+            last_seen: 0,
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// The facility configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The paper's `interrupt_clock_resolution()`: the backup interrupt
+    /// frequency in Hz — the minimum guaranteed event resolution.
+    pub fn interrupt_clock_resolution(&self) -> u64 {
+        self.config.interrupt_hz
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &FacilityStats {
+        &self.stats
+    }
+
+    /// Resets accumulated statistics (events stay scheduled).
+    pub fn reset_stats(&mut self) {
+        self.stats = FacilityStats::new();
+    }
+
+    /// The paper's `schedule_soft_event(T, handler)`: schedules `payload`
+    /// to fire at least `delta` ticks in the future, measured from `now`.
+    ///
+    /// Returns a handle usable with [`SoftTimerCore::cancel`].
+    pub fn schedule(&mut self, now: u64, delta: u64, payload: P) -> TimerHandle {
+        // Earliest legal firing tick: strictly more than `delta` ticks
+        // after the schedule tick. The +1 accounts for the schedule time
+        // falling between clock ticks (section 3).
+        let deadline = now + delta + 1;
+        let handle = self.wheel.schedule(deadline, payload);
+        self.earliest = Some(match self.earliest {
+            Some(e) => e.min(deadline),
+            None => deadline,
+        });
+        self.stats.scheduled += 1;
+        handle
+    }
+
+    /// Cancels a pending event, returning its payload if it had not fired.
+    pub fn cancel(&mut self, handle: TimerHandle) -> Option<P> {
+        let p = self.wheel.cancel(handle);
+        if p.is_some() {
+            self.stats.canceled += 1;
+            // `earliest` may now be stale-early; leave it — the next check
+            // at that tick performs one wheel advance that finds nothing
+            // and refreshes the cache.
+        }
+        p
+    }
+
+    /// The trigger-state check. Call this at every trigger state; when no
+    /// event is due it costs one comparison (the paper's "reading the
+    /// clock and a comparison with the ... earliest soft timer event").
+    ///
+    /// Due events are appended to `out`; returns how many fired.
+    pub fn poll(&mut self, now: u64, out: &mut Vec<Expired<P>>) -> usize {
+        self.fire(now, FireOrigin::TriggerState, out)
+    }
+
+    /// The backup sweep, to be called from the periodic hardware timer
+    /// interrupt. Identical to [`SoftTimerCore::poll`] but accounts fired
+    /// events to [`FireOrigin::BackupInterrupt`].
+    pub fn interrupt_sweep(&mut self, now: u64, out: &mut Vec<Expired<P>>) -> usize {
+        self.stats.backup_sweeps += 1;
+        self.fire(now, FireOrigin::BackupInterrupt, out)
+    }
+
+    /// Whether a check at `now` would fire at least one event (the cheap
+    /// comparison, with no side effects).
+    pub fn has_due(&self, now: u64) -> bool {
+        matches!(self.earliest, Some(e) if now >= e)
+    }
+
+    /// Earliest pending deadline (tick), if any. May be stale-early after
+    /// a cancel.
+    pub fn earliest_deadline(&self) -> Option<u64> {
+        self.earliest
+    }
+
+    fn fire(&mut self, now: u64, origin: FireOrigin, out: &mut Vec<Expired<P>>) -> usize {
+        self.stats.checks += 1;
+        debug_assert!(
+            now >= self.last_seen,
+            "measurement clock went backwards: {} -> {now}",
+            self.last_seen
+        );
+        self.last_seen = now;
+        match self.earliest {
+            Some(e) if now >= e => {}
+            _ => return 0, // The common, cheap path.
+        }
+
+        let mut due: Vec<(u64, P)> = Vec::new();
+        self.wheel.advance(now, &mut due);
+        let fired = due.len();
+        for (deadline, payload) in due {
+            if self.config.record_stats {
+                self.stats.record_fire(origin, now - deadline);
+            }
+            out.push(Expired {
+                payload,
+                due: deadline,
+                fired_at: now,
+                origin,
+            });
+        }
+        // Refresh the earliest-deadline cache.
+        self.earliest = self.wheel.next_deadline();
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> SoftTimerCore<u32> {
+        SoftTimerCore::new(Config::default())
+    }
+
+    #[test]
+    fn fires_only_after_strict_bound() {
+        let mut c = core();
+        c.schedule(100, 40, 1);
+        let mut out = Vec::new();
+        // Exactly S + T is too early: the paper requires now > S + T.
+        assert_eq!(c.poll(140, &mut out), 0);
+        assert_eq!(c.poll(141, &mut out), 1);
+        assert_eq!(out[0].due, 141);
+        assert_eq!(out[0].delay(), 0);
+        assert_eq!(out[0].origin, FireOrigin::TriggerState);
+    }
+
+    #[test]
+    fn zero_delta_fires_next_tick() {
+        let mut c = core();
+        c.schedule(10, 0, 1);
+        let mut out = Vec::new();
+        assert_eq!(c.poll(10, &mut out), 0);
+        assert_eq!(c.poll(11, &mut out), 1);
+    }
+
+    #[test]
+    fn delayed_fire_reports_delay() {
+        let mut c = core();
+        c.schedule(0, 40, 1);
+        let mut out = Vec::new();
+        // No trigger state until tick 90: event is 49 ticks late.
+        c.poll(90, &mut out);
+        assert_eq!(out[0].delay(), 49);
+        assert_eq!(out[0].fired_at, 90);
+    }
+
+    #[test]
+    fn backup_sweep_origin() {
+        let mut c = core();
+        c.schedule(0, 10, 1);
+        let mut out = Vec::new();
+        c.interrupt_sweep(1000, &mut out);
+        assert_eq!(out[0].origin, FireOrigin::BackupInterrupt);
+        assert_eq!(c.stats().backup_sweeps, 1);
+    }
+
+    #[test]
+    fn poll_before_due_is_cheap_and_silent() {
+        let mut c = core();
+        c.schedule(0, 1000, 1);
+        let mut out = Vec::new();
+        for t in 1..=1000 {
+            assert_eq!(c.poll(t, &mut out), 0);
+        }
+        assert_eq!(c.poll(1001, &mut out), 1);
+        assert_eq!(c.stats().checks, 1001);
+    }
+
+    #[test]
+    fn multiple_events_fire_in_deadline_order() {
+        let mut c = core();
+        c.schedule(0, 30, 3);
+        c.schedule(0, 10, 1);
+        c.schedule(0, 20, 2);
+        let mut out = Vec::new();
+        c.poll(100, &mut out);
+        let order: Vec<u32> = out.iter().map(|e| e.payload).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut c = core();
+        let h = c.schedule(0, 10, 1);
+        c.schedule(0, 20, 2);
+        assert_eq!(c.cancel(h), Some(1));
+        assert_eq!(c.cancel(h), None);
+        let mut out = Vec::new();
+        c.poll(100, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 2);
+        assert_eq!(c.stats().canceled, 1);
+    }
+
+    #[test]
+    fn has_due_tracks_earliest() {
+        let mut c = core();
+        assert!(!c.has_due(u64::MAX));
+        c.schedule(0, 10, 1);
+        assert!(!c.has_due(10));
+        assert!(c.has_due(11));
+    }
+
+    #[test]
+    fn earliest_refreshes_after_fire() {
+        let mut c = core();
+        c.schedule(0, 10, 1);
+        c.schedule(0, 500, 2);
+        let mut out = Vec::new();
+        c.poll(50, &mut out);
+        assert_eq!(c.earliest_deadline(), Some(501));
+        assert_eq!(c.pending(), 1);
+    }
+
+    #[test]
+    fn x_ticks_default_is_1000() {
+        assert_eq!(Config::default().x_ticks(), 1000);
+    }
+
+    #[test]
+    fn stats_record_fire_origins_and_delays() {
+        let mut c = core();
+        c.schedule(0, 10, 1);
+        c.schedule(0, 20, 2);
+        let mut out = Vec::new();
+        c.poll(15, &mut out);
+        c.interrupt_sweep(1000, &mut out);
+        let s = c.stats();
+        assert_eq!(s.fired_trigger, 1);
+        assert_eq!(s.fired_backup, 1);
+        assert_eq!(s.scheduled, 2);
+        assert!(s.delay_ticks.mean() > 0.0);
+    }
+}

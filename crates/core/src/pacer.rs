@@ -1,0 +1,310 @@
+//! Rate-based clocking: the adaptive transmission scheduler of section 4.1.
+//!
+//! Scheduling a series of transmissions at fixed intervals gives the right
+//! *average* rate but bursts badly when the system spends a while outside
+//! trigger states. The paper's algorithm schedules one transmission event
+//! at a time and tracks the achieved rate over the current packet train:
+//! when the actual rate falls behind the target, the next transmission is
+//! scheduled at the *maximal allowable burst rate* until the train catches
+//! up.
+
+use std::collections::HashMap;
+
+/// Pacer parameters, in measurement-clock ticks per packet.
+#[derive(Debug, Clone, Copy)]
+pub struct PacerConfig {
+    /// Ticks between packets at the target transmission rate (e.g. 40 µs
+    /// per 1500-byte packet is 300 Mbps).
+    pub target_interval: u64,
+    /// Ticks between packets at the maximal allowable burst rate (e.g.
+    /// 12 µs = the line rate of Gigabit Ethernet). Must not exceed
+    /// `target_interval`.
+    pub min_burst_interval: u64,
+}
+
+impl PacerConfig {
+    /// Creates a config, validating the rate ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_burst_interval` is zero or exceeds
+    /// `target_interval`, or when `target_interval` is zero.
+    pub fn new(target_interval: u64, min_burst_interval: u64) -> Self {
+        assert!(target_interval > 0, "target interval must be positive");
+        assert!(
+            min_burst_interval > 0 && min_burst_interval <= target_interval,
+            "burst interval {min_burst_interval} must be in [1, {target_interval}]"
+        );
+        PacerConfig {
+            target_interval,
+            min_burst_interval,
+        }
+    }
+}
+
+/// Per-connection rate-based clocking state.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::pacer::{Pacer, PacerConfig};
+///
+/// let mut p = Pacer::new(PacerConfig::new(40, 12));
+/// p.start_train(0);
+/// // First packet goes out on time: next interval is the target.
+/// assert_eq!(p.on_transmit(0), 40);
+/// // The event was delayed to tick 100 (60 ticks late): catch up at the
+/// // burst rate.
+/// assert_eq!(p.on_transmit(100), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    config: PacerConfig,
+    train_start: Option<u64>,
+    sent_in_train: u64,
+}
+
+impl Pacer {
+    /// Creates an idle pacer (no train in progress).
+    pub fn new(config: PacerConfig) -> Self {
+        Pacer {
+            config,
+            train_start: None,
+            sent_in_train: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PacerConfig {
+        &self.config
+    }
+
+    /// Starts a new packet train at `now`, resetting the achieved-rate
+    /// tracking. Called when a connection (re)starts transmitting.
+    pub fn start_train(&mut self, now: u64) {
+        self.train_start = Some(now);
+        self.sent_in_train = 0;
+    }
+
+    /// Ends the current train (e.g. no more data queued).
+    pub fn end_train(&mut self) {
+        self.train_start = None;
+        self.sent_in_train = 0;
+    }
+
+    /// Whether a train is in progress.
+    pub fn in_train(&self) -> bool {
+        self.train_start.is_some()
+    }
+
+    /// Packets transmitted in the current train.
+    pub fn sent_in_train(&self) -> u64 {
+        self.sent_in_train
+    }
+
+    /// Whether the train's achieved rate is behind the target at `now`.
+    pub fn behind(&self, now: u64) -> bool {
+        match self.train_start {
+            None => false,
+            Some(start) => {
+                let elapsed = now.saturating_sub(start);
+                elapsed > self.sent_in_train * self.config.target_interval
+            }
+        }
+    }
+
+    /// Records a packet transmission at `now` and returns the interval (in
+    /// ticks) at which the *next* transmission event should be scheduled:
+    /// the target interval when on schedule, the burst interval when the
+    /// train has fallen behind.
+    ///
+    /// Starts a train implicitly if none is in progress.
+    pub fn on_transmit(&mut self, now: u64) -> u64 {
+        if self.train_start.is_none() {
+            self.start_train(now);
+        }
+        self.sent_in_train += 1;
+        if self.behind(now) {
+            self.config.min_burst_interval
+        } else {
+            self.config.target_interval
+        }
+    }
+
+    /// The delta to pass to [`crate::SoftTimerCore::schedule`] so the next
+    /// event's earliest legal fire is `interval` ticks after `now`
+    /// (compensates the facility's `+1`).
+    pub fn next_delta(&self, interval: u64) -> u64 {
+        interval.saturating_sub(1)
+    }
+}
+
+/// Pacers for many connections at (possibly) different rates.
+///
+/// Section 5.7: "Soft timers can be used to clock transmission on
+/// different connections simultaneously, even at different rates" — a
+/// single hardware interval timer cannot. This helper just owns one
+/// [`Pacer`] per key; all of them feed events into one facility.
+#[derive(Debug, Default)]
+pub struct MultiPacer<K: std::hash::Hash + Eq + Copy> {
+    pacers: HashMap<K, Pacer>,
+}
+
+impl<K: std::hash::Hash + Eq + Copy> MultiPacer<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        MultiPacer {
+            pacers: HashMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) the pacer for `key`.
+    pub fn insert(&mut self, key: K, config: PacerConfig) {
+        self.pacers.insert(key, Pacer::new(config));
+    }
+
+    /// Removes the pacer for `key`.
+    pub fn remove(&mut self, key: &K) -> Option<Pacer> {
+        self.pacers.remove(key)
+    }
+
+    /// Mutable access to one pacer.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut Pacer> {
+        self.pacers.get_mut(key)
+    }
+
+    /// Shared access to one pacer.
+    pub fn get(&self, key: &K) -> Option<&Pacer> {
+        self.pacers.get(key)
+    }
+
+    /// Number of connections.
+    pub fn len(&self) -> usize {
+        self.pacers.len()
+    }
+
+    /// Whether no connections are registered.
+    pub fn is_empty(&self) -> bool {
+        self.pacers.is_empty()
+    }
+
+    /// Iterates over `(key, pacer)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Pacer)> {
+        self.pacers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_schedule_uses_target_interval() {
+        let mut p = Pacer::new(PacerConfig::new(40, 12));
+        p.start_train(0);
+        // Perfect delivery: every packet exactly on its 40-tick grid.
+        let mut now = 0;
+        for _ in 0..100 {
+            assert_eq!(p.on_transmit(now), 40);
+            now += 40;
+        }
+    }
+
+    #[test]
+    fn falls_back_to_burst_interval_when_behind() {
+        let mut p = Pacer::new(PacerConfig::new(40, 12));
+        p.start_train(0);
+        assert_eq!(p.on_transmit(0), 40);
+        // The next event is delayed by a long trigger gap to t=200;
+        // 1 packet sent, 200 elapsed > 40 -> burst.
+        assert_eq!(p.on_transmit(200), 12);
+        // Still behind after a burst packet at 212 (2 sent, 212 > 80).
+        assert_eq!(p.on_transmit(212), 12);
+    }
+
+    #[test]
+    fn catches_up_and_returns_to_target() {
+        let mut p = Pacer::new(PacerConfig::new(40, 10));
+        p.start_train(0);
+        let mut now = 0u64;
+        let mut intervals = Vec::new();
+        // One initial 150-tick delay, then the pacer runs unhindered.
+        let _ = p.on_transmit(now); // at 0
+        now = 150;
+        let mut last_tx = now;
+        for _ in 0..20 {
+            last_tx = now;
+            let next = p.on_transmit(now);
+            intervals.push(next);
+            now += next;
+        }
+        // Eventually back to the target interval.
+        assert_eq!(*intervals.last().unwrap(), 40);
+        // And once back at the target, the train is no longer behind at
+        // the instant of the last transmission.
+        assert!(!p.behind(last_tx), "train caught up");
+    }
+
+    #[test]
+    fn long_run_average_rate_hits_target() {
+        // Deterministic "trigger delays": the event fires late by a
+        // repeating pattern of 0..30 extra ticks.
+        let mut p = Pacer::new(PacerConfig::new(40, 12));
+        p.start_train(0);
+        let mut now = 0u64;
+        let mut sent = 0u64;
+        let mut pattern = 0u64;
+        while sent < 10_000 {
+            let next = p.on_transmit(now);
+            sent += 1;
+            pattern = (pattern * 31 + 17) % 30;
+            now += next + pattern; // Firing is always >= scheduled.
+        }
+        let avg = now as f64 / sent as f64;
+        assert!((avg - 40.0).abs() < 1.5, "average interval {avg}, want ~40");
+    }
+
+    #[test]
+    fn implicit_train_start() {
+        let mut p = Pacer::new(PacerConfig::new(40, 12));
+        assert!(!p.in_train());
+        p.on_transmit(5);
+        assert!(p.in_train());
+        assert_eq!(p.sent_in_train(), 1);
+        p.end_train();
+        assert!(!p.in_train());
+        assert_eq!(p.sent_in_train(), 0);
+    }
+
+    #[test]
+    fn behind_is_false_outside_train() {
+        let p = Pacer::new(PacerConfig::new(40, 12));
+        assert!(!p.behind(1_000_000));
+    }
+
+    #[test]
+    fn next_delta_compensates_facility_increment() {
+        let p = Pacer::new(PacerConfig::new(40, 12));
+        assert_eq!(p.next_delta(40), 39);
+        assert_eq!(p.next_delta(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst interval")]
+    fn config_rejects_burst_slower_than_target() {
+        let _ = PacerConfig::new(40, 41);
+    }
+
+    #[test]
+    fn multi_pacer_independent_rates() {
+        let mut m: MultiPacer<u32> = MultiPacer::new();
+        m.insert(1, PacerConfig::new(40, 12));
+        m.insert(2, PacerConfig::new(120, 12));
+        m.get_mut(&1).unwrap().on_transmit(0);
+        m.get_mut(&2).unwrap().on_transmit(0);
+        assert_eq!(m.get(&1).unwrap().sent_in_train(), 1);
+        assert_eq!(m.len(), 2);
+        assert!(m.remove(&1).is_some());
+        assert!(m.get(&1).is_none());
+    }
+}

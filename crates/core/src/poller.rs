@@ -1,0 +1,241 @@
+//! Soft-timer network polling: the aggregation-quota interval controller
+//! of section 4.2.
+//!
+//! "The soft timer poll interval can be dynamically chosen so as to
+//! attempt to find a certain number of packets per poll, on average. We
+//! call this number the aggregation quota." The controller below tracks an
+//! EWMA of packets found per poll and scales the interval multiplicatively
+//! toward the quota, clamped to a configured range and bounded per step so
+//! one outlier poll cannot slam the interval.
+
+/// Poll-interval controller parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PollControllerConfig {
+    /// Average packets to find per poll (>= 1 in the paper's Table 8).
+    pub quota: f64,
+    /// Smallest allowed poll interval, in ticks (e.g. the serialization
+    /// time of one packet — polling faster finds nothing new).
+    pub min_interval: u64,
+    /// Largest allowed poll interval, in ticks (bounded by the backup
+    /// interrupt period so latency stays bounded).
+    pub max_interval: u64,
+    /// EWMA smoothing factor in `(0, 1]`; higher reacts faster.
+    pub ewma_alpha: f64,
+}
+
+impl PollControllerConfig {
+    /// A sane default: quota 1, intervals between 10 µs and 1 ms.
+    pub fn with_quota(quota: f64) -> Self {
+        PollControllerConfig {
+            quota,
+            min_interval: 10,
+            max_interval: 1000,
+            ewma_alpha: 0.25,
+        }
+    }
+}
+
+/// Adaptive poll-interval controller.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::poller::{PollController, PollControllerConfig};
+///
+/// let mut pc = PollController::new(PollControllerConfig::with_quota(2.0));
+/// let start = pc.interval();
+/// // Polls keep finding far more than the quota: interval shrinks.
+/// for _ in 0..20 {
+///     pc.on_poll(10);
+/// }
+/// assert!(pc.interval() < start);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PollController {
+    config: PollControllerConfig,
+    interval: f64,
+    ewma_found: f64,
+    polls: u64,
+    packets: u64,
+}
+
+impl PollController {
+    /// Creates a controller starting at the geometric middle of the
+    /// interval range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive quota, an empty interval range, or an
+    /// alpha outside `(0, 1]`.
+    pub fn new(config: PollControllerConfig) -> Self {
+        assert!(config.quota > 0.0, "quota must be positive");
+        assert!(
+            config.min_interval > 0 && config.min_interval <= config.max_interval,
+            "invalid interval range"
+        );
+        assert!(
+            config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        let start = ((config.min_interval as f64) * (config.max_interval as f64)).sqrt();
+        PollController {
+            config,
+            interval: start,
+            ewma_found: config.quota, // Assume on-quota until measured.
+            polls: 0,
+            packets: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PollControllerConfig {
+        &self.config
+    }
+
+    /// Current poll interval in ticks.
+    pub fn interval(&self) -> u64 {
+        self.interval.round() as u64
+    }
+
+    /// Total polls recorded.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Total packets found across all polls.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Average packets found per poll over the whole run.
+    pub fn average_found(&self) -> f64 {
+        if self.polls == 0 {
+            0.0
+        } else {
+            self.packets as f64 / self.polls as f64
+        }
+    }
+
+    /// Records the outcome of one poll and returns the next interval in
+    /// ticks.
+    ///
+    /// The new interval is `interval * quota / ewma_found`, with the
+    /// per-step ratio clamped to `[1/2, 2]` and the result clamped to the
+    /// configured range.
+    pub fn on_poll(&mut self, packets_found: u64) -> u64 {
+        self.polls += 1;
+        self.packets += packets_found;
+        let a = self.config.ewma_alpha;
+        self.ewma_found = a * packets_found as f64 + (1.0 - a) * self.ewma_found;
+        // Packets arrive at some rate r; finding `found` per poll at the
+        // current interval means r = found / interval, so the interval
+        // that finds `quota` per poll is quota / r.
+        let ratio = if self.ewma_found > 0.0 {
+            (self.config.quota / self.ewma_found).clamp(0.5, 2.0)
+        } else {
+            2.0 // Nothing arriving: back off.
+        };
+        self.interval = (self.interval * ratio).clamp(
+            self.config.min_interval as f64,
+            self.config.max_interval as f64,
+        );
+        self.interval()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates a constant packet arrival rate and checks the controller
+    /// converges to the interval that meets the quota.
+    fn converge(rate_per_tick: f64, quota: f64) -> (u64, f64) {
+        let mut pc = PollController::new(PollControllerConfig {
+            quota,
+            min_interval: 5,
+            max_interval: 2000,
+            ewma_alpha: 0.25,
+        });
+        let mut backlog = 0.0f64;
+        let mut found_avg = 0.0;
+        let n = 3000;
+        for i in 0..n {
+            let interval = pc.interval();
+            backlog += rate_per_tick * interval as f64;
+            let found = backlog.floor() as u64;
+            backlog -= found as f64;
+            pc.on_poll(found);
+            if i >= n - 500 {
+                found_avg += found as f64 / 500.0;
+            }
+        }
+        (pc.interval(), found_avg)
+    }
+
+    #[test]
+    fn converges_to_quota_of_one() {
+        // One packet every 120 ticks (100 Mbps full-size frames).
+        let (interval, found) = converge(1.0 / 120.0, 1.0);
+        assert!(
+            (interval as f64 - 120.0).abs() < 30.0,
+            "interval {interval}, want ~120"
+        );
+        assert!((found - 1.0).abs() < 0.3, "found {found}, want ~1");
+    }
+
+    #[test]
+    fn converges_to_quota_of_ten() {
+        let (interval, found) = converge(1.0 / 120.0, 10.0);
+        assert!(
+            (interval as f64 - 1200.0).abs() < 300.0,
+            "interval {interval}, want ~1200"
+        );
+        assert!((found - 10.0).abs() < 2.0, "found {found}");
+    }
+
+    #[test]
+    fn backs_off_when_idle() {
+        let mut pc = PollController::new(PollControllerConfig::with_quota(1.0));
+        for _ in 0..50 {
+            pc.on_poll(0);
+        }
+        assert_eq!(pc.interval(), pc.config().max_interval);
+    }
+
+    #[test]
+    fn clamps_to_min_interval_under_flood() {
+        let mut pc = PollController::new(PollControllerConfig::with_quota(1.0));
+        for _ in 0..50 {
+            pc.on_poll(1000);
+        }
+        assert_eq!(pc.interval(), pc.config().min_interval);
+    }
+
+    #[test]
+    fn per_step_change_is_bounded() {
+        let mut pc = PollController::new(PollControllerConfig::with_quota(1.0));
+        let before = pc.interval() as f64;
+        pc.on_poll(1_000_000);
+        let after = pc.interval() as f64;
+        assert!(
+            after >= before * 0.49,
+            "step too large: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut pc = PollController::new(PollControllerConfig::with_quota(1.0));
+        pc.on_poll(3);
+        pc.on_poll(1);
+        assert_eq!(pc.polls(), 2);
+        assert_eq!(pc.packets(), 4);
+        assert!((pc.average_found() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota must be positive")]
+    fn rejects_zero_quota() {
+        let _ = PollController::new(PollControllerConfig::with_quota(0.0));
+    }
+}

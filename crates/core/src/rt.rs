@@ -1,0 +1,431 @@
+//! Real-time soft timers for userspace programs.
+//!
+//! The facility is most valuable inside a kernel, but the same structure
+//! works in any program with a hot loop: an event-driven server can call
+//! [`RtSoftTimers::run_pending`] once per loop iteration (its "trigger
+//! state") and get microsecond-class timers without a timerfd wakeup per
+//! event. A background thread plays the role of the periodic hardware
+//! interrupt, bounding event delay when the loop stalls.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use st_core::rt::{RtConfig, RtSoftTimers};
+//!
+//! let timers = RtSoftTimers::start(RtConfig::default());
+//! let fired = Arc::new(AtomicU32::new(0));
+//! let f = fired.clone();
+//! timers.schedule_in(Duration::from_micros(50), move |_| {
+//!     f.fetch_add(1, Ordering::SeqCst);
+//! });
+//!
+//! // The event loop reaches a trigger state some time later.
+//! std::thread::sleep(Duration::from_millis(2));
+//! timers.run_pending();
+//! assert_eq!(fired.load(Ordering::SeqCst), 1);
+//! timers.shutdown();
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use st_wheel::TimerHandle;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::facility::{Config, Expired, SoftTimerCore};
+
+/// A one-shot soft-timer handler. Receives the runtime so it can schedule
+/// follow-up events (e.g. a pacer rescheduling itself).
+pub type Handler = Box<dyn FnOnce(&RtSoftTimers) + Send>;
+
+/// Real-time runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RtConfig {
+    /// Backup sweep period — the "hardware interrupt clock". Events are
+    /// never delayed longer than about this much past their deadline.
+    pub backup_period: Duration,
+    /// Whether to record delay statistics.
+    pub record_stats: bool,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            backup_period: Duration::from_millis(1),
+            record_stats: true,
+        }
+    }
+}
+
+/// Cancelation handle for a periodic event from
+/// [`RtSoftTimers::schedule_every`].
+pub struct RtPeriodic {
+    state: Arc<PeriodicState>,
+}
+
+struct PeriodicState {
+    cancelled: AtomicBool,
+}
+
+impl RtPeriodic {
+    /// Stops the periodic event (takes effect at its next firing).
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Release);
+    }
+}
+
+/// Thread-safe soft-timer runtime over the monotonic clock.
+pub struct RtSoftTimers {
+    core: Mutex<SoftTimerCore<Handler>>,
+    clock: MonotonicClock,
+    shutdown: AtomicBool,
+    backup: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RtSoftTimers {
+    /// Starts the runtime, spawning the backup-sweep thread.
+    ///
+    /// The backup thread holds an `Arc` to the runtime, so the runtime
+    /// (and its thread) live until [`RtSoftTimers::shutdown`] is called —
+    /// dropping your own handles alone does not free it. Call `shutdown`
+    /// when done.
+    pub fn start(config: RtConfig) -> Arc<Self> {
+        let clock = MonotonicClock::new();
+        let measure_hz = clock.measure_resolution();
+        let backup_us = config.backup_period.as_micros().max(1) as u64;
+        let core_config = Config {
+            measure_hz,
+            // Express the backup period as a frequency for `X` reporting.
+            interrupt_hz: (1_000_000 / backup_us).max(1),
+            record_stats: config.record_stats,
+        };
+        let rt = Arc::new(RtSoftTimers {
+            core: Mutex::new(SoftTimerCore::new(core_config)),
+            clock,
+            shutdown: AtomicBool::new(false),
+            backup: Mutex::new(None),
+        });
+        let for_thread = Arc::clone(&rt);
+        let period = config.backup_period;
+        let handle = std::thread::Builder::new()
+            .name("soft-timer-backup".into())
+            .spawn(move || {
+                while !for_thread.shutdown.load(Ordering::Acquire) {
+                    std::thread::sleep(period);
+                    for_thread.backup_sweep();
+                }
+            })
+            .expect("failed to spawn backup thread");
+        *rt.backup.lock() = Some(handle);
+        rt
+    }
+
+    /// The paper's `measure_time()`.
+    pub fn measure_time(&self) -> u64 {
+        self.clock.measure_time()
+    }
+
+    /// The paper's `measure_resolution()` (Hz).
+    pub fn measure_resolution(&self) -> u64 {
+        self.clock.measure_resolution()
+    }
+
+    /// The paper's `interrupt_clock_resolution()` (Hz): the backup sweep
+    /// frequency, i.e. the worst-case event delay bound.
+    pub fn interrupt_clock_resolution(&self) -> u64 {
+        self.core.lock().interrupt_clock_resolution()
+    }
+
+    /// The paper's `schedule_soft_event(T, handler)`: runs `handler` at
+    /// least `delay` from now — at the next trigger state after the delay
+    /// elapses, or at the next backup sweep, whichever comes first.
+    pub fn schedule_in(
+        &self,
+        delay: Duration,
+        handler: impl FnOnce(&RtSoftTimers) + Send + 'static,
+    ) -> TimerHandle {
+        let now = self.clock.measure_time();
+        let ticks = delay.as_micros() as u64;
+        self.core.lock().schedule(now, ticks, Box::new(handler))
+    }
+
+    /// Cancels a scheduled event. Returns whether it was still pending.
+    pub fn cancel(&self, handle: TimerHandle) -> bool {
+        self.core.lock().cancel(handle).is_some()
+    }
+
+    /// Runs `handler` approximately every `period`, starting one period
+    /// from now, until it returns `false` or [`RtPeriodic::cancel`] is
+    /// called. Rescheduling is drift-free: each deadline is computed from
+    /// the previous *deadline*, not the (possibly late) firing time — the
+    /// same idea as the paper's pacer keeping a train on its rate line.
+    pub fn schedule_every(
+        self: &Arc<Self>,
+        period: Duration,
+        handler: impl FnMut(&RtSoftTimers) -> bool + Send + 'static,
+    ) -> RtPeriodic {
+        let state = Arc::new(PeriodicState {
+            cancelled: AtomicBool::new(false),
+        });
+        let period_ticks = period.as_micros().max(1) as u64;
+        let first_due = self.measure_time() + period_ticks;
+        Self::arm_periodic(self, first_due, period_ticks, handler, Arc::clone(&state));
+        RtPeriodic { state }
+    }
+
+    fn arm_periodic(
+        rt: &Arc<Self>,
+        due: u64,
+        period_ticks: u64,
+        mut handler: impl FnMut(&RtSoftTimers) -> bool + Send + 'static,
+        state: Arc<PeriodicState>,
+    ) {
+        let now = rt.measure_time();
+        let delta = due.saturating_sub(now);
+        let rt2 = Arc::downgrade(rt);
+        rt.core.lock().schedule(
+            now,
+            delta,
+            Box::new(move |inner: &RtSoftTimers| {
+                if state.cancelled.load(Ordering::Acquire) {
+                    return;
+                }
+                let keep_going = handler(inner);
+                if !keep_going || state.cancelled.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(rt) = rt2.upgrade() {
+                    // Drift-free: next deadline from the previous one.
+                    let mut next = due + period_ticks;
+                    let now = rt.measure_time();
+                    if next <= now {
+                        // Fell more than a period behind (stalled loop):
+                        // skip missed firings rather than bursting.
+                        let behind = now - next;
+                        next += (behind / period_ticks + 1) * period_ticks;
+                    }
+                    Self::arm_periodic(&rt, next, period_ticks, handler, state);
+                }
+            }),
+        );
+    }
+
+    /// The trigger-state check: call this at the natural pause points of
+    /// your program (event-loop top, after a batch of work, on I/O
+    /// readiness). Runs all due handlers; returns how many ran.
+    pub fn run_pending(&self) -> usize {
+        let mut due: Vec<Expired<Handler>> = Vec::new();
+        {
+            let mut core = self.core.lock();
+            let now = self.clock.measure_time();
+            core.poll(now, &mut due);
+        }
+        // Run handlers outside the lock so they can reschedule.
+        let n = due.len();
+        for ev in due {
+            (ev.payload)(self);
+        }
+        n
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.core.lock().pending()
+    }
+
+    /// Snapshot of facility statistics.
+    pub fn stats(&self) -> crate::stats::FacilityStats {
+        self.core.lock().stats().clone()
+    }
+
+    fn backup_sweep(&self) {
+        let mut due: Vec<Expired<Handler>> = Vec::new();
+        {
+            let mut core = self.core.lock();
+            let now = self.clock.measure_time();
+            core.interrupt_sweep(now, &mut due);
+        }
+        for ev in due {
+            (ev.payload)(self);
+        }
+    }
+
+    /// Stops the backup thread. Pending events no longer have a delay
+    /// bound after shutdown (they still fire from `run_pending`).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.backup.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RtSoftTimers {
+    fn drop(&mut self) {
+        // The backup thread holds an Arc, so by the time drop runs the
+        // thread has exited or shutdown() was called; nothing to join here
+        // unless shutdown was never invoked and the Arc cycle was broken
+        // manually. Best effort: signal shutdown.
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn fires_at_trigger_point_after_delay() {
+        let rt = RtSoftTimers::start(RtConfig {
+            backup_period: Duration::from_millis(50),
+            record_stats: true,
+        });
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = fired.clone();
+        rt.schedule_in(Duration::from_micros(100), move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(rt.run_pending(), 0, "not due yet");
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(rt.run_pending(), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn backup_thread_bounds_delay_without_polls() {
+        let rt = RtSoftTimers::start(RtConfig {
+            backup_period: Duration::from_millis(1),
+            record_stats: true,
+        });
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = fired.clone();
+        rt.schedule_in(Duration::from_micros(100), move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        // Never call run_pending; the backup sweep must fire it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while fired.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "backup sweep never fired");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn handlers_can_reschedule() {
+        let rt = RtSoftTimers::start(RtConfig::default());
+        let count = Arc::new(AtomicU32::new(0));
+
+        fn tick(rt: &RtSoftTimers, count: Arc<AtomicU32>) {
+            let n = count.fetch_add(1, Ordering::SeqCst) + 1;
+            if n < 3 {
+                rt.schedule_in(Duration::from_micros(10), move |rt| tick(rt, count));
+            }
+        }
+        let c = count.clone();
+        rt.schedule_in(Duration::from_micros(10), move |rt| tick(rt, c));
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while count.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(200));
+            rt.run_pending();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn cancel_works() {
+        let rt = RtSoftTimers::start(RtConfig::default());
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = fired.clone();
+        let h = rt.schedule_in(Duration::from_millis(5), move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(rt.cancel(h));
+        assert!(!rt.cancel(h), "second cancel is a no-op");
+        std::thread::sleep(Duration::from_millis(10));
+        rt.run_pending();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn periodic_fires_repeatedly_and_cancels() {
+        let rt = RtSoftTimers::start(RtConfig::default());
+        let count = Arc::new(AtomicU32::new(0));
+        let c = count.clone();
+        let periodic = rt.schedule_every(Duration::from_micros(100), move |_| {
+            c.fetch_add(1, Ordering::SeqCst) < 100
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while count.load(Ordering::SeqCst) < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(100));
+            rt.run_pending();
+        }
+        assert!(
+            count.load(Ordering::SeqCst) >= 5,
+            "{}",
+            count.load(Ordering::SeqCst)
+        );
+        periodic.cancel();
+        std::thread::sleep(Duration::from_millis(5));
+        rt.run_pending();
+        let frozen = count.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(5));
+        rt.run_pending();
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            frozen,
+            "canceled but still firing"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn periodic_stops_when_handler_returns_false() {
+        let rt = RtSoftTimers::start(RtConfig::default());
+        let count = Arc::new(AtomicU32::new(0));
+        let c = count.clone();
+        let _periodic = rt.schedule_every(Duration::from_micros(50), move |_| {
+            c.fetch_add(1, Ordering::SeqCst) + 1 < 3
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while count.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(100));
+            rt.run_pending();
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        rt.run_pending();
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let rt = RtSoftTimers::start(RtConfig::default());
+        rt.shutdown();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn reports_paper_api_values() {
+        let rt = RtSoftTimers::start(RtConfig::default());
+        assert_eq!(rt.measure_resolution(), 1_000_000);
+        assert_eq!(rt.interrupt_clock_resolution(), 1_000);
+        let t1 = rt.measure_time();
+        std::thread::sleep(Duration::from_millis(1));
+        let t2 = rt.measure_time();
+        assert!(t2 > t1);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,320 @@
+//! Multi-CPU soft timers: the idle-loop rules of §5.2.
+//!
+//! On a multiprocessor, every CPU's trigger states check the shared
+//! facility, and the idle loop spins checking for due events — but to
+//! keep power consumption sane the paper halts an idle CPU when either:
+//!
+//! - **(a)** no soft-timer event is scheduled before the next hardware
+//!   timer interrupt (the backup sweep will catch everything anyway), or
+//! - **(b)** another idle CPU is already checking for soft-timer events
+//!   (one spinning checker is enough).
+//!
+//! [`SmpFacility`] models exactly that designation logic around a shared
+//! [`SoftTimerCore`]. It is single-threaded by design (the simulator's
+//! machines interleave CPUs through the event loop); the real-time
+//! multi-threaded embedding is [`crate::rt`].
+
+use st_wheel::TimerHandle;
+
+use crate::facility::{Config, Expired, SoftTimerCore};
+
+/// What an idle CPU should do, per the §5.2 rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleDirective {
+    /// Spin in the idle loop checking for soft-timer events (this CPU is
+    /// now the designated checker).
+    SpinChecking,
+    /// Halt until the next interrupt: rule (a) — nothing due before the
+    /// backup sweep.
+    HaltNoNearEvents,
+    /// Halt until the next interrupt: rule (b) — another idle CPU
+    /// already checks.
+    HaltOtherChecker,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CpuState {
+    Busy,
+    IdleChecking,
+    IdleHalted,
+}
+
+/// A shared soft-timer facility for `n` CPUs with idle-checker
+/// designation.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::smp::{IdleDirective, SmpFacility};
+///
+/// let mut smp: SmpFacility<&str> = SmpFacility::new(2);
+/// smp.schedule(0, 40, "ev");
+///
+/// // CPU 0 idles: there is a near event, so it spins checking.
+/// assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::SpinChecking);
+/// // CPU 1 idles too: someone already checks — halt (rule b).
+/// assert_eq!(smp.cpu_idle_enter(1, 0), IdleDirective::HaltOtherChecker);
+///
+/// // The checker's idle loop finds the event once due.
+/// let mut out = Vec::new();
+/// smp.idle_check(0, 45, &mut out);
+/// assert_eq!(out.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SmpFacility<P> {
+    core: SoftTimerCore<P>,
+    cpus: Vec<CpuState>,
+    checker: Option<usize>,
+    halted_wakeups_saved: u64,
+}
+
+impl<P> SmpFacility<P> {
+    /// Creates a facility shared by `n` CPUs (default config: 1 MHz
+    /// measurement, 1 kHz backup).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn new(n: usize) -> Self {
+        SmpFacility::with_config(n, Config::default())
+    }
+
+    /// Creates with an explicit facility configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn with_config(n: usize, config: Config) -> Self {
+        assert!(n > 0, "need at least one CPU");
+        SmpFacility {
+            core: SoftTimerCore::new(config),
+            cpus: vec![CpuState::Busy; n],
+            checker: None,
+            halted_wakeups_saved: 0,
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// The designated idle checker, if any.
+    pub fn checker(&self) -> Option<usize> {
+        self.checker
+    }
+
+    /// Idle-loop iterations avoided by the halting rules (power saved).
+    pub fn halted_wakeups_saved(&self) -> u64 {
+        self.halted_wakeups_saved
+    }
+
+    /// The shared facility (for stats and configuration).
+    pub fn core(&self) -> &SoftTimerCore<P> {
+        &self.core
+    }
+
+    /// Schedules an event (any CPU may schedule).
+    pub fn schedule(&mut self, now: u64, delta: u64, payload: P) -> TimerHandle {
+        self.core.schedule(now, delta, payload)
+    }
+
+    /// Cancels an event.
+    pub fn cancel(&mut self, handle: TimerHandle) -> Option<P> {
+        self.core.cancel(handle)
+    }
+
+    /// Ticks of the measurement clock until the next backup interrupt,
+    /// given `now` (the backup runs on a fixed grid).
+    fn ticks_to_backup(&self, now: u64) -> u64 {
+        let x = self.core.config().x_ticks();
+        x - (now % x)
+    }
+
+    /// Whether any pending event is due before the next backup sweep —
+    /// the condition for rule (a).
+    pub fn has_event_before_backup(&self, now: u64) -> bool {
+        match self.core.earliest_deadline() {
+            Some(e) => e < now + self.ticks_to_backup(now),
+            None => false,
+        }
+    }
+
+    /// A trigger state on `cpu` (syscall/trap/interrupt return). Works
+    /// regardless of the CPU's idle bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range CPU index.
+    pub fn trigger(&mut self, cpu: usize, now: u64, out: &mut Vec<Expired<P>>) -> usize {
+        assert!(cpu < self.cpus.len(), "no such CPU {cpu}");
+        self.core.poll(now, out)
+    }
+
+    /// `cpu` enters the idle loop at `now`; returns what it should do.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range CPU index.
+    pub fn cpu_idle_enter(&mut self, cpu: usize, now: u64) -> IdleDirective {
+        assert!(cpu < self.cpus.len(), "no such CPU {cpu}");
+        if let Some(c) = self.checker {
+            if c != cpu {
+                self.cpus[cpu] = CpuState::IdleHalted;
+                self.halted_wakeups_saved += 1;
+                return IdleDirective::HaltOtherChecker;
+            }
+        }
+        if !self.has_event_before_backup(now) {
+            self.cpus[cpu] = CpuState::IdleHalted;
+            self.halted_wakeups_saved += 1;
+            return IdleDirective::HaltNoNearEvents;
+        }
+        self.cpus[cpu] = CpuState::IdleChecking;
+        self.checker = Some(cpu);
+        IdleDirective::SpinChecking
+    }
+
+    /// `cpu` leaves the idle loop (work arrived / interrupt woke it).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range CPU index.
+    pub fn cpu_idle_exit(&mut self, cpu: usize) {
+        assert!(cpu < self.cpus.len(), "no such CPU {cpu}");
+        self.cpus[cpu] = CpuState::Busy;
+        if self.checker == Some(cpu) {
+            self.checker = None;
+            // Promote a halted idle CPU to checker, if any (it would be
+            // woken by the designation IPI in a real kernel).
+            if let Some(next) = self
+                .cpus
+                .iter()
+                .position(|&s| s == CpuState::IdleHalted)
+            {
+                self.cpus[next] = CpuState::IdleChecking;
+                self.checker = Some(next);
+            }
+        }
+    }
+
+    /// One iteration of the designated checker's idle loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cpu` is not the designated checker — the caller's
+    /// idle loop must have been told [`IdleDirective::SpinChecking`].
+    pub fn idle_check(&mut self, cpu: usize, now: u64, out: &mut Vec<Expired<P>>) -> usize {
+        assert_eq!(
+            self.checker,
+            Some(cpu),
+            "cpu {cpu} is not the designated idle checker"
+        );
+        let fired = self.core.poll(now, out);
+        // Rule (a) re-evaluated each iteration: once nothing is due
+        // before the backup, the checker may halt too.
+        if !self.has_event_before_backup(now) {
+            self.checker = None;
+            self.cpus[cpu] = CpuState::IdleHalted;
+            self.halted_wakeups_saved += 1;
+        }
+        fired
+    }
+
+    /// The periodic backup interrupt (delivered to one CPU; which one is
+    /// irrelevant to the facility).
+    pub fn backup(&mut self, now: u64, out: &mut Vec<Expired<P>>) -> usize {
+        self.core.interrupt_sweep(now, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_one_idle_checker() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(4);
+        smp.schedule(0, 50, 1);
+        assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::SpinChecking);
+        for cpu in 1..4 {
+            assert_eq!(
+                smp.cpu_idle_enter(cpu, 0),
+                IdleDirective::HaltOtherChecker,
+                "cpu {cpu}"
+            );
+        }
+        assert_eq!(smp.checker(), Some(0));
+        assert_eq!(smp.halted_wakeups_saved(), 3);
+    }
+
+    #[test]
+    fn rule_a_halts_when_nothing_near() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(2);
+        // Next backup is at tick 1000; the event is far beyond it.
+        smp.schedule(0, 5_000, 1);
+        assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::HaltNoNearEvents);
+        assert_eq!(smp.checker(), None);
+        // With no events at all, also halt.
+        let mut smp2: SmpFacility<u32> = SmpFacility::new(2);
+        assert_eq!(smp2.cpu_idle_enter(0, 0), IdleDirective::HaltNoNearEvents);
+    }
+
+    #[test]
+    fn checker_fires_events_and_then_halts() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(2);
+        smp.schedule(0, 40, 7);
+        assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::SpinChecking);
+        let mut out = Vec::new();
+        assert_eq!(smp.idle_check(0, 30, &mut out), 0);
+        assert_eq!(smp.checker(), Some(0), "still due soon: keep spinning");
+        assert_eq!(smp.idle_check(0, 45, &mut out), 1);
+        assert_eq!(out[0].payload, 7);
+        // Nothing left before the backup: the checker halted itself.
+        assert_eq!(smp.checker(), None);
+    }
+
+    #[test]
+    fn checker_handoff_on_exit() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(3);
+        smp.schedule(0, 10, 1);
+        assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::SpinChecking);
+        assert_eq!(smp.cpu_idle_enter(1, 0), IdleDirective::HaltOtherChecker);
+        // CPU 0 gets work; the halted CPU 1 is promoted to checker.
+        smp.cpu_idle_exit(0);
+        assert_eq!(smp.checker(), Some(1));
+        let mut out = Vec::new();
+        assert_eq!(smp.idle_check(1, 50, &mut out), 1);
+    }
+
+    #[test]
+    fn triggers_work_from_any_cpu() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(4);
+        smp.schedule(0, 10, 9);
+        let mut out = Vec::new();
+        assert_eq!(smp.trigger(3, 20, &mut out), 1);
+        assert_eq!(out[0].payload, 9);
+    }
+
+    #[test]
+    fn backup_grid_condition() {
+        let smp: SmpFacility<u32> = SmpFacility::new(1);
+        // X = 1000: from tick 250 the next backup is at 1000.
+        assert_eq!(smp.ticks_to_backup(250), 750);
+        assert_eq!(smp.ticks_to_backup(0), 1000);
+        let mut smp: SmpFacility<u32> = SmpFacility::new(1);
+        smp.schedule(250, 600, 1); // Deadline 851 < 1000: near.
+        assert!(smp.has_event_before_backup(250));
+        let mut smp2: SmpFacility<u32> = SmpFacility::new(1);
+        smp2.schedule(250, 900, 1); // Deadline 1151 > 1000: far.
+        assert!(!smp2.has_event_before_backup(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "not the designated idle checker")]
+    fn idle_check_requires_designation() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(2);
+        let mut out = Vec::new();
+        smp.idle_check(0, 10, &mut out);
+    }
+}

@@ -1,0 +1,93 @@
+//! Facility statistics: fire counts by origin and the delay distribution.
+
+use st_stats::{Histogram, Summary};
+
+/// Counters and distributions accumulated by a [`crate::SoftTimerCore`].
+///
+/// The delay histogram uses 1-tick buckets up to 2048 ticks (2 ms at the
+/// default 1 MHz measurement clock) — wide enough to hold the paper's
+/// worst-case delay of one backup-interrupt period (1 ms).
+#[derive(Debug, Clone)]
+pub struct FacilityStats {
+    /// Events scheduled.
+    pub scheduled: u64,
+    /// Events canceled before firing.
+    pub canceled: u64,
+    /// Trigger-state and backup checks performed.
+    pub checks: u64,
+    /// Backup interrupt sweeps performed.
+    pub backup_sweeps: u64,
+    /// Events fired from a trigger-state check.
+    pub fired_trigger: u64,
+    /// Events fired from the backup sweep.
+    pub fired_backup: u64,
+    /// Delay past the earliest legal tick, in measurement ticks.
+    pub delay_ticks: Summary,
+    /// Delay histogram (1-tick buckets).
+    pub delay_hist: Histogram,
+}
+
+impl FacilityStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        FacilityStats {
+            scheduled: 0,
+            canceled: 0,
+            checks: 0,
+            backup_sweeps: 0,
+            fired_trigger: 0,
+            fired_backup: 0,
+            delay_ticks: Summary::new(),
+            delay_hist: Histogram::new(1.0, 2048),
+        }
+    }
+
+    /// Total events fired.
+    pub fn fired(&self) -> u64 {
+        self.fired_trigger + self.fired_backup
+    }
+
+    /// Fraction of fires that needed the backup interrupt.
+    pub fn backup_fraction(&self) -> f64 {
+        let total = self.fired();
+        if total == 0 {
+            0.0
+        } else {
+            self.fired_backup as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn record_fire(&mut self, origin: crate::facility::FireOrigin, delay: u64) {
+        match origin {
+            crate::facility::FireOrigin::TriggerState => self.fired_trigger += 1,
+            crate::facility::FireOrigin::BackupInterrupt => self.fired_backup += 1,
+        }
+        self.delay_ticks.record(delay as f64);
+        self.delay_hist.record(delay as f64);
+    }
+}
+
+impl Default for FacilityStats {
+    fn default() -> Self {
+        FacilityStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facility::FireOrigin;
+
+    #[test]
+    fn counts_and_fractions() {
+        let mut s = FacilityStats::new();
+        assert_eq!(s.backup_fraction(), 0.0);
+        s.record_fire(FireOrigin::TriggerState, 5);
+        s.record_fire(FireOrigin::TriggerState, 15);
+        s.record_fire(FireOrigin::BackupInterrupt, 900);
+        assert_eq!(s.fired(), 3);
+        assert!((s.backup_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.delay_ticks.mean() - (5.0 + 15.0 + 900.0) / 3.0).abs() < 1e-9);
+        assert_eq!(s.delay_hist.count(), 3);
+    }
+}

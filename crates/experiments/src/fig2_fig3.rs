@@ -1,0 +1,162 @@
+//! Figures 2 and 3: base overhead of hardware timers.
+//!
+//! A saturated Apache server; an additional hardware interrupt timer with
+//! a null handler is swept from 0 to 100 kHz. Figure 2 plots throughput,
+//! Figure 3 the relative overhead. The paper's anchors: ~900 conn/s
+//! unperturbed, ~45 % overhead at 100 kHz, i.e. ~4.45 µs per interrupt.
+
+use st_http::model::{HttpMode, ServerKind, ServerModel};
+use st_http::saturation::{SaturationConfig, SaturationSim, TimerLoad};
+use st_kernel::CostModel;
+use st_sim::SimDuration;
+use st_stats::Series;
+
+use crate::Scale;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Added timer frequency, kHz.
+    pub freq_khz: u64,
+    /// Measured throughput, connections/s.
+    pub throughput: f64,
+    /// Overhead relative to the 0 kHz baseline.
+    pub overhead: f64,
+}
+
+/// The full sweep.
+#[derive(Debug)]
+pub struct Fig2Fig3 {
+    /// Sweep points, ascending frequency.
+    pub points: Vec<Point>,
+    /// Implied cost per interrupt, µs (the paper: 4.45).
+    pub us_per_interrupt: f64,
+}
+
+impl Fig2Fig3 {
+    /// Figure 2's series (frequency kHz vs connections/s).
+    pub fn fig2_series(&self) -> Series {
+        let mut s = Series::new("fig2-throughput", "freq_khz", "conn_per_s");
+        s.extend(
+            self.points
+                .iter()
+                .map(|p| (p.freq_khz as f64, p.throughput)),
+        );
+        s
+    }
+
+    /// Figure 3's series (frequency kHz vs overhead %).
+    pub fn fig3_series(&self) -> Series {
+        let mut s = Series::new("fig3-overhead", "freq_khz", "overhead_pct");
+        s.extend(
+            self.points
+                .iter()
+                .map(|p| (p.freq_khz as f64, p.overhead * 100.0)),
+        );
+        s
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Figures 2 & 3: base overhead of hardware timers ==\n");
+        out.push_str(
+            "freq(kHz)  throughput(conn/s)  overhead(%)   [paper: ~linear, 45% @ 100 kHz]\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>8}  {:>18.0}  {:>10.1}\n",
+                p.freq_khz,
+                p.throughput,
+                p.overhead * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "implied cost per interrupt: {:.2} us (paper: 4.45 us)\n",
+            self.us_per_interrupt
+        ));
+        out
+    }
+}
+
+/// Runs the sweep.
+pub fn run(scale: Scale, seed: u64) -> Fig2Fig3 {
+    let machine = CostModel::pentium_ii_300();
+    // Figure 2's y-axis starts near 900 conn/s; calibrate against the
+    // simulator so the interrupt-coalescing behaviour is accounted for.
+    let server = SaturationSim::calibrate_app_work(
+        machine,
+        ServerModel::uncalibrated(ServerKind::Apache, HttpMode::Http, &machine),
+        900.0,
+        SimDuration::from_secs(1),
+        seed ^ 0xCAFE,
+    );
+    let secs = scale.secs(5);
+
+    let freqs: &[u64] = match scale {
+        Scale::Quick => &[0, 20, 50, 100],
+        Scale::Full => &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+    };
+    let mut points = Vec::new();
+    let mut base = 0.0;
+    for &khz in freqs {
+        let mut cfg = SaturationConfig::baseline(machine, server.clone(), seed);
+        cfg.duration = SimDuration::from_secs(secs);
+        if khz > 0 {
+            cfg.extra_timer = Some(TimerLoad {
+                freq_hz: khz * 1000,
+            });
+        }
+        let r = SaturationSim::run(cfg);
+        if khz == 0 {
+            base = r.throughput;
+        }
+        points.push(Point {
+            freq_khz: khz,
+            throughput: r.throughput,
+            overhead: if base > 0.0 {
+                1.0 - r.throughput / base
+            } else {
+                0.0
+            },
+        });
+    }
+    // Fit the per-interrupt cost from the highest-frequency point:
+    // overhead = freq * cost.
+    let last = points.last().expect("sweep is non-empty");
+    let us_per_interrupt = if last.freq_khz > 0 {
+        last.overhead * 1e6 / (last.freq_khz * 1000) as f64
+    } else {
+        0.0
+    };
+    Fig2Fig3 {
+        points,
+        us_per_interrupt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_reproduces_shape() {
+        let r = run(Scale::Quick, 1);
+        assert!(r.points[0].throughput > 850.0);
+        let last = r.points.last().unwrap();
+        assert!(
+            (0.40..0.50).contains(&last.overhead),
+            "100 kHz overhead {}",
+            last.overhead
+        );
+        assert!(
+            (4.0..5.0).contains(&r.us_per_interrupt),
+            "per-interrupt {}",
+            r.us_per_interrupt
+        );
+        // Monotone decreasing throughput.
+        for w in r.points.windows(2) {
+            assert!(w[1].throughput < w[0].throughput);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Figure 4 and Table 1: trigger-state interval distributions.
+//!
+//! Two million samples per workload (as in the paper); the report lists
+//! each Table 1 column measured vs. published, and exports the CDFs of
+//! Figure 4 (cumulative fraction vs. interval up to 150 µs).
+
+use st_kernel::trigger::TriggerSource;
+use st_stats::{Histogram, Samples, Series};
+use st_workloads::{TriggerStream, WorkloadId};
+
+use crate::Scale;
+
+/// One measured Table 1 row.
+#[derive(Debug)]
+pub struct Row {
+    /// Workload.
+    pub id: WorkloadId,
+    /// Samples measured.
+    pub samples: u64,
+    /// Measured max, µs.
+    pub max: f64,
+    /// Measured mean, µs.
+    pub mean: f64,
+    /// Measured median, µs.
+    pub median: f64,
+    /// Measured standard deviation, µs.
+    pub stddev: f64,
+    /// Measured fraction above 100 µs.
+    pub over_100: f64,
+    /// Measured fraction above 150 µs.
+    pub over_150: f64,
+    /// Figure 4 CDF points `(interval_us, cumulative_fraction)`.
+    pub cdf: Vec<(f64, f64)>,
+}
+
+/// The whole table.
+#[derive(Debug)]
+pub struct Fig4Table1 {
+    /// Rows in Table 1 order.
+    pub rows: Vec<Row>,
+}
+
+impl Fig4Table1 {
+    /// Figure 4 series for one workload.
+    pub fn cdf_series(&self, id: WorkloadId) -> Option<Series> {
+        let row = self.rows.iter().find(|r| r.id == id)?;
+        let mut s = Series::new(id.label(), "interval_us", "cum_fraction");
+        s.extend(row.cdf.iter().copied());
+        Some(s)
+    }
+
+    /// Renders the measured-vs-paper table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Table 1 (and Figure 4): trigger state interval distribution ==\n");
+        out.push_str(
+            "workload             |   max meas/paper |   mean meas/paper | median meas/paper | stddev meas/paper | >100us% meas/paper | >150us% meas/paper\n",
+        );
+        for r in &self.rows {
+            let p = r.id.paper_row();
+            out.push_str(&format!(
+                "{:<20} | {:>6.0} / {:>6.0} | {:>7.2} / {:>6.2} | {:>7.1} / {:>5.1} | {:>7.1} / {:>5.1} | {:>7.3} / {:>6.3} | {:>7.3} / {:>6.4}\n",
+                r.id.label(),
+                r.max,
+                p.max,
+                r.mean,
+                p.mean,
+                r.median,
+                p.median,
+                r.stddev,
+                p.stddev,
+                r.over_100 * 100.0,
+                p.frac_over_100 * 100.0,
+                r.over_150 * 100.0,
+                p.frac_over_150 * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the measurement.
+pub fn run(scale: Scale, seed: u64) -> Fig4Table1 {
+    let n = scale.count(2_000_000) as usize;
+    let rows = WorkloadId::ALL
+        .iter()
+        .map(|&id| {
+            let mut stream = TriggerStream::new(id.spec(), seed ^ (id as u64).wrapping_mul(0x9E37));
+            let mut samples = Samples::with_capacity(n);
+            let mut hist = Histogram::new(1.0, 1001);
+            for _ in 0..n {
+                let (gap, _src): (f64, TriggerSource) = stream.next_gap();
+                samples.record(gap);
+                hist.record(gap);
+            }
+            let cdf = hist
+                .cdf_points()
+                .into_iter()
+                .filter(|&(x, _)| x <= 150.0)
+                .collect();
+            Row {
+                id,
+                samples: n as u64,
+                max: samples.max().unwrap_or(0.0),
+                mean: samples.mean().unwrap_or(0.0),
+                median: samples.median().unwrap_or(0.0),
+                stddev: samples.population_stddev().unwrap_or(0.0),
+                over_100: hist.fraction_above(100.0),
+                over_150: hist.fraction_above(150.0),
+                cdf,
+            }
+        })
+        .collect();
+    Fig4Table1 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rows_track_paper() {
+        let t = run(Scale::Quick, 3);
+        assert_eq!(t.rows.len(), 7);
+        for r in &t.rows {
+            let p = r.id.paper_row();
+            let rel = (r.mean - p.mean).abs() / p.mean;
+            assert!(
+                rel < 0.15,
+                "{}: mean {} vs {}",
+                r.id.label(),
+                r.mean,
+                p.mean
+            );
+            // CDFs end at >=93 % by 150 µs for every workload (Figure 4).
+            let (_, last) = *r.cdf.last().unwrap();
+            assert!(last > 0.93, "{}: cdf at 150us = {last}", r.id.label());
+        }
+    }
+
+    #[test]
+    fn cdf_series_available() {
+        let t = run(Scale::Quick, 4);
+        let s = t.cdf_series(WorkloadId::StApache).unwrap();
+        assert!(!s.is_empty());
+        assert!(t.cdf_series(WorkloadId::StNfs).is_some());
+    }
+}

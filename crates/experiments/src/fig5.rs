@@ -1,0 +1,132 @@
+//! Figure 5: trigger-interval medians over 1 ms and 10 ms windows.
+//!
+//! Ten seconds of the ST-Apache-compute workload. The paper finds the
+//! bulk of 1 ms-window medians between 14 and 26 µs with fewer than
+//! 1.13 % above 40 µs, while 10 ms windows (one FreeBSD time slice)
+//! almost all fall in a narrow 17-19 µs band.
+
+use st_sim::SimDuration;
+use st_stats::{Series, WindowedMedian};
+use st_workloads::{TriggerStream, WorkloadId};
+
+use crate::Scale;
+
+/// Figure 5 report.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// `(window_start_s, median_us)` for 1 ms windows.
+    pub medians_1ms: Vec<(f64, f64)>,
+    /// `(window_start_s, median_us)` for 10 ms windows.
+    pub medians_10ms: Vec<(f64, f64)>,
+}
+
+impl Fig5 {
+    /// Fraction of 1 ms medians above `threshold` µs.
+    pub fn frac_1ms_above(&self, threshold: f64) -> f64 {
+        if self.medians_1ms.is_empty() {
+            return 0.0;
+        }
+        self.medians_1ms
+            .iter()
+            .filter(|&&(_, m)| m > threshold)
+            .count() as f64
+            / self.medians_1ms.len() as f64
+    }
+
+    /// Fraction of medians inside `[lo, hi]` µs for the given window set.
+    pub fn frac_in_band(points: &[(f64, f64)], lo: f64, hi: f64) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        points
+            .iter()
+            .filter(|&&(_, m)| (lo..=hi).contains(&m))
+            .count() as f64
+            / points.len() as f64
+    }
+
+    /// Series exports for plotting.
+    pub fn series_1ms(&self) -> Series {
+        let mut s = Series::new("fig5-1ms", "time_s", "median_us");
+        s.extend(self.medians_1ms.iter().copied());
+        s
+    }
+
+    /// Series for the 10 ms windows.
+    pub fn series_10ms(&self) -> Series {
+        let mut s = Series::new("fig5-10ms", "time_s", "median_us");
+        s.extend(self.medians_10ms.iter().copied());
+        s
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        format!(
+            "== Figure 5: windowed trigger-interval medians (ST-Apache-compute) ==\n\
+             1 ms windows:  {} windows, {:.1}% in the 14-26 us band (paper: bulk), {:.2}% above 40 us (paper: <1.13%)\n\
+             10 ms windows: {} windows, {:.1}% in the 15-21 us band (paper: almost all in 17-19 us)\n",
+            self.medians_1ms.len(),
+            Self::frac_in_band(&self.medians_1ms, 14.0, 26.0) * 100.0,
+            self.frac_1ms_above(40.0) * 100.0,
+            self.medians_10ms.len(),
+            Self::frac_in_band(&self.medians_10ms, 15.0, 21.0) * 100.0,
+        )
+    }
+}
+
+/// Runs the experiment over `scale`-dependent seconds of workload.
+pub fn run(scale: Scale, seed: u64) -> Fig5 {
+    let secs = scale.secs(10);
+    let mut stream = TriggerStream::new(WorkloadId::StApacheCompute.spec(), seed);
+    let horizon = SimDuration::from_secs(secs);
+    let mut w1 = WindowedMedian::new(1e-3);
+    let mut w10 = WindowedMedian::new(1e-2);
+    let mut last: Option<f64> = None;
+    loop {
+        let (t, _) = stream.next_trigger();
+        if t.since(st_sim::SimTime::ZERO) > horizon {
+            break;
+        }
+        let ts = t.as_secs_f64();
+        if let Some(prev) = last {
+            let gap_us = (ts - prev) * 1e6;
+            w1.record(ts, gap_us);
+            w10.record(ts, gap_us);
+        }
+        last = Some(ts);
+    }
+    Fig5 {
+        medians_1ms: w1.finish(),
+        medians_10ms: w10.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_ms_windows_are_tighter_than_one_ms() {
+        let f = run(Scale::Quick, 5);
+        assert!(!f.medians_1ms.is_empty());
+        assert!(!f.medians_10ms.is_empty());
+        // Spread of the medians: 10 ms windows must be tighter.
+        let spread = |pts: &[(f64, f64)]| {
+            let mut s = st_stats::Summary::new();
+            for &(_, m) in pts {
+                s.record(m);
+            }
+            s.population_stddev()
+        };
+        assert!(
+            spread(&f.medians_10ms) < spread(&f.medians_1ms),
+            "10ms spread should be tighter"
+        );
+        // Bulk of 1 ms medians in the paper's band.
+        assert!(
+            Fig5::frac_in_band(&f.medians_1ms, 14.0, 26.0) > 0.6,
+            "band fraction {}",
+            Fig5::frac_in_band(&f.medians_1ms, 14.0, 26.0)
+        );
+    }
+}

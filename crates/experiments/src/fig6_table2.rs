@@ -1,0 +1,194 @@
+//! Table 2 and Figure 6: trigger-state sources and their impact.
+//!
+//! Table 2 reports the fraction of ST-Apache trigger states contributed
+//! by each source; Figure 6 shows the interval CDF when one source's
+//! trigger states are removed. System calls and ip-output dominate.
+
+use st_kernel::trigger::{TriggerRecorder, TriggerSource};
+use st_stats::Series;
+use st_workloads::{TriggerStream, WorkloadId};
+
+use crate::Scale;
+
+/// Per-source knock-out result.
+#[derive(Debug)]
+pub struct Knockout {
+    /// The removed source.
+    pub removed: TriggerSource,
+    /// Median of the remaining stream's intervals, µs.
+    pub median_us: f64,
+    /// Mean of the remaining stream's intervals, µs.
+    pub mean_us: f64,
+    /// Figure 6 CDF points up to 150 µs.
+    pub cdf: Vec<(f64, f64)>,
+}
+
+/// Full report.
+#[derive(Debug)]
+pub struct Fig6Table2 {
+    /// Table 2: `(source, measured fraction, paper fraction)`.
+    pub fractions: Vec<(TriggerSource, f64, f64)>,
+    /// Baseline ("All") median and CDF.
+    pub all_median_us: f64,
+    /// Baseline CDF points.
+    pub all_cdf: Vec<(f64, f64)>,
+    /// Figure 6 knock-outs.
+    pub knockouts: Vec<Knockout>,
+}
+
+impl Fig6Table2 {
+    /// Series for one knockout CDF.
+    pub fn knockout_series(&self, source: TriggerSource) -> Option<Series> {
+        let k = self.knockouts.iter().find(|k| k.removed == source)?;
+        let mut s = Series::new(
+            &format!("no {}", source.label()),
+            "interval_us",
+            "cum_fraction",
+        );
+        s.extend(k.cdf.iter().copied());
+        Some(s)
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Table 2: trigger state sources (ST-Apache) ==\n");
+        out.push_str("source         measured%   paper%\n");
+        for &(src, got, want) in &self.fractions {
+            out.push_str(&format!(
+                "{:<13} {:>8.1} {:>8.1}\n",
+                src.label(),
+                got * 100.0,
+                want * 100.0
+            ));
+        }
+        out.push_str("\n== Figure 6: impact of removing each source ==\n");
+        out.push_str(&format!(
+            "All sources        : median {:>6.1} us\n",
+            self.all_median_us
+        ));
+        for k in &self.knockouts {
+            out.push_str(&format!(
+                "without {:<11}: median {:>6.1} us, mean {:>6.1} us\n",
+                k.removed.label(),
+                k.median_us,
+                k.mean_us
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale, seed: u64) -> Fig6Table2 {
+    let n = scale.count(2_000_000) as usize;
+    let mut stream = TriggerStream::new(WorkloadId::StApache.spec(), seed);
+    let mut recorder = TriggerRecorder::new(true);
+    for _ in 0..n {
+        let (t, src) = stream.next_trigger();
+        recorder.record(t, src);
+    }
+
+    let paper = [
+        (TriggerSource::Syscall, 0.477),
+        (TriggerSource::IpOutput, 0.280),
+        (TriggerSource::IpIntr, 0.164),
+        (TriggerSource::TcpipOther, 0.054),
+        (TriggerSource::Trap, 0.025),
+    ];
+    let fractions = paper
+        .iter()
+        .map(|&(src, want)| (src, recorder.fraction(src), want))
+        .collect();
+
+    let cdf_points = |hist: &st_stats::Histogram| {
+        hist.cdf_points()
+            .into_iter()
+            .filter(|&(x, _)| x <= 150.0)
+            .collect::<Vec<_>>()
+    };
+
+    let knockouts = paper
+        .iter()
+        .map(|&(src, _)| {
+            let hist = recorder
+                .without_sources(&[src])
+                .expect("raw sequence retained");
+            Knockout {
+                removed: src,
+                median_us: hist.median().unwrap_or(0.0),
+                mean_us: {
+                    // Approximate mean from the histogram buckets.
+                    let mut sum = 0.0;
+                    let mut count = 0u64;
+                    for (edge, c) in hist.buckets() {
+                        sum += (edge + 0.5) * c as f64;
+                        count += c;
+                    }
+                    if count == 0 {
+                        0.0
+                    } else {
+                        sum / count as f64
+                    }
+                },
+                cdf: cdf_points(&hist),
+            }
+        })
+        .collect();
+
+    Fig6Table2 {
+        fractions,
+        all_median_us: recorder.median_us(),
+        all_cdf: cdf_points(&recorder.hist),
+        knockouts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_match_table2() {
+        let r = run(Scale::Quick, 6);
+        for &(src, got, want) in &r.fractions {
+            assert!(
+                (got - want).abs() < 0.015,
+                "{}: {got} vs {want}",
+                src.label()
+            );
+        }
+    }
+
+    #[test]
+    fn removing_syscalls_hurts_most() {
+        // Figure 6: "system calls and IP packet transmissions are the
+        // most important sources"; removing traps is negligible.
+        let r = run(Scale::Quick, 7);
+        let median_of = |src| {
+            r.knockouts
+                .iter()
+                .find(|k| k.removed == src)
+                .unwrap()
+                .median_us
+        };
+        let no_syscalls = median_of(TriggerSource::Syscall);
+        let no_ipout = median_of(TriggerSource::IpOutput);
+        let no_traps = median_of(TriggerSource::Trap);
+        assert!(no_syscalls > no_ipout, "{no_syscalls} vs {no_ipout}");
+        assert!(no_ipout > no_traps);
+        assert!(
+            (no_traps - r.all_median_us).abs() / r.all_median_us < 0.1,
+            "traps are negligible: {no_traps} vs {}",
+            r.all_median_us
+        );
+        assert!(no_syscalls > 1.5 * r.all_median_us);
+    }
+
+    #[test]
+    fn knockout_series_export() {
+        let r = run(Scale::Quick, 8);
+        assert!(r.knockout_series(TriggerSource::Syscall).is_some());
+        assert!(r.knockout_series(TriggerSource::Idle).is_none());
+    }
+}

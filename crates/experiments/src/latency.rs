@@ -1,0 +1,164 @@
+//! Packet-latency study (extension): the other half of §4.2's design
+//! argument.
+//!
+//! Traw & Smith's fixed-period polling trades interrupt overhead against
+//! communication delay; soft-timer polling claims to escape the
+//! trade-off, because whenever the CPU idles polling is turned off and
+//! NIC interrupts come back on (§5.9). This experiment measures
+//! arrival-to-completion packet latency on a *lightly loaded* machine:
+//! interrupt-class latency for interrupts, hybrid and soft-timer polling;
+//! roughly half the poll period for pure polling.
+
+use st_http::livelock::{run_livelock, LivelockConfig};
+use st_net::driver::DriverStrategy;
+use st_sim::SimDuration;
+
+use crate::Scale;
+
+/// One policy's latency numbers, µs.
+#[derive(Debug)]
+pub struct PolicyLatency {
+    /// Policy name.
+    pub name: &'static str,
+    /// Mean latency.
+    pub mean: f64,
+    /// Worst observed latency.
+    pub max: f64,
+    /// Goodput sanity (pps delivered).
+    pub delivered_pps: f64,
+}
+
+/// The study.
+#[derive(Debug)]
+pub struct Latency {
+    /// Offered load used, packets/s (light: the CPU is mostly idle).
+    pub offered_pps: f64,
+    /// Per-policy results.
+    pub rows: Vec<PolicyLatency>,
+}
+
+impl Latency {
+    /// Looks up one policy's row.
+    pub fn row(&self, name: &str) -> Option<&PolicyLatency> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Packet latency on a lightly loaded machine ({} kpps offered; extension, cf. §4.2) ==\n",
+            self.offered_pps / 1e3
+        ));
+        out.push_str("policy                mean(us)    max(us)   delivered(kpps)\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<20} {:>9.1} {:>10.1} {:>14.1}\n",
+                r.name,
+                r.mean,
+                r.max,
+                r.delivered_pps / 1e3
+            ));
+        }
+        out.push_str(
+            "(soft-timer polling re-enables interrupts whenever the CPU idles, so a\n\
+             lightly loaded machine keeps interrupt-class latency — the trade-off\n\
+             fixed-period polling cannot escape)\n",
+        );
+        out
+    }
+}
+
+/// Runs the study.
+pub fn run(scale: Scale, seed: u64) -> Latency {
+    // 2k pps with 13 µs/packet: ~2.6 % CPU — the machine idles almost
+    // always, which is exactly when the idle rule matters.
+    let offered = 2_000.0;
+    let duration = SimDuration::from_secs(scale.secs(5));
+    let policies: [(&str, DriverStrategy); 5] = [
+        ("interrupt-driven", DriverStrategy::InterruptDriven),
+        ("hybrid (Mogul)", DriverStrategy::Hybrid),
+        (
+            "soft-timer polling",
+            DriverStrategy::SoftTimerPolling { quota: 1.0 },
+        ),
+        (
+            "pure polling 1ms",
+            DriverStrategy::PurePolling { period: 1_000 },
+        ),
+        (
+            "NIC coalescing 200us",
+            DriverStrategy::CoalescedInterrupts { delay: 200 },
+        ),
+    ];
+    let rows = policies
+        .iter()
+        .map(|&(name, driver)| {
+            let mut cfg = LivelockConfig::baseline(driver, offered, seed);
+            cfg.duration = duration;
+            let r = run_livelock(cfg);
+            PolicyLatency {
+                name,
+                mean: r.latency_us.mean(),
+                max: r.latency_us.max().unwrap_or(0.0),
+                delivered_pps: r.delivered_pps,
+            }
+        })
+        .collect();
+    Latency {
+        offered_pps: offered,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_polling_keeps_interrupt_class_latency_when_idle() {
+        let l = run(Scale::Quick, 31);
+        let intr = l.row("interrupt-driven").unwrap();
+        let soft = l.row("soft-timer polling").unwrap();
+        let pure = l.row("pure polling 1ms").unwrap();
+        // Soft polling's idle rule keeps it at interrupt-class latency
+        // (both are dominated by dispatch + processing costs).
+        assert!(
+            soft.mean < intr.mean * 1.5 + 5.0,
+            "soft {} vs interrupt {}",
+            soft.mean,
+            intr.mean
+        );
+        // ...while fixed-period polling pays ~period/2 of queueing.
+        assert!(
+            pure.mean > soft.mean * 5.0,
+            "pure polling {} should dwarf soft {}",
+            pure.mean,
+            soft.mean
+        );
+        assert!(
+            (300.0..800.0).contains(&pure.mean),
+            "pure-poll mean {} (expected ~period/2 = 500)",
+            pure.mean
+        );
+        // Hardware interrupt moderation pays its delay even when idle —
+        // the ablation point: soft polling gets aggregation without
+        // the standing latency tax.
+        let itr = l.row("NIC coalescing 200us").unwrap();
+        assert!(
+            (150.0..350.0).contains(&itr.mean),
+            "ITR mean {} (expected ~delay = 200)",
+            itr.mean
+        );
+        assert!(soft.mean < itr.mean / 3.0);
+        // All policies deliver everything at this load.
+        for r in &l.rows {
+            assert!(
+                (r.delivered_pps - 2_000.0).abs() < 120.0,
+                "{}: {}",
+                r.name,
+                r.delivered_pps
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Regeneration harness for every table and figure in the paper's
+//! evaluation (section 5).
+//!
+//! Each module reproduces one experiment and returns a structured report
+//! that renders as a text table with paper-reported values alongside the
+//! measured ones. The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p st-experiments --bin repro -- all
+//! cargo run --release -p st-experiments --bin repro -- table3 --quick
+//! ```
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig2_fig3`] | Figures 2-3: throughput / overhead vs. added timer frequency |
+//! | [`sec52`] | §5.2: base overhead of soft timers (null handler at max rate) |
+//! | [`fig4_table1`] | Figure 4 + Table 1: trigger interval CDFs and statistics |
+//! | [`fig5`] | Figure 5: windowed medians over time (ST-Apache-compute) |
+//! | [`fig6_table2`] | Figure 6 + Table 2: trigger sources and knock-out CDFs |
+//! | [`table3`] | Table 3: rate-based clocking overhead |
+//! | [`table45`] | Tables 4-5: transmission process statistics |
+//! | [`table67`] | Tables 6-7: WAN transfer performance |
+//! | [`table8`] | Table 8: network polling throughput |
+//! | [`scaling`] | §5.10 scaling discussion (PII-300 / PIII-500 / Alpha) |
+//! | [`appendix_a`] | Appendix A: big ACKs & burst smoothing (extension) |
+//! | [`ack_compression`] | Appendix A.1: ACK compression vs pacing (extension) |
+//! | [`livelock`] | receive livelock across dispatch policies (extension) |
+//! | [`latency`] | packet latency on an idle machine across policies (extension) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ack_compression;
+pub mod appendix_a;
+pub mod fig2_fig3;
+pub mod fig4_table1;
+pub mod fig5;
+pub mod fig6_table2;
+pub mod latency;
+pub mod livelock;
+pub mod scaling;
+pub mod sec52;
+pub mod table3;
+pub mod table45;
+pub mod table67;
+pub mod table8;
+
+/// How much work to spend on an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sample counts / durations: seconds per experiment. Used by
+    /// tests and benches.
+    Quick,
+    /// Paper-scale sample counts (2 M trigger samples, long transfers).
+    Full,
+}
+
+impl Scale {
+    /// Scales a full-size count down in quick mode.
+    pub fn count(self, full: u64) -> u64 {
+        match self {
+            Scale::Quick => (full / 10).max(1),
+            Scale::Full => full,
+        }
+    }
+
+    /// Scales a duration in seconds.
+    pub fn secs(self, full: u64) -> u64 {
+        match self {
+            Scale::Quick => (full / 5).max(1),
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Formats a ratio as the paper's "(1.23)" speedup annotation.
+pub fn speedup(base: f64, x: f64) -> String {
+    format!("({:.2})", x / base)
+}

@@ -1,0 +1,159 @@
+//! Receive-livelock study (extension): goodput vs. offered load for each
+//! packet dispatch policy.
+//!
+//! Sweeps an open-loop packet load across and beyond the server's
+//! processing capacity. Interrupt-driven dispatch collapses (receive
+//! livelock); the Mogul-Ramakrishnan hybrid and soft-timer polling
+//! plateau at capacity — reproducing the comparison the paper draws in
+//! its related-work discussion (§6).
+
+use st_http::livelock::{run_livelock, LivelockConfig};
+use st_net::driver::DriverStrategy;
+use st_stats::Series;
+
+use crate::Scale;
+
+/// One policy's goodput curve.
+#[derive(Debug)]
+pub struct Curve {
+    /// Human-readable policy name.
+    pub name: &'static str,
+    /// `(offered_pps, delivered_pps)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Curve {
+    /// Peak goodput over the sweep.
+    pub fn peak(&self) -> f64 {
+        self.points.iter().map(|&(_, g)| g).fold(0.0, f64::max)
+    }
+
+    /// Goodput at the highest offered load.
+    pub fn at_max_load(&self) -> f64 {
+        self.points.last().map(|&(_, g)| g).unwrap_or(0.0)
+    }
+}
+
+/// The full study.
+#[derive(Debug)]
+pub struct Livelock {
+    /// One curve per policy.
+    pub curves: Vec<Curve>,
+}
+
+impl Livelock {
+    /// Exports one curve as a plottable series.
+    pub fn series(&self, name: &str) -> Option<Series> {
+        let c = self.curves.iter().find(|c| c.name == name)?;
+        let mut s = Series::new(name, "offered_pps", "delivered_pps");
+        s.extend(c.points.iter().copied());
+        Some(s)
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Receive livelock under overload (extension; cf. section 6) ==\n");
+        out.push_str("offered(kpps)");
+        for c in &self.curves {
+            out.push_str(&format!(" | {:>18}", c.name));
+        }
+        out.push('\n');
+        let n = self.curves[0].points.len();
+        for i in 0..n {
+            out.push_str(&format!("{:>13.0}", self.curves[0].points[i].0 / 1e3));
+            for c in &self.curves {
+                out.push_str(&format!(" | {:>12.0} kpps ", c.points[i].1 / 1e3));
+            }
+            out.push('\n');
+        }
+        for c in &self.curves {
+            out.push_str(&format!(
+                "{:<22} peak {:>6.0} kpps, at 5x overload {:>6.0} kpps ({:.0}% of peak)\n",
+                c.name,
+                c.peak() / 1e3,
+                c.at_max_load() / 1e3,
+                c.at_max_load() / c.peak() * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep.
+pub fn run(scale: Scale, seed: u64) -> Livelock {
+    let loads: Vec<f64> = match scale {
+        Scale::Quick => vec![20e3, 50e3, 120e3, 250e3],
+        Scale::Full => vec![
+            10e3, 20e3, 30e3, 40e3, 50e3, 65e3, 80e3, 120e3, 180e3, 250e3,
+        ],
+    };
+    let policies = [
+        ("interrupt-driven", DriverStrategy::InterruptDriven),
+        ("hybrid (Mogul)", DriverStrategy::Hybrid),
+        (
+            "soft-timer polling",
+            DriverStrategy::SoftTimerPolling { quota: 5.0 },
+        ),
+        (
+            "pure polling 100us",
+            DriverStrategy::PurePolling { period: 100 },
+        ),
+        (
+            "NIC coalescing 200us",
+            DriverStrategy::CoalescedInterrupts { delay: 200 },
+        ),
+    ];
+    let curves = policies
+        .iter()
+        .map(|&(name, driver)| Curve {
+            name,
+            points: loads
+                .iter()
+                .map(|&pps| {
+                    let r = run_livelock(LivelockConfig::baseline(driver, pps, seed));
+                    (pps, r.delivered_pps)
+                })
+                .collect(),
+        })
+        .collect();
+    Livelock { curves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_curve_collapses_polling_curves_plateau() {
+        let l = run(Scale::Quick, 23);
+        let by_name = |n: &str| l.curves.iter().find(|c| c.name == n).unwrap();
+        let intr = by_name("interrupt-driven");
+        let hybrid = by_name("hybrid (Mogul)");
+        let soft = by_name("soft-timer polling");
+        assert!(
+            intr.at_max_load() < intr.peak() * 0.8,
+            "interrupts should collapse: peak {} vs overloaded {}",
+            intr.peak(),
+            intr.at_max_load()
+        );
+        for c in [hybrid, soft] {
+            assert!(
+                c.at_max_load() > c.peak() * 0.9,
+                "{} should plateau",
+                c.name
+            );
+        }
+        // At overload, soft polling beats interrupts decisively.
+        assert!(soft.at_max_load() > 1.3 * intr.at_max_load());
+        // Hardware moderation also avoids livelock (bounded interrupt
+        // rate + batch drains).
+        let itr = by_name("NIC coalescing 200us");
+        assert!(
+            itr.at_max_load() > itr.peak() * 0.9,
+            "ITR should plateau: peak {} vs {}",
+            itr.peak(),
+            itr.at_max_load()
+        );
+    }
+}

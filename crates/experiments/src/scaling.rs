@@ -1,0 +1,116 @@
+//! §5.1 / §5.10: the scaling study across machines.
+//!
+//! The paper's core scaling observation: interrupt cost is nearly flat
+//! across CPU generations (4.45 µs on the PII-300, 4.36 µs on the
+//! PIII-500, 8.64 µs on the Alpha), while trigger-state granularity
+//! improves with clock speed — so the *useful range* of soft timers
+//! widens on faster machines.
+
+use st_kernel::costs::{CostModel, MachineKind};
+use st_workloads::WorkloadId;
+
+use crate::Scale;
+
+/// One machine's scaling row.
+#[derive(Debug)]
+pub struct MachineRow {
+    /// Which machine.
+    pub kind: MachineKind,
+    /// Per-interrupt cost, µs.
+    pub interrupt_us: f64,
+    /// Mean trigger interval of the Apache workload on this machine, µs.
+    pub trigger_mean_us: f64,
+    /// The "useful range" ratio: how many soft events fit in the time one
+    /// hardware interrupt costs 1 % of the CPU (a granularity-per-cost
+    /// figure of merit; higher is better).
+    pub granularity_per_cost: f64,
+}
+
+/// The scaling report.
+#[derive(Debug)]
+pub struct Scaling {
+    /// Rows for the three measured machines.
+    pub rows: Vec<MachineRow>,
+}
+
+impl Scaling {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Scaling study (sections 5.1, 5.3, 5.10) ==\n");
+        out.push_str("machine          intr cost(us)  trigger mean(us)  granularity/cost\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {:>12.2}  {:>15.1}  {:>16.2}\n",
+                format!("{:?}", r.kind),
+                r.interrupt_us,
+                r.trigger_mean_us,
+                r.granularity_per_cost
+            ));
+        }
+        out.push_str(
+            "paper: interrupt cost ~flat (4.45 / 4.36 / 8.64 us); trigger granularity\n\
+             scales with clock speed, so soft timers get *better* on faster CPUs.\n",
+        );
+        out
+    }
+}
+
+/// Runs the study.
+pub fn run(scale: Scale, seed: u64) -> Scaling {
+    let n = scale.count(500_000) as usize;
+    let machines = [
+        (CostModel::pentium_ii_300(), WorkloadId::StApache),
+        (CostModel::pentium_iii_500(), WorkloadId::StApacheXeon),
+        // Alpha trigger behaviour was not measured by the paper; scale
+        // the Apache stream by its clock like the Xeon.
+        (CostModel::alpha_21164_500(), WorkloadId::StApacheXeon),
+    ];
+    let rows = machines
+        .iter()
+        .map(|(machine, workload)| {
+            let mut stream =
+                st_workloads::TriggerStream::new(workload.spec(), seed + machine.kind as u64);
+            let mut sum = 0.0;
+            for _ in 0..n {
+                sum += stream.next_gap().0;
+            }
+            let trigger_mean_us = sum / n as f64;
+            let interrupt_us = machine.hw_interrupt.as_nanos() as f64 / 1e3;
+            MachineRow {
+                kind: machine.kind,
+                interrupt_us,
+                trigger_mean_us,
+                // Events/s achievable by soft timers divided by events/s a
+                // hardware timer could deliver at 1 % overhead.
+                granularity_per_cost: (1.0 / trigger_mean_us) / (0.01 / interrupt_us),
+            }
+        })
+        .collect();
+    Scaling { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_cpu_improves_soft_timers_not_interrupts() {
+        let s = run(Scale::Quick, 17);
+        let p2 = &s.rows[0];
+        let p3 = &s.rows[1];
+        // Interrupt cost barely moves; trigger granularity improves with
+        // the clock ratio.
+        assert!((p2.interrupt_us - p3.interrupt_us).abs() < 0.2);
+        assert!(p3.trigger_mean_us < p2.trigger_mean_us * 0.75);
+        // So the figure of merit improves on the faster machine.
+        assert!(p3.granularity_per_cost > p2.granularity_per_cost);
+    }
+
+    #[test]
+    fn alpha_interrupts_are_expensive() {
+        let s = run(Scale::Quick, 18);
+        let alpha = &s.rows[2];
+        assert!((alpha.interrupt_us - 8.64).abs() < 0.01);
+    }
+}

@@ -1,0 +1,197 @@
+//! Table 3: overhead of rate-based clocking.
+//!
+//! Saturated Apache and Flash servers transmit every packet under
+//! rate-based clocking, driven either by a 50 kHz hardware timer or by
+//! soft-timer events at every trigger state. The paper: hardware costs
+//! 28 % (Apache) / 36 % (Flash); soft timers cost 2 % / 6 %; the average
+//! transmission interval lands near the trigger interval for soft timers
+//! (34 / 24 µs).
+
+use st_http::model::{HttpMode, ServerKind, ServerModel};
+use st_http::saturation::{RateClocking, SaturationConfig, SaturationResult, SaturationSim};
+use st_kernel::CostModel;
+use st_sim::SimDuration;
+
+use crate::Scale;
+
+/// One server's column of Table 3.
+#[derive(Debug)]
+pub struct Column {
+    /// Which server.
+    pub server: ServerKind,
+    /// Base throughput, conn/s.
+    pub base: f64,
+    /// Throughput with hardware-timer rate-based clocking.
+    pub hw_throughput: f64,
+    /// Average transmission interval under the hardware timer, µs.
+    pub hw_xmit_interval: f64,
+    /// Throughput with soft-timer rate-based clocking.
+    pub soft_throughput: f64,
+    /// Average transmission interval under soft timers, µs.
+    pub soft_xmit_interval: f64,
+}
+
+impl Column {
+    /// Hardware overhead fraction.
+    pub fn hw_overhead(&self) -> f64 {
+        1.0 - self.hw_throughput / self.base
+    }
+
+    /// Soft overhead fraction.
+    pub fn soft_overhead(&self) -> f64 {
+        1.0 - self.soft_throughput / self.base
+    }
+}
+
+/// Table 3 report.
+#[derive(Debug)]
+pub struct Table3 {
+    /// Apache and Flash columns.
+    pub columns: Vec<Column>,
+}
+
+impl Table3 {
+    /// Renders measured-vs-paper.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Table 3: overhead of rate-based clocking ==\n");
+        out.push_str("                           Apache (paper)      Flash (paper)\n");
+        type PaperCol = (f64, f64, f64, f64, f64, f64, f64);
+        let paper: [PaperCol; 2] = [
+            (774.0, 560.0, 28.0, 31.0, 756.0, 2.0, 34.0),
+            (1303.0, 827.0, 36.0, 35.0, 1224.0, 6.0, 24.0),
+        ];
+        let field = |f: &dyn Fn(&Column, &PaperCol) -> String| {
+            let mut line = String::new();
+            for (c, p) in self.columns.iter().zip(paper.iter()) {
+                line.push_str(&f(c, p));
+            }
+            line
+        };
+        out.push_str(&format!(
+            "Base throughput (conn/s)  {}\n",
+            field(&|c, p| format!("{:>8.0} ({:>5.0})  ", c.base, p.0))
+        ));
+        out.push_str(&format!(
+            "HW timer throughput       {}\n",
+            field(&|c, p| format!("{:>8.0} ({:>5.0})  ", c.hw_throughput, p.1))
+        ));
+        out.push_str(&format!(
+            "HW timer overhead (%)     {}\n",
+            field(&|c, p| format!("{:>8.1} ({:>5.1})  ", c.hw_overhead() * 100.0, p.2))
+        ));
+        out.push_str(&format!(
+            "HW avg xmit intvl (us)    {}\n",
+            field(&|c, p| format!("{:>8.1} ({:>5.1})  ", c.hw_xmit_interval, p.3))
+        ));
+        out.push_str(&format!(
+            "Soft timer throughput     {}\n",
+            field(&|c, p| format!("{:>8.0} ({:>5.0})  ", c.soft_throughput, p.4))
+        ));
+        out.push_str(&format!(
+            "Soft timer overhead (%)   {}\n",
+            field(&|c, p| format!("{:>8.1} ({:>5.1})  ", c.soft_overhead() * 100.0, p.5))
+        ));
+        out.push_str(&format!(
+            "Soft avg xmit intvl (us)  {}\n",
+            field(&|c, p| format!("{:>8.1} ({:>5.1})  ", c.soft_xmit_interval, p.6))
+        ));
+        out
+    }
+}
+
+fn run_one(kind: ServerKind, base_tput: f64, scale: Scale, seed: u64) -> Column {
+    let machine = CostModel::pentium_ii_300();
+    let server = SaturationSim::calibrate_app_work(
+        machine,
+        ServerModel::uncalibrated(kind, HttpMode::Http, &machine),
+        base_tput,
+        SimDuration::from_secs(1),
+        seed ^ 0xCAFE,
+    );
+    let secs = scale.secs(5);
+    let mk = |rc: RateClocking, seed: u64| -> SaturationResult {
+        let mut cfg = SaturationConfig::baseline(machine, server.clone(), seed);
+        cfg.duration = SimDuration::from_secs(secs);
+        cfg.rate_clocking = rc;
+        SaturationSim::run(cfg)
+    };
+    let base = mk(RateClocking::Off, seed);
+    let hw = mk(RateClocking::Hardware { freq_hz: 50_000 }, seed);
+    let soft = mk(RateClocking::Soft, seed);
+    Column {
+        server: kind,
+        base: base.throughput,
+        hw_throughput: hw.throughput,
+        hw_xmit_interval: hw.tx_intervals.mean(),
+        soft_throughput: soft.throughput,
+        soft_xmit_interval: soft.tx_intervals.mean(),
+    }
+}
+
+/// Runs Table 3.
+pub fn run(scale: Scale, seed: u64) -> Table3 {
+    Table3 {
+        columns: vec![
+            run_one(ServerKind::Apache, 774.0, scale, seed),
+            run_one(ServerKind::Flash, 1303.0, scale, seed + 1),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_match_paper_bands() {
+        let t = run(Scale::Quick, 9);
+        let apache = &t.columns[0];
+        let flash = &t.columns[1];
+        // Paper: HW 28 % / 36 %; soft 2 % / 6 %.
+        assert!(
+            (0.24..0.33).contains(&apache.hw_overhead()),
+            "apache hw {}",
+            apache.hw_overhead()
+        );
+        assert!(
+            (0.30..0.42).contains(&flash.hw_overhead()),
+            "flash hw {}",
+            flash.hw_overhead()
+        );
+        assert!(
+            apache.soft_overhead() < 0.06,
+            "apache soft {}",
+            apache.soft_overhead()
+        );
+        assert!(
+            flash.soft_overhead() < 0.12,
+            "flash soft {}",
+            flash.soft_overhead()
+        );
+        // The ordering claims.
+        assert!(flash.hw_overhead() > apache.hw_overhead());
+        assert!(flash.soft_overhead() > apache.soft_overhead());
+        assert!(apache.hw_overhead() > 4.0 * apache.soft_overhead());
+    }
+
+    #[test]
+    fn soft_xmit_interval_tracks_trigger_rate() {
+        let t = run(Scale::Quick, 10);
+        let apache = &t.columns[0];
+        let flash = &t.columns[1];
+        // Paper: Apache 34 µs, Flash 24 µs — Flash's faster trigger rate
+        // drains trains faster.
+        assert!(
+            flash.soft_xmit_interval < apache.soft_xmit_interval,
+            "flash {} vs apache {}",
+            flash.soft_xmit_interval,
+            apache.soft_xmit_interval
+        );
+        assert!(
+            (15.0..60.0).contains(&apache.soft_xmit_interval),
+            "apache soft interval {}",
+            apache.soft_xmit_interval
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Tables 4 and 5: rate-based clocking transmission-process statistics.
+//!
+//! The adaptive pacer runs over the ST-Apache trigger stream (the
+//! worst-case workload) with a 1 Gbps line (12 µs minimal interval),
+//! sweeping the maximal-allowable-burst interval; hardware-timer rows
+//! include the lost-tick effect of interrupt-disabled windows.
+
+use st_core::facility::Config;
+use st_core::pacer::PacerConfig;
+use st_sim::{Exp, SimRng};
+use st_tcp::pacing::TransmissionProcess;
+use st_workloads::{TriggerStream, WorkloadId};
+
+use crate::Scale;
+
+/// One row of Table 4/5.
+#[derive(Debug)]
+pub struct Row {
+    /// Minimal allowable burst interval, µs.
+    pub min_interval: u64,
+    /// Measured average transmission interval, µs.
+    pub avg_interval: f64,
+    /// Measured standard deviation, µs.
+    pub std_dev: f64,
+    /// Paper's average for this row.
+    pub paper_avg: f64,
+    /// Paper's standard deviation for this row.
+    pub paper_std: f64,
+}
+
+/// One table (one target interval).
+#[derive(Debug)]
+pub struct PacingTable {
+    /// Target transmission interval, µs (40 for Table 4, 60 for Table 5).
+    pub target: u64,
+    /// Soft-timer rows over the burst-interval sweep.
+    pub rows: Vec<Row>,
+    /// Hardware-timer average interval (paper: 43.6 / 63).
+    pub hw_avg: f64,
+    /// Hardware-timer standard deviation (paper: 26.8 / 27.7).
+    pub hw_std: f64,
+}
+
+/// Tables 4 and 5 together.
+#[derive(Debug)]
+pub struct Table45 {
+    /// The 40 µs table (Table 4).
+    pub table4: PacingTable,
+    /// The 60 µs table (Table 5).
+    pub table5: PacingTable,
+}
+
+impl PacingTable {
+    fn render_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "-- target transmission interval = {} us --\n",
+            self.target
+        ));
+        out.push_str("min intvl |  avg meas/paper |  std meas/paper\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>8} | {:>6.1} / {:>5.1} | {:>6.1} / {:>5.1}\n",
+                r.min_interval, r.avg_interval, r.paper_avg, r.std_dev, r.paper_std
+            ));
+        }
+        out.push_str(&format!(
+            "hardware  | {:>6.1} / {:>5.1} | {:>6.1} / {:>5.1}\n",
+            self.hw_avg,
+            if self.target == 40 { 43.6 } else { 63.0 },
+            self.hw_std,
+            if self.target == 40 { 26.8 } else { 27.7 },
+        ));
+    }
+}
+
+impl Table45 {
+    /// Renders both tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Tables 4 & 5: rate-based clocking transmission process ==\n");
+        self.table4.render_into(&mut out);
+        self.table5.render_into(&mut out);
+        out
+    }
+}
+
+/// Paper values for (target, min_interval) cells.
+fn paper_cell(target: u64, min: u64) -> (f64, f64) {
+    match (target, min) {
+        (40, 12) => (40.0, 34.5),
+        (40, 15) => (48.0, 31.6),
+        (40, 20) => (51.9, 30.9),
+        (40, 25) => (57.5, 30.9),
+        (40, 30) => (61.0, 30.5),
+        (40, 35) => (65.9, 30.1),
+        (60, 12) => (60.0, 35.9),
+        (60, 15) => (60.0, 33.2),
+        (60, 20) => (60.0, 32.3),
+        (60, 25) => (60.0, 31.2),
+        (60, 30) => (61.0, 30.5),
+        (60, 35) => (65.9, 30.0),
+        _ => (f64::NAN, f64::NAN),
+    }
+}
+
+fn run_table(target: u64, packets: u64, seed: u64) -> PacingTable {
+    let rows = [12u64, 15, 20, 25, 30, 35]
+        .iter()
+        .map(|&min| {
+            let stream = TriggerStream::new(WorkloadId::StApache.spec(), seed + min);
+            let run = TransmissionProcess::run_soft(
+                PacerConfig::new(target, min),
+                Config::default(),
+                packets,
+                stream.tick_gap_fn(),
+            );
+            let (paper_avg, paper_std) = paper_cell(target, min);
+            Row {
+                min_interval: min,
+                avg_interval: run.avg_interval(),
+                std_dev: run.std_dev(),
+                paper_avg,
+                paper_std,
+            }
+        })
+        .collect();
+
+    // Hardware rows: interrupt-disabled windows (mean ~60 µs, about one
+    // every 300 µs — heavy network interrupt masking on the saturated
+    // server) defer and lose timer ticks.
+    let mut rng = SimRng::seed(seed ^ 0xFEED);
+    let hw = TransmissionProcess::run_hardware(
+        target,
+        packets,
+        1.0 / 300.0,
+        &Exp::with_mean(60.0),
+        &mut rng,
+    );
+    PacingTable {
+        target,
+        rows,
+        hw_avg: hw.avg_interval(),
+        hw_std: hw.std_dev(),
+    }
+}
+
+/// Runs Tables 4 and 5.
+pub fn run(scale: Scale, seed: u64) -> Table45 {
+    let packets = scale.count(200_000);
+    Table45 {
+        table4: run_table(40, packets, seed),
+        table5: run_table(60, packets, seed + 100),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape() {
+        let t = run(Scale::Quick, 11);
+        // Monotone: larger min-burst interval -> larger achieved average.
+        for w in t.table4.rows.windows(2) {
+            assert!(
+                w[1].avg_interval >= w[0].avg_interval - 0.5,
+                "non-monotone: {} then {}",
+                w[0].avg_interval,
+                w[1].avg_interval
+            );
+        }
+        // With full burst headroom the target is (nearly) achieved.
+        let first = &t.table4.rows[0];
+        assert!(
+            (40.0..46.0).contains(&first.avg_interval),
+            "min=12 avg {}",
+            first.avg_interval
+        );
+        // At min=35 the pacer cannot catch up: near the paper's 65.9.
+        let last = t.table4.rows.last().unwrap();
+        assert!(
+            (55.0..75.0).contains(&last.avg_interval),
+            "min=35 avg {}",
+            last.avg_interval
+        );
+        // Hardware loses ticks: average above the programmed 40.
+        assert!(t.table4.hw_avg > 40.5, "hw avg {}", t.table4.hw_avg);
+    }
+
+    #[test]
+    fn table5_holds_target_longer() {
+        let t = run(Scale::Quick, 12);
+        // At a 60 µs target even min=25 holds the target (paper: 60).
+        let r25 = &t.table5.rows[3];
+        assert!(
+            (58.0..66.0).contains(&r25.avg_interval),
+            "min=25 avg {}",
+            r25.avg_interval
+        );
+        // Std devs near the paper's 30-36 µs range (our calibrated
+        // ST-Apache stream carries slightly more tail variance).
+        for r in &t.table5.rows {
+            assert!(
+                (20.0..50.0).contains(&r.std_dev),
+                "std {} at min={}",
+                r.std_dev,
+                r.min_interval
+            );
+        }
+    }
+}

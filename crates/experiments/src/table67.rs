@@ -1,0 +1,199 @@
+//! Tables 6 and 7: rate-based clocking network performance over the
+//! emulated WAN.
+//!
+//! Transfers of {5, 100, 1000, 10000, 100000} 1448-byte packets over a
+//! 100 ms-RTT path with a 50 Mbps (Table 6) or 100 Mbps (Table 7)
+//! bottleneck; regular slow-start TCP vs. rate-based clocking at the
+//! bottleneck capacity. The paper's headline: response-time reductions of
+//! 79-89 % for small/medium transfers, shrinking to a few percent for
+//! very large ones.
+//!
+//! Note: the paper's §5.8 text says "one packet every ... 60 µs
+//! (50 Mbps)", which is arithmetically inconsistent with 1500-byte
+//! frames (240 µs); we pace at the true bottleneck rate.
+
+use st_tcp::transfer::{TransferConfig, TransferSim};
+
+use crate::Scale;
+
+/// One transfer-size row.
+#[derive(Debug)]
+pub struct Row {
+    /// Transfer size in 1448-byte packets.
+    pub packets: u64,
+    /// Regular TCP throughput, Mbps.
+    pub reg_xput: f64,
+    /// Regular TCP response time, ms.
+    pub reg_resp_ms: f64,
+    /// Rate-based throughput, Mbps.
+    pub rbc_xput: f64,
+    /// Rate-based response time, ms.
+    pub rbc_resp_ms: f64,
+    /// Paper's response-time reduction for this row, %.
+    pub paper_reduction_pct: f64,
+}
+
+impl Row {
+    /// Measured response-time reduction, %.
+    pub fn reduction_pct(&self) -> f64 {
+        (1.0 - self.rbc_resp_ms / self.reg_resp_ms) * 100.0
+    }
+}
+
+/// One table (one bottleneck bandwidth).
+#[derive(Debug)]
+pub struct WanTable {
+    /// Bottleneck in Mbps (50 or 100).
+    pub bottleneck_mbps: u64,
+    /// Rows in transfer-size order.
+    pub rows: Vec<Row>,
+}
+
+impl WanTable {
+    fn render_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "-- bottleneck = {} Mbps, RTT = 100 ms --\n",
+            self.bottleneck_mbps
+        ));
+        out.push_str(
+            "packets | regTCP Mbps  resp(ms) | rate-based Mbps  resp(ms) | reduction meas/paper (%)\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>7} | {:>11.2} {:>9.0} | {:>15.2} {:>9.1} | {:>9.0} / {:>4.0}\n",
+                r.packets,
+                r.reg_xput,
+                r.reg_resp_ms,
+                r.rbc_xput,
+                r.rbc_resp_ms,
+                r.reduction_pct(),
+                r.paper_reduction_pct,
+            ));
+        }
+    }
+}
+
+/// Tables 6 and 7.
+#[derive(Debug)]
+pub struct Table67 {
+    /// Table 6 (50 Mbps).
+    pub table6: WanTable,
+    /// Table 7 (100 Mbps).
+    pub table7: WanTable,
+}
+
+impl Table67 {
+    /// Renders both tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Tables 6 & 7: rate-based clocking network performance ==\n");
+        self.table6.render_into(&mut out);
+        self.table7.render_into(&mut out);
+        out
+    }
+}
+
+fn paper_reduction(bottleneck: u64, packets: u64) -> f64 {
+    match (bottleneck, packets) {
+        (50, 5) => 79.0,
+        (50, 100) => 89.0,
+        (50, 1_000) => 80.0,
+        (50, 10_000) => 35.0,
+        (50, 100_000) => 2.0,
+        (100, 5) => 71.0,
+        (100, 100) => 89.0,
+        (100, 1_000) => 87.0,
+        (100, 10_000) => 55.0,
+        (100, 100_000) => 11.0,
+        _ => f64::NAN,
+    }
+}
+
+fn run_table(bottleneck: u64, sizes: &[u64], seed: u64) -> WanTable {
+    let rows = sizes
+        .iter()
+        .map(|&packets| {
+            let mk = |rbc: bool| {
+                let mut cfg = if bottleneck == 50 {
+                    TransferConfig::table6(packets, rbc)
+                } else {
+                    TransferConfig::table7(packets, rbc)
+                };
+                cfg.seed = seed + packets;
+                TransferSim::run(cfg)
+            };
+            let reg = mk(false);
+            let rbc = mk(true);
+            Row {
+                packets,
+                reg_xput: reg.throughput_mbps,
+                reg_resp_ms: reg.response_time.as_secs_f64() * 1e3,
+                rbc_xput: rbc.throughput_mbps,
+                rbc_resp_ms: rbc.response_time.as_secs_f64() * 1e3,
+                paper_reduction_pct: paper_reduction(bottleneck, packets),
+            }
+        })
+        .collect();
+    WanTable {
+        bottleneck_mbps: bottleneck,
+        rows,
+    }
+}
+
+/// Runs Tables 6 and 7.
+pub fn run(scale: Scale, seed: u64) -> Table67 {
+    let sizes: &[u64] = match scale {
+        Scale::Quick => &[5, 100, 1_000, 10_000],
+        Scale::Full => &[5, 100, 1_000, 10_000, 100_000],
+    };
+    Table67 {
+        table6: run_table(50, sizes, seed),
+        table7: run_table(100, sizes, seed + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_track_paper() {
+        let t = run(Scale::Quick, 13);
+        for table in [&t.table6, &t.table7] {
+            for r in &table.rows {
+                assert!(
+                    r.reduction_pct() > 0.0,
+                    "rate-based always wins ({} pkts)",
+                    r.packets
+                );
+            }
+            // The mid-size transfers see the dramatic (~80-89 %) wins.
+            let mid = table.rows.iter().find(|r| r.packets == 100).unwrap();
+            assert!(
+                mid.reduction_pct() > 60.0,
+                "100-pkt reduction {}",
+                mid.reduction_pct()
+            );
+            // Reduction shrinks for large transfers.
+            let large = table.rows.iter().find(|r| r.packets == 10_000).unwrap();
+            assert!(large.reduction_pct() < mid.reduction_pct());
+        }
+    }
+
+    #[test]
+    fn throughput_converges_to_bottleneck() {
+        let t = run(Scale::Quick, 14);
+        let big6 = t.table6.rows.iter().find(|r| r.packets == 10_000).unwrap();
+        assert!(
+            big6.rbc_xput > 40.0 && big6.rbc_xput <= 50.0,
+            "table6 big rbc xput {}",
+            big6.rbc_xput
+        );
+        let big7 = t.table7.rows.iter().find(|r| r.packets == 10_000).unwrap();
+        assert!(
+            big7.rbc_xput > 80.0 && big7.rbc_xput <= 100.0,
+            "table7 big rbc xput {}",
+            big7.rbc_xput
+        );
+    }
+}

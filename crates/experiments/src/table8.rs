@@ -1,0 +1,214 @@
+//! Table 8: network polling throughput.
+//!
+//! The 333 MHz PII server with four Fast Ethernet interfaces serves 6 KB
+//! requests over HTTP and P-HTTP from Apache and Flash, with conventional
+//! interrupts vs. soft-timer polling at aggregation quotas 1-15. The
+//! paper's speedups: 1.03-1.11 for Apache, 1.08-1.25 for Flash.
+//!
+//! As an ablation beyond the paper, the Mogul-Ramakrishnan hybrid driver
+//! is measured alongside.
+
+use st_http::model::{HttpMode, ServerKind, ServerModel};
+use st_http::saturation::{SaturationConfig, SaturationSim};
+use st_kernel::CostModel;
+use st_net::driver::DriverStrategy;
+use st_sim::SimDuration;
+
+use crate::Scale;
+
+/// One server/mode row of Table 8.
+#[derive(Debug)]
+pub struct Row {
+    /// Server program.
+    pub server: ServerKind,
+    /// HTTP or P-HTTP.
+    pub mode: HttpMode,
+    /// Interrupt-driven baseline, req/s.
+    pub interrupt: f64,
+    /// Soft-poll throughput per quota, `(quota, req/s)`.
+    pub soft_poll: Vec<(u64, f64)>,
+    /// Hybrid-driver throughput (extension; not in the paper's table).
+    pub hybrid: f64,
+    /// Paper's baseline for this row.
+    pub paper_interrupt: f64,
+    /// Paper's speedups at quotas 1, 2, 5, 10, 15.
+    pub paper_speedups: [f64; 5],
+}
+
+impl Row {
+    /// Speedup at a given quota.
+    pub fn speedup(&self, quota: u64) -> Option<f64> {
+        self.soft_poll
+            .iter()
+            .find(|&&(q, _)| q == quota)
+            .map(|&(_, t)| t / self.interrupt)
+    }
+}
+
+/// The full table.
+#[derive(Debug)]
+pub struct Table8 {
+    /// Rows: Apache/Flash x HTTP/P-HTTP.
+    pub rows: Vec<Row>,
+}
+
+impl Table8 {
+    /// Renders measured-vs-paper.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Table 8: network polling throughput (6 KB requests) ==\n");
+        out.push_str(
+            "server        | interrupt meas(paper) | quota: speedup meas(paper) ...                    | hybrid\n",
+        );
+        for r in &self.rows {
+            let label = format!(
+                "{:?} {}",
+                r.server,
+                match r.mode {
+                    HttpMode::Http => "HTTP",
+                    HttpMode::PHttp => "P-HTTP",
+                }
+            );
+            let mut cells = String::new();
+            for (i, &(q, t)) in r.soft_poll.iter().enumerate() {
+                cells.push_str(&format!(
+                    "{}:{:.2}({:.2}) ",
+                    q,
+                    t / r.interrupt,
+                    r.paper_speedups[i]
+                ));
+            }
+            out.push_str(&format!(
+                "{:<13} | {:>9.0} ({:>5.0})     | {} | {:.2}\n",
+                label,
+                r.interrupt,
+                r.paper_interrupt,
+                cells,
+                r.hybrid / r.interrupt,
+            ));
+        }
+        out
+    }
+}
+
+const QUOTAS: [u64; 5] = [1, 2, 5, 10, 15];
+
+fn paper_row(server: ServerKind, mode: HttpMode) -> (f64, [f64; 5]) {
+    match (server, mode) {
+        (ServerKind::Apache, HttpMode::Http) => (854.0, [1.07, 1.09, 1.10, 1.11, 1.11]),
+        (ServerKind::Flash, HttpMode::Http) => (1376.0, [1.14, 1.17, 1.23, 1.24, 1.25]),
+        (ServerKind::Apache, HttpMode::PHttp) => (1346.0, [1.03, 1.04, 1.06, 1.07, 1.07]),
+        (ServerKind::Flash, HttpMode::PHttp) => (4439.0, [1.08, 1.14, 1.19, 1.21, 1.24]),
+    }
+}
+
+fn run_row(server: ServerKind, mode: HttpMode, scale: Scale, seed: u64) -> Row {
+    let machine = CostModel::pentium_ii_333();
+    let (paper_base, paper_speedups) = paper_row(server, mode);
+    let secs = scale.secs(5);
+    // Simulation-accurate calibration: interrupt coalescing at the higher
+    // request rates (Flash P-HTTP runs >4000 req/s) makes the closed-form
+    // per-frame cost model overshoot.
+    let model = SaturationSim::calibrate_app_work(
+        machine,
+        ServerModel::uncalibrated(server, mode, &machine),
+        paper_base,
+        SimDuration::from_secs(1),
+        seed + 999,
+    );
+    let mk = |driver: DriverStrategy, seed: u64| {
+        let mut cfg = SaturationConfig::baseline(machine, model.clone(), seed);
+        cfg.duration = SimDuration::from_secs(secs);
+        cfg.driver = driver;
+        SaturationSim::run(cfg).throughput
+    };
+    let interrupt = mk(DriverStrategy::InterruptDriven, seed);
+    let hybrid = mk(DriverStrategy::Hybrid, seed);
+    let soft_poll = QUOTAS
+        .iter()
+        .map(|&q| {
+            (
+                q,
+                mk(
+                    DriverStrategy::SoftTimerPolling { quota: q as f64 },
+                    seed + q,
+                ),
+            )
+        })
+        .collect();
+    Row {
+        server,
+        mode,
+        interrupt,
+        soft_poll,
+        hybrid,
+        paper_interrupt: paper_base,
+        paper_speedups,
+    }
+}
+
+/// Runs Table 8.
+pub fn run(scale: Scale, seed: u64) -> Table8 {
+    Table8 {
+        rows: vec![
+            run_row(ServerKind::Apache, HttpMode::Http, scale, seed),
+            run_row(ServerKind::Flash, HttpMode::Http, scale, seed + 10),
+            run_row(ServerKind::Apache, HttpMode::PHttp, scale, seed + 20),
+            run_row(ServerKind::Flash, HttpMode::PHttp, scale, seed + 30),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polling_always_wins_and_flash_wins_more() {
+        let t = run(Scale::Quick, 15);
+        for r in &t.rows {
+            for &(q, tput) in &r.soft_poll {
+                assert!(
+                    tput > r.interrupt,
+                    "{:?}/{:?} quota {q}: {} <= {}",
+                    r.server,
+                    r.mode,
+                    tput,
+                    r.interrupt
+                );
+            }
+            // Speedup grows (weakly) with the quota.
+            let s1 = r.speedup(1).unwrap();
+            let s15 = r.speedup(15).unwrap();
+            assert!(s15 >= s1 - 0.01, "quota 15 {s15} vs quota 1 {s1}");
+            assert!(
+                s15 < 1.5,
+                "speedup {s15} implausibly large for {:?}/{:?}",
+                r.server,
+                r.mode
+            );
+        }
+        let apache_http = t.rows[0].speedup(15).unwrap();
+        let flash_http = t.rows[1].speedup(15).unwrap();
+        assert!(
+            flash_http > apache_http,
+            "flash {flash_http} vs apache {apache_http}"
+        );
+    }
+
+    #[test]
+    fn baselines_match_calibration() {
+        let t = run(Scale::Quick, 16);
+        for r in &t.rows {
+            let rel = (r.interrupt - r.paper_interrupt).abs() / r.paper_interrupt;
+            assert!(
+                rel < 0.06,
+                "{:?}/{:?} baseline {} vs paper {}",
+                r.server,
+                r.mode,
+                r.interrupt,
+                r.paper_interrupt
+            );
+        }
+    }
+}

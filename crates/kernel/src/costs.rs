@@ -1,0 +1,224 @@
+//! The calibrated cost model.
+//!
+//! Every constant here is taken from a measurement reported in the paper
+//! (see DESIGN.md section 4 for the full provenance table). The simulation
+//! charges these costs to the [`crate::cpu::CpuAccountant`]; the
+//! experiments' headline ratios (interrupt overhead vs. frequency,
+//! soft-timer overhead, polling speedups) all derive from them.
+
+use st_sim::SimDuration;
+
+/// Which measured machine the cost model reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// 300 MHz Pentium II running FreeBSD-2.2.6 — the paper's main testbed.
+    PentiumII300,
+    /// 333 MHz Pentium II — the Table 8 polling server.
+    PentiumII333,
+    /// 500 MHz Pentium III (Xeon) running FreeBSD-3.3 (section 5.1/5.3).
+    PentiumIII500,
+    /// 500 MHz Alpha 21164 (AlphaStation 500au) running FreeBSD-4.0-beta.
+    Alpha21164_500,
+}
+
+/// CPU cost constants for one machine.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Which machine these constants model.
+    pub kind: MachineKind,
+    /// Total cost of one hardware timer interrupt with a null handler on a
+    /// busy system, including state save/restore and the cache/TLB
+    /// pollution it causes (section 5.1: 4.45 µs on the PII-300).
+    pub hw_interrupt: SimDuration,
+    /// *Additional* cache pollution charged when a hardware-interrupt
+    /// handler does real work (Table 3 shows rate-based clocking from a
+    /// hardware timer costs 4-8 % beyond the null-handler base; the
+    /// per-interrupt surcharge depends on the victim's locality, so it is
+    /// a parameter of the *workload*, scaled by this machine baseline).
+    pub hw_handler_pollution: SimDuration,
+    /// Cost of the trigger-state check when no event is due: a clock read
+    /// plus one comparison (section 3: "no noticeable impact").
+    pub soft_check: SimDuration,
+    /// Cost of invoking a due soft-timer event handler: a procedure call
+    /// plus residual cache effects (section 5.2 measures "no observable
+    /// difference" in server throughput at one event per 31.5 µs, which
+    /// bounds this below ~0.3 µs).
+    pub soft_dispatch: SimDuration,
+    /// A process context switch (save/restore + locality shift).
+    pub context_switch: SimDuration,
+    /// Kernel entry/exit for a system call (trap in, trap out).
+    pub syscall_entry_exit: SimDuration,
+    /// Network packet receive processing (device interrupt + IP/TCP input;
+    /// section A.3: "can take more than 100 µs" total on the PII-300 —
+    /// this constant is the interrupt-and-driver part).
+    pub nic_interrupt: SimDuration,
+    /// Polling one NIC's status registers and finding nothing.
+    pub nic_poll_empty: SimDuration,
+    /// Per-packet processing cost *savings* factor when packets are
+    /// processed in an aggregated batch (locality gain of polling,
+    /// section 4.2). Expressed as a fraction of per-packet protocol cost
+    /// saved for every packet after the first in a batch. Backed out of
+    /// Table 8's quota sweep (Apache 1.07 -> 1.11 over quotas 1..15
+    /// implies batching saves most of the per-frame protocol cost).
+    pub aggregation_saving: f64,
+    /// Irreducible part of a NIC interrupt (vectoring and dispatch) that
+    /// never benefits from cache residency.
+    pub nic_intr_floor: SimDuration,
+    /// Time constant (µs) of interrupt-handler cache residency: an
+    /// interrupt arriving within ~this much of the previous one finds the
+    /// handler's code and data still cached and pays proportionally less
+    /// pollution. Explains why the fastest server (Flash P-HTTP, Table 8)
+    /// sees the *smallest* per-interrupt cost.
+    pub intr_cache_residency_us: f64,
+}
+
+impl CostModel {
+    /// The paper's main testbed: 300 MHz Pentium II, FreeBSD-2.2.6.
+    pub fn pentium_ii_300() -> Self {
+        CostModel {
+            kind: MachineKind::PentiumII300,
+            hw_interrupt: SimDuration::from_nanos(4_450),
+            hw_handler_pollution: SimDuration::from_nanos(1_200),
+            soft_check: SimDuration::from_nanos(20),
+            soft_dispatch: SimDuration::from_nanos(250),
+            context_switch: SimDuration::from_nanos(6_000),
+            syscall_entry_exit: SimDuration::from_nanos(2_000),
+            nic_interrupt: SimDuration::from_nanos(7_000),
+            nic_poll_empty: SimDuration::from_nanos(500),
+            aggregation_saving: 0.6,
+            nic_intr_floor: SimDuration::from_nanos(1_500),
+            intr_cache_residency_us: 50.0,
+        }
+    }
+
+    /// The Table 8 polling server: 333 MHz Pentium II. Slightly faster
+    /// than the 300 MHz part; interrupt cost is dominated by memory
+    /// behaviour and barely moves.
+    pub fn pentium_ii_333() -> Self {
+        let base = Self::pentium_ii_300();
+        CostModel {
+            kind: MachineKind::PentiumII333,
+            hw_interrupt: SimDuration::from_nanos(4_400),
+            context_switch: SimDuration::from_nanos(5_400),
+            syscall_entry_exit: SimDuration::from_nanos(1_800),
+            nic_interrupt: SimDuration::from_nanos(6_300),
+            ..base
+        }
+    }
+
+    /// 500 MHz Pentium III (Xeon): compute costs scale with clock, the
+    /// interrupt cost does not (section 5.1 measures 4.36 µs — nearly
+    /// unchanged), which is the paper's core scaling observation.
+    pub fn pentium_iii_500() -> Self {
+        CostModel {
+            kind: MachineKind::PentiumIII500,
+            hw_interrupt: SimDuration::from_nanos(4_360),
+            hw_handler_pollution: SimDuration::from_nanos(1_100),
+            soft_check: SimDuration::from_nanos(12),
+            soft_dispatch: SimDuration::from_nanos(150),
+            context_switch: SimDuration::from_nanos(3_600),
+            syscall_entry_exit: SimDuration::from_nanos(1_200),
+            nic_interrupt: SimDuration::from_nanos(5_500),
+            nic_poll_empty: SimDuration::from_nanos(300),
+            aggregation_saving: 0.6,
+            nic_intr_floor: SimDuration::from_nanos(1_500),
+            intr_cache_residency_us: 50.0,
+        }
+    }
+
+    /// 500 MHz Alpha 21164: the paper measures an even higher interrupt
+    /// cost (8.64 µs), showing the overhead is not an x86 artifact.
+    pub fn alpha_21164_500() -> Self {
+        CostModel {
+            kind: MachineKind::Alpha21164_500,
+            hw_interrupt: SimDuration::from_nanos(8_640),
+            hw_handler_pollution: SimDuration::from_nanos(2_000),
+            soft_check: SimDuration::from_nanos(12),
+            soft_dispatch: SimDuration::from_nanos(180),
+            context_switch: SimDuration::from_nanos(4_000),
+            syscall_entry_exit: SimDuration::from_nanos(1_400),
+            nic_interrupt: SimDuration::from_nanos(6_000),
+            nic_poll_empty: SimDuration::from_nanos(350),
+            aggregation_saving: 0.6,
+            nic_intr_floor: SimDuration::from_nanos(1_500),
+            intr_cache_residency_us: 50.0,
+        }
+    }
+
+    /// Rough CPU clock ratio of this machine relative to the PII-300;
+    /// used to scale *compute* (not interrupt) costs of workloads, as in
+    /// the paper's Xeon comparison (Table 1 last row: the trigger interval
+    /// mean scales with clock speed).
+    pub fn compute_speedup(&self) -> f64 {
+        match self.kind {
+            MachineKind::PentiumII300 => 1.0,
+            MachineKind::PentiumII333 => 333.0 / 300.0,
+            MachineKind::PentiumIII500 => 500.0 / 300.0,
+            MachineKind::Alpha21164_500 => 500.0 / 300.0,
+        }
+    }
+
+    /// Scales a PII-300 compute cost to this machine.
+    pub fn scale_compute(&self, base: SimDuration) -> SimDuration {
+        SimDuration::from_nanos((base.as_nanos() as f64 / self.compute_speedup()).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_interrupt_costs() {
+        assert_eq!(CostModel::pentium_ii_300().hw_interrupt.as_nanos(), 4_450);
+        assert_eq!(CostModel::pentium_iii_500().hw_interrupt.as_nanos(), 4_360);
+        assert_eq!(CostModel::alpha_21164_500().hw_interrupt.as_nanos(), 8_640);
+    }
+
+    #[test]
+    fn interrupt_cost_does_not_scale_with_clock() {
+        let p2 = CostModel::pentium_ii_300();
+        let p3 = CostModel::pentium_iii_500();
+        let ratio = p2.hw_interrupt.as_nanos() as f64 / p3.hw_interrupt.as_nanos() as f64;
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "interrupt cost should be ~flat across CPU generations"
+        );
+    }
+
+    #[test]
+    fn compute_costs_do_scale_with_clock() {
+        let p3 = CostModel::pentium_iii_500();
+        let base = SimDuration::from_micros(30);
+        let scaled = p3.scale_compute(base);
+        let ratio = base.as_nanos() as f64 / scaled.as_nanos() as f64;
+        assert!((ratio - 500.0 / 300.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn aggregation_saving_is_a_fraction() {
+        for m in [
+            CostModel::pentium_ii_300(),
+            CostModel::pentium_iii_500(),
+            CostModel::alpha_21164_500(),
+        ] {
+            assert!((0.0..1.0).contains(&m.aggregation_saving));
+        }
+    }
+
+    #[test]
+    fn soft_check_is_orders_cheaper_than_interrupt() {
+        let m = CostModel::pentium_ii_300();
+        assert!(m.hw_interrupt.as_nanos() > 100 * m.soft_check.as_nanos());
+        assert!(m.hw_interrupt.as_nanos() > 10 * m.soft_dispatch.as_nanos());
+    }
+
+    #[test]
+    fn fig3_overhead_at_100khz_is_about_45_percent() {
+        // Sanity: 100k interrupts/s at 4.45 us each consumes ~44.5 % of a
+        // second — the paper's Figure 3 end point.
+        let m = CostModel::pentium_ii_300();
+        let frac = 100_000.0 * m.hw_interrupt.as_nanos() as f64 / 1e9;
+        assert!((frac - 0.445).abs() < 0.001);
+    }
+}

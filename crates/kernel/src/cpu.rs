@@ -1,0 +1,198 @@
+//! CPU time accounting by category.
+//!
+//! The saturation experiments (Figures 2-3, Tables 3 and 8) all reduce to
+//! "who ate the CPU": a saturated server's throughput is the fraction of
+//! CPU left for request processing divided by the per-request cost. The
+//! accountant tracks simulated busy time per category so experiments can
+//! report both throughput and a cost breakdown.
+
+use st_sim::{SimDuration, SimTime};
+
+/// What a slice of CPU time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuCategory {
+    /// User-mode application work.
+    User,
+    /// Kernel work on behalf of the application (syscalls, TCP/IP).
+    Kernel,
+    /// Hardware interrupt handling (entry/exit + handler + pollution).
+    Interrupt,
+    /// Soft-timer trigger checks and event handler dispatch.
+    SoftTimer,
+    /// Process context switches.
+    ContextSwitch,
+    /// NIC polling (status register reads, aggregated packet work is
+    /// charged to `Kernel`).
+    Polling,
+}
+
+const CATEGORIES: usize = 6;
+
+fn cat_index(c: CpuCategory) -> usize {
+    match c {
+        CpuCategory::User => 0,
+        CpuCategory::Kernel => 1,
+        CpuCategory::Interrupt => 2,
+        CpuCategory::SoftTimer => 3,
+        CpuCategory::ContextSwitch => 4,
+        CpuCategory::Polling => 5,
+    }
+}
+
+/// Accumulates busy time per category over a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use st_kernel::cpu::{CpuAccountant, CpuCategory};
+/// use st_sim::{SimDuration, SimTime};
+///
+/// let mut cpu = CpuAccountant::new();
+/// cpu.charge(CpuCategory::User, SimDuration::from_micros(300));
+/// cpu.charge(CpuCategory::Interrupt, SimDuration::from_micros(100));
+/// let u = cpu.utilization(SimTime::from_micros(1000));
+/// assert!((u - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuAccountant {
+    busy: [SimDuration; CATEGORIES],
+    charges: [u64; CATEGORIES],
+}
+
+impl CpuAccountant {
+    /// Creates a zeroed accountant.
+    pub fn new() -> Self {
+        CpuAccountant {
+            busy: [SimDuration::ZERO; CATEGORIES],
+            charges: [0; CATEGORIES],
+        }
+    }
+
+    /// Charges `d` of CPU time to `category`.
+    pub fn charge(&mut self, category: CpuCategory, d: SimDuration) {
+        let i = cat_index(category);
+        self.busy[i] += d;
+        self.charges[i] += 1;
+    }
+
+    /// Total busy time across categories.
+    pub fn total_busy(&self) -> SimDuration {
+        self.busy.iter().fold(SimDuration::ZERO, |acc, &d| acc + d)
+    }
+
+    /// Busy time in one category.
+    pub fn busy(&self, category: CpuCategory) -> SimDuration {
+        self.busy[cat_index(category)]
+    }
+
+    /// Number of charges made to one category.
+    pub fn count(&self, category: CpuCategory) -> u64 {
+        self.charges[cat_index(category)]
+    }
+
+    /// Fraction of `elapsed` wall time spent busy (any category).
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        let e = elapsed.as_nanos();
+        if e == 0 {
+            0.0
+        } else {
+            self.total_busy().as_nanos() as f64 / e as f64
+        }
+    }
+
+    /// Fraction of `elapsed` spent in one category.
+    pub fn fraction(&self, category: CpuCategory, elapsed: SimTime) -> f64 {
+        let e = elapsed.as_nanos();
+        if e == 0 {
+            0.0
+        } else {
+            self.busy(category).as_nanos() as f64 / e as f64
+        }
+    }
+
+    /// Idle time over `elapsed` (saturates at zero if over-committed,
+    /// which indicates a modeling bug the caller should assert on).
+    pub fn idle(&self, elapsed: SimTime) -> SimDuration {
+        SimDuration::from_nanos(
+            elapsed
+                .as_nanos()
+                .saturating_sub(self.total_busy().as_nanos()),
+        )
+    }
+}
+
+impl Default for CpuAccountant {
+    fn default() -> Self {
+        CpuAccountant::new()
+    }
+}
+
+/// Analytic capacity helper: saturated throughput given per-request cost
+/// and a fixed per-second overhead.
+///
+/// `throughput = (1 - overhead_fraction) / per_request`, in requests per
+/// second. This closed form is used to cross-check the event-driven
+/// simulations (they must agree within a few percent) and by quick
+/// what-if sweeps.
+pub fn saturated_throughput(per_request: SimDuration, overhead_fraction: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&overhead_fraction),
+        "overhead fraction out of range"
+    );
+    let per_req_s = per_request.as_nanos() as f64 / 1e9;
+    if per_req_s == 0.0 {
+        return f64::INFINITY;
+    }
+    (1.0 - overhead_fraction) / per_req_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_category() {
+        let mut cpu = CpuAccountant::new();
+        cpu.charge(CpuCategory::User, SimDuration::from_micros(10));
+        cpu.charge(CpuCategory::User, SimDuration::from_micros(5));
+        cpu.charge(CpuCategory::Interrupt, SimDuration::from_micros(3));
+        assert_eq!(cpu.busy(CpuCategory::User), SimDuration::from_micros(15));
+        assert_eq!(cpu.count(CpuCategory::User), 2);
+        assert_eq!(cpu.total_busy(), SimDuration::from_micros(18));
+    }
+
+    #[test]
+    fn utilization_and_idle() {
+        let mut cpu = CpuAccountant::new();
+        cpu.charge(CpuCategory::Kernel, SimDuration::from_micros(250));
+        let t = SimTime::from_micros(1000);
+        assert!((cpu.utilization(t) - 0.25).abs() < 1e-12);
+        assert_eq!(cpu.idle(t), SimDuration::from_micros(750));
+        assert!((cpu.fraction(CpuCategory::Kernel, t) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_saturates_on_overcommit() {
+        let mut cpu = CpuAccountant::new();
+        cpu.charge(CpuCategory::User, SimDuration::from_micros(100));
+        assert_eq!(cpu.idle(SimTime::from_micros(50)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn analytic_capacity_matches_fig2_shape() {
+        // Base Apache ~855 conn/s implies ~1.17 ms of CPU per request;
+        // a 100 kHz null-handler timer eats 44.5 %, leaving ~475 conn/s —
+        // the right end of Figure 2.
+        let per_req = SimDuration::from_nanos(1_170_000);
+        let base = saturated_throughput(per_req, 0.0);
+        let loaded = saturated_throughput(per_req, 0.445);
+        assert!((base - 855.0).abs() < 5.0, "base {base}");
+        assert!((loaded - 474.0).abs() < 5.0, "loaded {loaded}");
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead fraction")]
+    fn capacity_rejects_bad_fraction() {
+        let _ = saturated_throughput(SimDuration::from_micros(1), 1.5);
+    }
+}

@@ -1,0 +1,258 @@
+//! Interrupt controller: lines, masking, pending latch, accounting.
+
+use st_sim::SimTime;
+
+/// An interrupt line. Lower numeric priority value = served first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IrqLine {
+    /// The periodic hardware timer (highest priority here, as on the PC).
+    Timer,
+    /// A network interface (the paper's receive/transmit completions).
+    Nic(u8),
+    /// Disk controller.
+    Disk,
+}
+
+impl IrqLine {
+    fn priority(self) -> u8 {
+        match self {
+            IrqLine::Timer => 0,
+            IrqLine::Nic(n) => 1 + n,
+            IrqLine::Disk => 16,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            IrqLine::Timer => 0,
+            IrqLine::Nic(n) => 1 + (n as usize).min(7),
+            IrqLine::Disk => 9,
+        }
+    }
+}
+
+const LINES: usize = 10;
+
+/// A single-CPU interrupt controller with a global enable flag (the
+/// `cli`/`sti` pair) and per-line enable bits plus single-slot pending
+/// latches.
+///
+/// Machine simulations raise lines as device events happen and call
+/// [`InterruptController::take`] whenever the CPU is able to accept an
+/// interrupt; delivery order follows line priority.
+///
+/// # Examples
+///
+/// ```
+/// use st_kernel::interrupts::{InterruptController, IrqLine};
+/// use st_sim::SimTime;
+///
+/// let mut ic = InterruptController::new();
+/// ic.raise(IrqLine::Nic(0), SimTime::ZERO);
+/// assert_eq!(ic.take(), Some(IrqLine::Nic(0)));
+/// assert_eq!(ic.take(), None);
+/// ```
+#[derive(Debug)]
+pub struct InterruptController {
+    enabled: bool,
+    line_enabled: [bool; LINES],
+    pending: [bool; LINES],
+    pending_since: [Option<SimTime>; LINES],
+    raised: [u64; LINES],
+    delivered: [u64; LINES],
+    coalesced: [u64; LINES],
+}
+
+impl InterruptController {
+    /// Creates a controller with interrupts enabled and all lines
+    /// unmasked.
+    pub fn new() -> Self {
+        InterruptController {
+            enabled: true,
+            line_enabled: [true; LINES],
+            pending: [false; LINES],
+            pending_since: [None; LINES],
+            raised: [0; LINES],
+            delivered: [0; LINES],
+            coalesced: [0; LINES],
+        }
+    }
+
+    /// Globally disables interrupt delivery (`cli`). Raises still latch.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Globally enables interrupt delivery (`sti`).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether delivery is globally enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Masks one line (e.g. NIC interrupts while polling is active).
+    pub fn mask_line(&mut self, line: IrqLine) {
+        self.line_enabled[line.index()] = false;
+    }
+
+    /// Unmasks one line.
+    pub fn unmask_line(&mut self, line: IrqLine) {
+        self.line_enabled[line.index()] = true;
+    }
+
+    /// Whether a line is unmasked.
+    pub fn line_enabled(&self, line: IrqLine) -> bool {
+        self.line_enabled[line.index()]
+    }
+
+    /// A device asserts its line at `now`. If the line is already pending
+    /// the assertion coalesces into the existing latch (one delivery will
+    /// cover both, as on real edge-latched controllers).
+    pub fn raise(&mut self, line: IrqLine, now: SimTime) {
+        let i = line.index();
+        self.raised[i] += 1;
+        if self.pending[i] {
+            self.coalesced[i] += 1;
+        } else {
+            self.pending[i] = true;
+            self.pending_since[i] = Some(now);
+        }
+    }
+
+    /// Whether any deliverable interrupt is pending.
+    pub fn has_deliverable(&self) -> bool {
+        self.enabled
+            && self
+                .pending
+                .iter()
+                .zip(self.line_enabled.iter())
+                .any(|(&p, &e)| p && e)
+    }
+
+    /// Takes the highest-priority deliverable interrupt, clearing its
+    /// latch. `None` when nothing is deliverable (masked or idle).
+    pub fn take(&mut self) -> Option<IrqLine> {
+        if !self.enabled {
+            return None;
+        }
+        let candidates = [
+            IrqLine::Timer,
+            IrqLine::Nic(0),
+            IrqLine::Nic(1),
+            IrqLine::Nic(2),
+            IrqLine::Nic(3),
+            IrqLine::Nic(4),
+            IrqLine::Nic(5),
+            IrqLine::Nic(6),
+            IrqLine::Nic(7),
+            IrqLine::Disk,
+        ];
+        let mut best: Option<IrqLine> = None;
+        for line in candidates {
+            let i = line.index();
+            if self.pending[i] && self.line_enabled[i] {
+                match best {
+                    Some(b) if b.priority() <= line.priority() => {}
+                    _ => best = Some(line),
+                }
+            }
+        }
+        if let Some(line) = best {
+            let i = line.index();
+            self.pending[i] = false;
+            self.pending_since[i] = None;
+            self.delivered[i] += 1;
+        }
+        best
+    }
+
+    /// When the given line became pending, if it is.
+    pub fn pending_since(&self, line: IrqLine) -> Option<SimTime> {
+        self.pending_since[line.index()]
+    }
+
+    /// Raise count for a line.
+    pub fn raised(&self, line: IrqLine) -> u64 {
+        self.raised[line.index()]
+    }
+
+    /// Delivery count for a line.
+    pub fn delivered(&self, line: IrqLine) -> u64 {
+        self.delivered[line.index()]
+    }
+
+    /// Assertions that coalesced into an already-pending latch.
+    pub fn coalesced(&self, line: IrqLine) -> u64 {
+        self.coalesced[line.index()]
+    }
+}
+
+impl Default for InterruptController {
+    fn default() -> Self {
+        InterruptController::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order() {
+        let mut ic = InterruptController::new();
+        ic.raise(IrqLine::Disk, SimTime::ZERO);
+        ic.raise(IrqLine::Nic(1), SimTime::ZERO);
+        ic.raise(IrqLine::Timer, SimTime::ZERO);
+        assert_eq!(ic.take(), Some(IrqLine::Timer));
+        assert_eq!(ic.take(), Some(IrqLine::Nic(1)));
+        assert_eq!(ic.take(), Some(IrqLine::Disk));
+        assert_eq!(ic.take(), None);
+    }
+
+    #[test]
+    fn global_disable_latches_but_defers() {
+        let mut ic = InterruptController::new();
+        ic.disable();
+        ic.raise(IrqLine::Nic(0), SimTime::from_micros(5));
+        assert!(!ic.has_deliverable());
+        assert_eq!(ic.take(), None);
+        ic.enable();
+        assert!(ic.has_deliverable());
+        assert_eq!(
+            ic.pending_since(IrqLine::Nic(0)),
+            Some(SimTime::from_micros(5))
+        );
+        assert_eq!(ic.take(), Some(IrqLine::Nic(0)));
+    }
+
+    #[test]
+    fn line_mask_defers_only_that_line() {
+        let mut ic = InterruptController::new();
+        ic.mask_line(IrqLine::Nic(0));
+        assert!(!ic.line_enabled(IrqLine::Nic(0)));
+        ic.raise(IrqLine::Nic(0), SimTime::ZERO);
+        ic.raise(IrqLine::Disk, SimTime::ZERO);
+        assert_eq!(ic.take(), Some(IrqLine::Disk));
+        assert_eq!(ic.take(), None);
+        ic.unmask_line(IrqLine::Nic(0));
+        assert_eq!(ic.take(), Some(IrqLine::Nic(0)));
+    }
+
+    #[test]
+    fn coalescing_counts() {
+        let mut ic = InterruptController::new();
+        ic.disable();
+        for _ in 0..5 {
+            ic.raise(IrqLine::Nic(2), SimTime::ZERO);
+        }
+        ic.enable();
+        assert_eq!(ic.take(), Some(IrqLine::Nic(2)));
+        assert_eq!(ic.take(), None, "five raises, one delivery");
+        assert_eq!(ic.raised(IrqLine::Nic(2)), 5);
+        assert_eq!(ic.delivered(IrqLine::Nic(2)), 1);
+        assert_eq!(ic.coalesced(IrqLine::Nic(2)), 4);
+    }
+}

@@ -1,0 +1,313 @@
+//! Trigger-state sources and the interval recorder.
+//!
+//! Section 3 lists the trigger states (syscall return, exception return,
+//! interrupt return, idle loop) plus the strategic kernel loops added in
+//! section 5.2 (the TCP/IP output loop and the TCP timer loop). Section
+//! 5.5 accounts trigger states by source (Table 2) and Figure 6 shows the
+//! interval CDF with each source removed — both need per-source tagging,
+//! which [`TriggerRecorder`] provides.
+
+use st_sim::{SimDuration, SimTime};
+use st_stats::{Histogram, Summary};
+
+/// Where a trigger state came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TriggerSource {
+    /// Return path of a system call.
+    Syscall,
+    /// Return path of an exception/trap (page fault, arithmetic, ...).
+    Trap,
+    /// The IP output path — one trigger per transmitted IP packet
+    /// (the "ip-output" source of Table 2).
+    IpOutput,
+    /// Return path of a network interface interrupt ("ip-intr").
+    IpIntr,
+    /// Other network-subsystem loops: TCP timer processing etc.
+    /// ("tcpip-others").
+    TcpipOther,
+    /// An iteration of the idle loop.
+    Idle,
+    /// Return path of a non-network device interrupt (disk, backup timer).
+    OtherIntr,
+}
+
+impl TriggerSource {
+    /// All sources, in Table 2's presentation order (idle and other
+    /// interrupts last; the paper folds them into the five shown).
+    pub const ALL: [TriggerSource; 7] = [
+        TriggerSource::Syscall,
+        TriggerSource::IpOutput,
+        TriggerSource::IpIntr,
+        TriggerSource::TcpipOther,
+        TriggerSource::Trap,
+        TriggerSource::Idle,
+        TriggerSource::OtherIntr,
+    ];
+
+    /// Table-2-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TriggerSource::Syscall => "syscalls",
+            TriggerSource::Trap => "traps",
+            TriggerSource::IpOutput => "ip-output",
+            TriggerSource::IpIntr => "ip-intr",
+            TriggerSource::TcpipOther => "tcpip-others",
+            TriggerSource::Idle => "idle",
+            TriggerSource::OtherIntr => "other-intr",
+        }
+    }
+
+    /// Index into dense per-source arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TriggerSource::Syscall => 0,
+            TriggerSource::IpOutput => 1,
+            TriggerSource::IpIntr => 2,
+            TriggerSource::TcpipOther => 3,
+            TriggerSource::Trap => 4,
+            TriggerSource::Idle => 5,
+            TriggerSource::OtherIntr => 6,
+        }
+    }
+}
+
+/// Records trigger-state times and inter-trigger intervals, per source.
+///
+/// Intervals are measured between *successive trigger states of any
+/// source* (that is what bounds soft-timer event delay); each interval is
+/// attributed to the source of the trigger that *ended* it, matching the
+/// paper's per-source accounting.
+///
+/// Optionally keeps the raw tagged sequence (time, source) so Figure 6's
+/// "remove one source" analysis can be replayed offline.
+#[derive(Debug)]
+pub struct TriggerRecorder {
+    last: Option<SimTime>,
+    /// Interval stats over all sources, in microseconds.
+    pub all: Summary,
+    /// 1 µs-bucket histogram to 1 ms (the paper's CDF range and the max
+    /// the backup interrupt allows).
+    pub hist: Histogram,
+    /// Per-source trigger counts.
+    counts: [u64; 7],
+    /// Per-source interval summaries.
+    per_source: [Summary; 7],
+    /// Raw tagged sequence, if enabled.
+    raw: Option<Vec<(SimTime, TriggerSource)>>,
+    /// Largest interval seen, in µs.
+    max_us: f64,
+}
+
+impl TriggerRecorder {
+    /// Creates a recorder; `keep_raw` retains the full tagged sequence
+    /// (needed for Figure 5's windowed medians and Figure 6's source
+    /// knock-out analysis).
+    pub fn new(keep_raw: bool) -> Self {
+        TriggerRecorder {
+            last: None,
+            all: Summary::new(),
+            hist: Histogram::new(1.0, 1_001),
+            counts: [0; 7],
+            per_source: Default::default(),
+            raw: if keep_raw { Some(Vec::new()) } else { None },
+            max_us: 0.0,
+        }
+    }
+
+    /// Records a trigger state at `now` from `source`.
+    pub fn record(&mut self, now: SimTime, source: TriggerSource) {
+        if let Some(last) = self.last {
+            let interval = now.since(last).as_micros_f64();
+            self.all.record(interval);
+            self.hist.record(interval);
+            self.per_source[source.index()].record(interval);
+            if interval > self.max_us {
+                self.max_us = interval;
+            }
+        }
+        self.counts[source.index()] += 1;
+        self.last = Some(now);
+        if let Some(raw) = &mut self.raw {
+            raw.push((now, source));
+        }
+    }
+
+    /// Number of triggers recorded for `source`.
+    pub fn count(&self, source: TriggerSource) -> u64 {
+        self.counts[source.index()]
+    }
+
+    /// Total triggers recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of all triggers contributed by `source` (Table 2).
+    pub fn fraction(&self, source: TriggerSource) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[source.index()] as f64 / total as f64
+        }
+    }
+
+    /// Interval summary for intervals ended by `source`.
+    pub fn source_summary(&self, source: TriggerSource) -> &Summary {
+        &self.per_source[source.index()]
+    }
+
+    /// Largest inter-trigger interval observed, µs.
+    pub fn max_interval_us(&self) -> f64 {
+        self.max_us
+    }
+
+    /// Median interval in µs (1 µs-bucket interpolation).
+    pub fn median_us(&self) -> f64 {
+        self.hist.median().unwrap_or(0.0)
+    }
+
+    /// Fraction of intervals above `threshold` µs (Table 1's `> 100 µs`
+    /// and `> 150 µs` columns).
+    pub fn fraction_above_us(&self, threshold: f64) -> f64 {
+        self.hist.fraction_above(threshold)
+    }
+
+    /// The raw tagged sequence, when enabled.
+    pub fn raw(&self) -> Option<&[(SimTime, TriggerSource)]> {
+        self.raw.as_deref()
+    }
+
+    /// Replays the raw sequence with `excluded` sources removed, returning
+    /// the interval histogram of the remaining trigger stream (Figure 6).
+    ///
+    /// Returns `None` when the recorder was built without `keep_raw`.
+    pub fn without_sources(&self, excluded: &[TriggerSource]) -> Option<Histogram> {
+        let raw = self.raw.as_ref()?;
+        let mut hist = Histogram::new(1.0, 1_001);
+        let mut last: Option<SimTime> = None;
+        for &(t, src) in raw {
+            if excluded.contains(&src) {
+                continue;
+            }
+            if let Some(prev) = last {
+                hist.record(t.since(prev).as_micros_f64());
+            }
+            last = Some(t);
+        }
+        Some(hist)
+    }
+
+    /// Per-window medians of the trigger interval over the raw sequence
+    /// (Figure 5). `window` is the aggregation interval (1 ms / 10 ms in
+    /// the paper). Returns `(window_start_seconds, median_us)` pairs, or
+    /// `None` without raw data.
+    pub fn windowed_medians(&self, window: SimDuration) -> Option<Vec<(f64, f64)>> {
+        let raw = self.raw.as_ref()?;
+        let mut wm = st_stats::WindowedMedian::new(window.as_secs_f64());
+        let mut last: Option<SimTime> = None;
+        for &(t, _) in raw {
+            if let Some(prev) = last {
+                wm.record(t.as_secs_f64(), t.since(prev).as_micros_f64());
+            }
+            last = Some(t);
+        }
+        Some(wm.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn intervals_attributed_to_ending_source() {
+        let mut r = TriggerRecorder::new(false);
+        r.record(us(0), TriggerSource::Syscall);
+        r.record(us(10), TriggerSource::IpOutput);
+        r.record(us(40), TriggerSource::Syscall);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.count(TriggerSource::Syscall), 2);
+        assert_eq!(r.all.count(), 2, "first trigger starts no interval");
+        assert_eq!(r.source_summary(TriggerSource::IpOutput).mean(), 10.0);
+        assert_eq!(r.source_summary(TriggerSource::Syscall).mean(), 30.0);
+        assert_eq!(r.max_interval_us(), 30.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut r = TriggerRecorder::new(false);
+        for i in 0..100u64 {
+            let src = if i % 2 == 0 {
+                TriggerSource::Syscall
+            } else {
+                TriggerSource::Trap
+            };
+            r.record(us(i), src);
+        }
+        let total: f64 = TriggerSource::ALL.iter().map(|&s| r.fraction(s)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((r.fraction(TriggerSource::Syscall) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knockout_removes_source() {
+        let mut r = TriggerRecorder::new(true);
+        // Syscalls every 10 µs; traps halfway between.
+        for i in 0..50u64 {
+            r.record(us(i * 10), TriggerSource::Syscall);
+            r.record(us(i * 10 + 5), TriggerSource::Trap);
+        }
+        let with_all = r.hist.median().unwrap();
+        assert!(with_all <= 6.0, "median with traps ~5 µs, got {with_all}");
+        let without = r.without_sources(&[TriggerSource::Trap]).unwrap();
+        let median = without.median().unwrap();
+        assert!(
+            (9.0..=11.0).contains(&median),
+            "without traps the stream is 10 µs-periodic, got {median}"
+        );
+    }
+
+    #[test]
+    fn knockout_requires_raw() {
+        let r = TriggerRecorder::new(false);
+        assert!(r.without_sources(&[TriggerSource::Trap]).is_none());
+        assert!(r.windowed_medians(SimDuration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn windowed_medians_split_phases() {
+        let mut r = TriggerRecorder::new(true);
+        // Phase 1 (first second): 10 µs intervals. Phase 2: 50 µs.
+        let mut t = 0u64;
+        while t < 1_000_000 {
+            r.record(SimTime::from_micros(t), TriggerSource::Syscall);
+            t += 10;
+        }
+        while t < 2_000_000 {
+            r.record(SimTime::from_micros(t), TriggerSource::Syscall);
+            t += 50;
+        }
+        let w = r.windowed_medians(SimDuration::from_millis(100)).unwrap();
+        let first = w.iter().find(|&&(s, _)| s < 0.9).unwrap().1;
+        let late = w.iter().rev().find(|&&(s, _)| s > 1.1).unwrap().1;
+        assert!((first - 10.0).abs() < 1.0, "phase 1 median {first}");
+        assert!((late - 50.0).abs() < 1.0, "phase 2 median {late}");
+    }
+
+    #[test]
+    fn fraction_above_thresholds() {
+        let mut r = TriggerRecorder::new(false);
+        r.record(us(0), TriggerSource::Syscall);
+        r.record(us(50), TriggerSource::Syscall); // 50
+        r.record(us(200), TriggerSource::Syscall); // 150
+        r.record(us(500), TriggerSource::Syscall); // 300
+        r.record(us(520), TriggerSource::Syscall); // 20
+        assert!((r.fraction_above_us(100.0) - 0.5).abs() < 1e-12);
+        assert!((r.fraction_above_us(150.0) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! Packet dispatch policies.
+//!
+//! Four ways to learn about received packets, matching section 4.2's
+//! design-space discussion:
+//!
+//! - **Interrupt-driven** — the conventional kernel: one interrupt per
+//!   frame (modulo latch coalescing).
+//! - **Pure polling** — fixed-period polls from the scheduler (Traw &
+//!   Smith): no interrupts, but latency is the poll period.
+//! - **Hybrid** (Mogul & Ramakrishnan) — interrupts normally; while
+//!   processing, poll for more packets and only re-enable interrupts when
+//!   the ring is empty. Avoids receive livelock under overload.
+//! - **Soft-timer polling** (the paper) — NIC interrupts stay disabled
+//!   while the CPU is busy; a soft-timer event polls at an adaptive
+//!   interval targeting an aggregation quota; interrupts are re-enabled
+//!   whenever the CPU idles so latency never suffers on an unloaded
+//!   machine.
+
+use st_core::poller::{PollController, PollControllerConfig};
+
+/// Which dispatch policy a machine uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriverStrategy {
+    /// Conventional per-packet interrupts.
+    InterruptDriven,
+    /// Fixed-period polling, period in measurement-clock ticks (µs).
+    PurePolling {
+        /// Poll period in ticks.
+        period: u64,
+    },
+    /// Mogul-Ramakrishnan interrupt/poll hybrid.
+    Hybrid,
+    /// Soft-timer polling with an aggregation quota (packets per poll).
+    SoftTimerPolling {
+        /// Target packets found per poll.
+        quota: f64,
+    },
+    /// Modern-NIC hardware interrupt moderation (e.g. Intel ITR): the
+    /// first frame arms a timer in the NIC; the interrupt fires after
+    /// `delay` ticks, covering everything that arrived meanwhile. An
+    /// ablation the paper predates: it bounds interrupt rate like soft
+    /// polling, but pays the moderation delay even on an idle machine.
+    CoalescedInterrupts {
+        /// Moderation delay in ticks (µs).
+        delay: u64,
+    },
+}
+
+/// What the kernel should do after processing a batch of packets
+/// (hybrid policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridAction {
+    /// More frames are pending: poll again without enabling interrupts.
+    PollAgain,
+    /// Ring empty: re-enable interrupts and return.
+    EnableInterrupts,
+}
+
+/// Per-NIC driver state machine.
+#[derive(Debug)]
+pub struct DriverPolicy {
+    strategy: DriverStrategy,
+    controller: Option<PollController>,
+    /// Soft-timer polling: whether the CPU is idle (interrupts enabled).
+    idle_mode: bool,
+}
+
+impl DriverPolicy {
+    /// Creates the policy state for a strategy.
+    pub fn new(strategy: DriverStrategy) -> Self {
+        let controller = match strategy {
+            DriverStrategy::SoftTimerPolling { quota } => Some(PollController::new(
+                // Large quotas at moderate packet rates need intervals
+                // past the 1 ms backup period; that only costs scheduling
+                // precision (the backup sweep still bounds delay), so the
+                // controller may range up to 10 ms.
+                PollControllerConfig {
+                    max_interval: 10_000,
+                    ..PollControllerConfig::with_quota(quota)
+                },
+            )),
+            _ => None,
+        };
+        DriverPolicy {
+            strategy,
+            controller,
+            idle_mode: false,
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> DriverStrategy {
+        self.strategy
+    }
+
+    /// Whether NIC receive interrupts should be enabled at boot.
+    pub fn rx_interrupts_at_boot(&self) -> bool {
+        matches!(
+            self.strategy,
+            DriverStrategy::InterruptDriven
+                | DriverStrategy::Hybrid
+                | DriverStrategy::CoalescedInterrupts { .. }
+        )
+    }
+
+    /// Whether this policy schedules periodic polls (pure or soft-timer).
+    pub fn polls(&self) -> bool {
+        matches!(
+            self.strategy,
+            DriverStrategy::PurePolling { .. } | DriverStrategy::SoftTimerPolling { .. }
+        ) && !self.idle_mode
+    }
+
+    /// Records a completed poll that found `found` packets and returns the
+    /// interval (ticks) until the next poll, or `None` when the policy
+    /// does not poll (interrupt-driven / hybrid / idle mode).
+    pub fn next_poll_interval(&mut self, found: u64) -> Option<u64> {
+        if self.idle_mode {
+            return None;
+        }
+        match self.strategy {
+            DriverStrategy::PurePolling { period } => Some(period),
+            DriverStrategy::SoftTimerPolling { .. } => {
+                let c = self
+                    .controller
+                    .as_mut()
+                    .expect("soft polling always has a controller");
+                Some(c.on_poll(found))
+            }
+            _ => None,
+        }
+    }
+
+    /// Hybrid policy: decide what to do after a processing batch.
+    pub fn hybrid_after_batch(&self, rx_pending: usize) -> HybridAction {
+        debug_assert!(matches!(self.strategy, DriverStrategy::Hybrid));
+        if rx_pending > 0 {
+            HybridAction::PollAgain
+        } else {
+            HybridAction::EnableInterrupts
+        }
+    }
+
+    /// Soft-timer polling: the CPU entered the idle loop. Polling stops
+    /// and NIC interrupts should be enabled — "soft-timer based network
+    /// polling is turned off (and interrupts are enabled instead)
+    /// whenever a CPU enters the idle loop" (section 5.9). Returns whether
+    /// the caller should enable NIC interrupts.
+    pub fn on_idle_enter(&mut self) -> bool {
+        if matches!(self.strategy, DriverStrategy::SoftTimerPolling { .. }) {
+            self.idle_mode = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Soft-timer polling: work arrived, the CPU left idle. Returns
+    /// whether the caller should disable NIC interrupts and resume
+    /// scheduling polls.
+    pub fn on_idle_exit(&mut self) -> bool {
+        if matches!(self.strategy, DriverStrategy::SoftTimerPolling { .. }) && self.idle_mode {
+            self.idle_mode = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the policy is currently in idle mode.
+    pub fn idle_mode(&self) -> bool {
+        self.idle_mode
+    }
+
+    /// Average packets found per poll so far (soft-timer polling).
+    pub fn average_found(&self) -> Option<f64> {
+        self.controller.as_ref().map(|c| c.average_found())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_interrupt_state_by_strategy() {
+        assert!(DriverPolicy::new(DriverStrategy::InterruptDriven).rx_interrupts_at_boot());
+        assert!(DriverPolicy::new(DriverStrategy::Hybrid).rx_interrupts_at_boot());
+        assert!(
+            DriverPolicy::new(DriverStrategy::CoalescedInterrupts { delay: 100 })
+                .rx_interrupts_at_boot()
+        );
+        assert!(
+            !DriverPolicy::new(DriverStrategy::PurePolling { period: 100 }).rx_interrupts_at_boot()
+        );
+        assert!(
+            !DriverPolicy::new(DriverStrategy::SoftTimerPolling { quota: 1.0 })
+                .rx_interrupts_at_boot()
+        );
+    }
+
+    #[test]
+    fn pure_polling_fixed_period() {
+        let mut p = DriverPolicy::new(DriverStrategy::PurePolling { period: 100 });
+        assert_eq!(p.next_poll_interval(0), Some(100));
+        assert_eq!(p.next_poll_interval(50), Some(100));
+        assert!(p.polls());
+    }
+
+    #[test]
+    fn soft_polling_adapts() {
+        let mut p = DriverPolicy::new(DriverStrategy::SoftTimerPolling { quota: 1.0 });
+        let first = p.next_poll_interval(10).unwrap();
+        let mut last = first;
+        for _ in 0..20 {
+            last = p.next_poll_interval(10).unwrap();
+        }
+        assert!(last < first, "interval shrinks when over quota");
+        assert!(p.average_found().unwrap() > 9.0);
+    }
+
+    #[test]
+    fn interrupt_driven_never_polls() {
+        let mut p = DriverPolicy::new(DriverStrategy::InterruptDriven);
+        assert!(!p.polls());
+        assert_eq!(p.next_poll_interval(0), None);
+    }
+
+    #[test]
+    fn hybrid_polls_until_empty() {
+        let p = DriverPolicy::new(DriverStrategy::Hybrid);
+        assert_eq!(p.hybrid_after_batch(3), HybridAction::PollAgain);
+        assert_eq!(p.hybrid_after_batch(0), HybridAction::EnableInterrupts);
+    }
+
+    #[test]
+    fn soft_polling_idle_transitions() {
+        let mut p = DriverPolicy::new(DriverStrategy::SoftTimerPolling { quota: 1.0 });
+        assert!(p.polls());
+        assert!(p.on_idle_enter(), "enable interrupts on idle");
+        assert!(p.idle_mode());
+        assert!(!p.polls());
+        assert_eq!(p.next_poll_interval(0), None, "no polls while idle");
+        assert!(p.on_idle_exit(), "disable interrupts again");
+        assert!(p.polls());
+        assert!(!p.on_idle_exit(), "double exit is a no-op");
+    }
+
+    #[test]
+    fn idle_transitions_noop_for_other_strategies() {
+        let mut p = DriverPolicy::new(DriverStrategy::InterruptDriven);
+        assert!(!p.on_idle_enter());
+        assert!(!p.on_idle_exit());
+    }
+}

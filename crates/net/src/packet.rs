@@ -1,0 +1,181 @@
+//! Wire frames and the shared TCP header.
+
+/// Identifies one TCP connection within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// TCP header flags (only the ones the simulation distinguishes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpFlags {
+    /// Connection-open.
+    pub syn: bool,
+    /// Acknowledgment field is valid.
+    pub ack: bool,
+    /// Connection-close.
+    pub fin: bool,
+}
+
+impl TcpFlags {
+    /// A plain data/ACK segment.
+    pub const NONE: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+    };
+    /// A pure ACK.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+    };
+    /// SYN.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+    };
+    /// SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+    };
+    /// FIN(+ACK).
+    pub const FIN: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+    };
+}
+
+/// The simulated TCP header: sequence space in *bytes*, like the real one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// First payload byte's sequence number.
+    pub seq: u64,
+    /// Cumulative acknowledgment (next byte expected), valid when
+    /// `flags.ack`.
+    pub ack: u64,
+    /// Receiver's advertised window in bytes.
+    pub window: u64,
+    /// Flags.
+    pub flags: TcpFlags,
+}
+
+/// One frame on the wire.
+///
+/// `wire_bytes` is what serialization is charged for (payload + all
+/// headers); `payload_bytes` is what the application sees. A 1448-byte
+/// TCP payload (Tables 6-7) rides in a 1500-byte frame with 52 bytes of
+/// TCP/IP header and options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Globally unique frame id (assigned by the creator).
+    pub id: u64,
+    /// Connection this frame belongs to.
+    pub conn: ConnId,
+    /// Total bytes on the wire.
+    pub wire_bytes: u32,
+    /// Application payload bytes carried.
+    pub payload_bytes: u32,
+    /// TCP header.
+    pub tcp: TcpHeader,
+}
+
+/// Ethernet + IP + TCP header overhead used for sizing frames, bytes.
+pub const HEADER_BYTES: u32 = 52;
+/// Standard Ethernet MTU payload: 1500 bytes on the wire per full frame.
+pub const FRAME_BYTES: u32 = 1500;
+/// Payload of a full-sized segment, as in Tables 6-7 (1448-byte packets).
+pub const MSS: u32 = FRAME_BYTES - HEADER_BYTES;
+
+impl Packet {
+    /// Builds a data segment carrying `payload` bytes starting at `seq`.
+    pub fn data(id: u64, conn: ConnId, seq: u64, payload: u32, ack: u64, window: u64) -> Packet {
+        Packet {
+            id,
+            conn,
+            wire_bytes: payload + HEADER_BYTES,
+            payload_bytes: payload,
+            tcp: TcpHeader {
+                seq,
+                ack,
+                window,
+                flags: TcpFlags::ACK,
+            },
+        }
+    }
+
+    /// Builds a pure ACK.
+    pub fn ack(id: u64, conn: ConnId, ack: u64, window: u64) -> Packet {
+        Packet {
+            id,
+            conn,
+            wire_bytes: HEADER_BYTES,
+            payload_bytes: 0,
+            tcp: TcpHeader {
+                seq: 0,
+                ack,
+                window,
+                flags: TcpFlags::ACK,
+            },
+        }
+    }
+
+    /// Builds a control segment (SYN / SYN-ACK / FIN).
+    pub fn control(id: u64, conn: ConnId, flags: TcpFlags, seq: u64, ack: u64) -> Packet {
+        Packet {
+            id,
+            conn,
+            wire_bytes: HEADER_BYTES,
+            payload_bytes: 0,
+            tcp: TcpHeader {
+                seq,
+                ack,
+                window: u64::MAX,
+                flags,
+            },
+        }
+    }
+
+    /// Whether this is a pure ACK (no payload, no SYN/FIN).
+    pub fn is_pure_ack(&self) -> bool {
+        self.payload_bytes == 0 && self.tcp.flags == TcpFlags::ACK
+    }
+
+    /// End of this segment's payload in sequence space.
+    pub fn seq_end(&self) -> u64 {
+        self.tcp.seq + self.payload_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mss_matches_paper_transfer_unit() {
+        assert_eq!(MSS, 1448);
+        let p = Packet::data(1, ConnId(1), 0, MSS, 0, 65_535);
+        assert_eq!(p.wire_bytes, 1500);
+        assert_eq!(p.seq_end(), 1448);
+    }
+
+    #[test]
+    fn pure_ack_detection() {
+        let a = Packet::ack(2, ConnId(1), 1000, 65_535);
+        assert!(a.is_pure_ack());
+        assert_eq!(a.wire_bytes, HEADER_BYTES);
+        let d = Packet::data(3, ConnId(1), 0, 100, 0, 65_535);
+        assert!(!d.is_pure_ack());
+        let s = Packet::control(4, ConnId(1), TcpFlags::SYN, 0, 0);
+        assert!(!s.is_pure_ack());
+    }
+
+    #[test]
+    fn control_segments_have_flags() {
+        let s = Packet::control(1, ConnId(9), TcpFlags::SYN_ACK, 5, 6);
+        assert!(s.tcp.flags.syn && s.tcp.flags.ack && !s.tcp.flags.fin);
+        assert_eq!((s.tcp.seq, s.tcp.ack), (5, 6));
+    }
+}

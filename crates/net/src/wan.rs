@@ -1,0 +1,191 @@
+//! The WAN emulator router of section 5.8.
+//!
+//! "We model this connection in the laboratory by transmitting the data
+//! ... via an intermediate Pentium II machine that acts as a 'WAN
+//! emulator'. This machine runs a modified FreeBSD kernel configured as
+//! an IP router, except that it delays each forwarded packet so as to
+//! emulate a WAN with a given delay and bottleneck bandwidth."
+//!
+//! The emulator is a store-and-forward queue: each direction serializes
+//! packets at the bottleneck bandwidth and then adds the fixed one-way
+//! delay. With the paper's parameters (50 ms one-way, 50 or 100 Mbps
+//! bottleneck) a client-server connection sees a 100 ms RTT and a 5 or
+//! 10 Mbit pipe.
+
+use st_sim::{Bandwidth, SimDuration, SimTime};
+use st_stats::Summary;
+
+/// One direction of the emulated WAN path.
+#[derive(Debug, Clone)]
+struct WanDirection {
+    busy_until: SimTime,
+    forwarded: u64,
+    bytes: u64,
+    queue_delay: Summary,
+    max_backlog: SimDuration,
+}
+
+impl WanDirection {
+    fn new() -> Self {
+        WanDirection {
+            busy_until: SimTime::ZERO,
+            forwarded: 0,
+            bytes: 0,
+            queue_delay: Summary::new(),
+            max_backlog: SimDuration::ZERO,
+        }
+    }
+
+    fn forward(&mut self, bw: Bandwidth, delay: SimDuration, now: SimTime, bytes: u32) -> SimTime {
+        let start = now.max(self.busy_until);
+        let queued = start.since(now);
+        self.queue_delay.record(queued.as_micros_f64());
+        let backlog = self.busy_until.since(now);
+        if backlog > self.max_backlog {
+            self.max_backlog = backlog;
+        }
+        let done = start + bw.serialization_time(bytes as u64);
+        self.busy_until = done;
+        self.forwarded += 1;
+        self.bytes += bytes as u64;
+        done + delay
+    }
+}
+
+/// Store-and-forward WAN emulator with a bottleneck and fixed one-way
+/// delay, symmetric in both directions.
+///
+/// # Examples
+///
+/// ```
+/// use st_net::WanEmulator;
+/// use st_sim::{Bandwidth, SimDuration, SimTime};
+///
+/// // The paper's Table 7 path: 100 Mbps bottleneck, 50 ms one-way.
+/// let mut wan = WanEmulator::new(Bandwidth::mbps(100), SimDuration::from_millis(50));
+/// let arrive = wan.forward(SimTime::ZERO, 1500);
+/// assert_eq!(arrive, SimTime::from_micros(50_120));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WanEmulator {
+    bottleneck: Bandwidth,
+    one_way_delay: SimDuration,
+    forward: WanDirection,
+    reverse: WanDirection,
+}
+
+impl WanEmulator {
+    /// Creates an emulator with the given bottleneck bandwidth and
+    /// one-way propagation delay.
+    pub fn new(bottleneck: Bandwidth, one_way_delay: SimDuration) -> Self {
+        WanEmulator {
+            bottleneck,
+            one_way_delay,
+            forward: WanDirection::new(),
+            reverse: WanDirection::new(),
+        }
+    }
+
+    /// The Table 6 path: 50 Mbps bottleneck, 100 ms RTT.
+    pub fn paper_50mbps() -> Self {
+        WanEmulator::new(Bandwidth::mbps(50), SimDuration::from_millis(50))
+    }
+
+    /// The Table 7 path: 100 Mbps bottleneck, 100 ms RTT.
+    pub fn paper_100mbps() -> Self {
+        WanEmulator::new(Bandwidth::mbps(100), SimDuration::from_millis(50))
+    }
+
+    /// Bottleneck bandwidth.
+    pub fn bottleneck(&self) -> Bandwidth {
+        self.bottleneck
+    }
+
+    /// One-way delay.
+    pub fn one_way_delay(&self) -> SimDuration {
+        self.one_way_delay
+    }
+
+    /// Round-trip time of the bare path (no queueing).
+    pub fn rtt(&self) -> SimDuration {
+        self.one_way_delay * 2
+    }
+
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        self.bottleneck.bdp_bytes(self.rtt())
+    }
+
+    /// Forwards a frame server→client; returns its arrival time.
+    pub fn forward(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        self.forward
+            .forward(self.bottleneck, self.one_way_delay, now, bytes)
+    }
+
+    /// Forwards a frame client→server; returns its arrival time.
+    pub fn reverse(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        self.reverse
+            .forward(self.bottleneck, self.one_way_delay, now, bytes)
+    }
+
+    /// Frames forwarded server→client.
+    pub fn forwarded(&self) -> u64 {
+        self.forward.forwarded
+    }
+
+    /// Mean queueing delay (µs) experienced server→client.
+    pub fn mean_queue_delay_us(&self) -> f64 {
+        self.forward.queue_delay.mean()
+    }
+
+    /// Worst instantaneous backlog (time to drain the queue) seen
+    /// server→client.
+    pub fn max_backlog(&self) -> SimDuration {
+        self.forward.max_backlog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_paths() {
+        let w = WanEmulator::paper_50mbps();
+        assert_eq!(w.rtt(), SimDuration::from_millis(100));
+        assert_eq!(w.bdp_bytes(), 625_000); // 5 Mbit
+        let w = WanEmulator::paper_100mbps();
+        assert_eq!(w.bdp_bytes(), 1_250_000); // 10 Mbit
+    }
+
+    #[test]
+    fn bottleneck_spaces_packets() {
+        // Two back-to-back 1500 B frames through a 50 Mbps bottleneck
+        // leave 240 µs apart — the pacing the network itself imposes.
+        let mut w = WanEmulator::paper_50mbps();
+        let t1 = w.forward(SimTime::ZERO, 1500);
+        let t2 = w.forward(SimTime::ZERO, 1500);
+        assert_eq!(t2.since(t1), SimDuration::from_micros(240));
+    }
+
+    #[test]
+    fn directions_independent() {
+        let mut w = WanEmulator::paper_100mbps();
+        w.forward(SimTime::ZERO, 1500);
+        let t = w.reverse(SimTime::ZERO, 52);
+        // A 52-byte ACK: 4.16 µs serialization + 50 ms.
+        assert_eq!(t.as_micros(), 50_004);
+    }
+
+    #[test]
+    fn queue_stats_accumulate() {
+        let mut w = WanEmulator::paper_50mbps();
+        for _ in 0..10 {
+            w.forward(SimTime::ZERO, 1500);
+        }
+        assert_eq!(w.forwarded(), 10);
+        assert!(w.mean_queue_delay_us() > 0.0);
+        // Nine frames were backlogged at t=0: 9 * 240 us.
+        assert_eq!(w.max_backlog(), SimDuration::from_micros(2160));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the network substrate: links and the WAN emulator
+//! must deliver FIFO per direction, never faster than serialization
+//! allows, and conserve every byte.
+
+use proptest::prelude::*;
+use st_net::{Link, WanEmulator};
+use st_sim::{Bandwidth, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Deliveries in one direction are FIFO and spaced at least a
+    /// serialization time apart.
+    #[test]
+    fn link_is_fifo_and_rate_limited(
+        sends in proptest::collection::vec((0u64..10_000, 64u32..2_000), 1..100),
+        mbps in 1u64..1000,
+    ) {
+        let mut link = Link::new(Bandwidth::mbps(mbps), SimDuration::from_micros(7));
+        // Enqueue times must be non-decreasing (as in a simulation run).
+        let mut sends = sends;
+        sends.sort_by_key(|&(t, _)| t);
+        let mut last_delivery: Option<(SimTime, u32)> = None;
+        let mut total = 0u64;
+        for &(t, bytes) in &sends {
+            let at = link.enqueue_forward(SimTime::from_micros(t), bytes);
+            total += bytes as u64;
+            // Physics: arrival >= send + serialization + propagation.
+            let min = SimTime::from_micros(t)
+                + Bandwidth::mbps(mbps).serialization_time(bytes as u64)
+                + SimDuration::from_micros(7);
+            prop_assert!(at >= min, "arrived {at} before physics allows {min}");
+            if let Some((prev_at, _)) = last_delivery {
+                prop_assert!(at >= prev_at, "FIFO violated");
+                // The wire can't deliver two frames closer than the
+                // second frame's serialization time.
+                let gap = at.since(prev_at);
+                let ser = Bandwidth::mbps(mbps).serialization_time(bytes as u64);
+                prop_assert!(gap >= ser, "gap {gap} < serialization {ser}");
+            }
+            last_delivery = Some((at, bytes));
+        }
+        prop_assert_eq!(link.forward_bytes(), total, "byte conservation");
+        prop_assert_eq!(link.forward_frames(), sends.len() as u64);
+    }
+
+    /// The WAN emulator adds exactly its one-way delay on top of
+    /// bottleneck serialization, per direction, FIFO.
+    #[test]
+    fn wan_is_fifo_with_fixed_delay(
+        sends in proptest::collection::vec((0u64..50_000, 64u32..1_500), 1..100),
+        delay_ms in 1u64..200,
+    ) {
+        let mut wan = WanEmulator::new(
+            Bandwidth::mbps(50),
+            SimDuration::from_millis(delay_ms),
+        );
+        let mut sends = sends;
+        sends.sort_by_key(|&(t, _)| t);
+        let mut last: Option<SimTime> = None;
+        let mut wire_busy_until = SimTime::ZERO;
+        for &(t, bytes) in &sends {
+            let now = SimTime::from_micros(t);
+            let at = wan.forward(now, bytes);
+            // Exact model: serialization starts when the wire frees.
+            let start = now.max(wire_busy_until);
+            let done = start + Bandwidth::mbps(50).serialization_time(bytes as u64);
+            wire_busy_until = done;
+            prop_assert_eq!(at, done + SimDuration::from_millis(delay_ms));
+            if let Some(prev) = last {
+                prop_assert!(at >= prev, "FIFO violated");
+            }
+            last = Some(at);
+        }
+        prop_assert_eq!(wan.forwarded(), sends.len() as u64);
+    }
+
+    /// Forward and reverse directions never interfere.
+    #[test]
+    fn wan_directions_independent(
+        fwd in proptest::collection::vec(64u32..1_500, 1..50),
+        rev in proptest::collection::vec(64u32..1_500, 1..50),
+    ) {
+        let mut both = WanEmulator::paper_50mbps();
+        let mut only_fwd = WanEmulator::paper_50mbps();
+        let mut t = 0u64;
+        let mut fwd_results_both = Vec::new();
+        let mut fwd_results_only = Vec::new();
+        for (i, &b) in fwd.iter().enumerate() {
+            t += 13;
+            let now = SimTime::from_micros(t);
+            fwd_results_both.push(both.forward(now, b));
+            fwd_results_only.push(only_fwd.forward(now, b));
+            if let Some(&rb) = rev.get(i) {
+                let _ = both.reverse(now, rb);
+            }
+        }
+        prop_assert_eq!(fwd_results_both, fwd_results_only);
+    }
+}

@@ -1,0 +1,385 @@
+//! Sampleable distributions for workload modeling.
+//!
+//! The trigger-state workloads of the paper (Table 1) mix several event
+//! processes: Poisson-like syscall streams (exponential gaps), heavy-tailed
+//! compute bursts (Pareto), multiplicative service times (log-normal) and
+//! recorded empirical mixtures. All distributions sample through
+//! [`SimRng`] so that experiments stay deterministic under a seed.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A distribution over non-negative real values (interpreted by callers as
+/// microseconds, bytes, etc.).
+pub trait SampleDist {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Draws one sample interpreted as microseconds and converted to a
+    /// duration, clamped to be non-negative.
+    fn sample_micros(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_micros_f64(self.sample(rng).max(0.0))
+    }
+}
+
+/// Exponential distribution with the given mean (inverse-CDF sampling).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    mean: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is finite and positive.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
+        Exp { mean }
+    }
+
+    /// Creates from a rate (events per unit time).
+    pub fn with_rate(rate: f64) -> Self {
+        Exp::with_mean(1.0 / rate)
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl SampleDist for Exp {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF; 1 - u in (0, 1] avoids ln(0).
+        -self.mean * (1.0 - rng.uniform01()).ln()
+    }
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "empty range [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+}
+
+impl SampleDist for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.uniform(self.lo, self.hi)
+    }
+}
+
+/// Log-normal distribution parameterized by the median and the shape
+/// (sigma of the underlying normal).
+///
+/// Service-time-like quantities — per-request CPU work, disk access times —
+/// are well modeled as log-normal: strictly positive with occasional long
+/// values.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given median and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `median > 0` and `sigma >= 0`.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+
+    /// Theoretical mean `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+impl SampleDist for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * rng.standard_normal()).exp()
+    }
+}
+
+/// Bounded Pareto distribution over `[lo, hi]` with tail index `alpha`.
+///
+/// Heavy-tailed but with a hard cap, matching quantities like compute-burst
+/// lengths that are bounded by the scheduler's time slice.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a bounded Pareto over `[lo, hi]` with tail index `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn bounded(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo > 0.0 && lo < hi, "invalid bounds [{lo}, {hi}]");
+        assert!(alpha > 0.0, "alpha must be positive");
+        Pareto { lo, hi, alpha }
+    }
+}
+
+impl SampleDist for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF of the bounded Pareto.
+        let u = rng.uniform01();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        let x = -(u * ha - u * la - ha) / (ha * la);
+        x.powf(-1.0 / self.alpha)
+    }
+}
+
+/// A fixed (degenerate) distribution that always returns one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed(pub f64);
+
+impl SampleDist for Fixed {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+}
+
+/// Empirical distribution: samples uniformly from recorded values, or from
+/// weighted `(value, weight)` atoms.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    values: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl Empirical {
+    /// Builds from raw recorded values, sampled uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "empirical distribution needs samples");
+        Empirical {
+            values,
+            cumulative: Vec::new(),
+        }
+    }
+
+    /// Builds from weighted atoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `atoms` is empty or total weight is not positive.
+    pub fn from_weighted(atoms: &[(f64, f64)]) -> Self {
+        assert!(!atoms.is_empty(), "empirical distribution needs atoms");
+        let total: f64 = atoms.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "total weight must be positive");
+        let mut cum = 0.0;
+        let mut values = Vec::with_capacity(atoms.len());
+        let mut cumulative = Vec::with_capacity(atoms.len());
+        for &(v, w) in atoms {
+            assert!(w >= 0.0, "negative weight");
+            cum += w / total;
+            values.push(v);
+            cumulative.push(cum);
+        }
+        // Guard against floating point drift on the last atom.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Empirical { values, cumulative }
+    }
+
+    /// Number of atoms or recorded values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the distribution is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl SampleDist for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        if self.cumulative.is_empty() {
+            self.values[rng.index(self.values.len())]
+        } else {
+            let u = rng.uniform01();
+            let idx = self.cumulative.partition_point(|&c| c < u);
+            self.values[idx.min(self.values.len() - 1)]
+        }
+    }
+}
+
+/// A two-component mixture: with probability `p` draw from `a`, else `b`.
+#[derive(Debug, Clone)]
+pub struct Mix<A, B> {
+    /// Probability of drawing from the first component.
+    pub p: f64,
+    /// First component.
+    pub a: A,
+    /// Second component.
+    pub b: B,
+}
+
+impl<A: SampleDist, B: SampleDist> SampleDist for Mix<A, B> {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        if rng.chance(self.p) {
+            self.a.sample(rng)
+        } else {
+            self.b.sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &impl SampleDist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exp::with_mean(30.0);
+        let m = mean_of(&d, 200_000, 1);
+        assert!((m - 30.0).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_rate_matches_mean() {
+        let d = Exp::with_rate(0.1);
+        assert!((d.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let d = Uniform::new(10.0, 20.0);
+        let m = mean_of(&d, 100_000, 2);
+        assert!((m - 15.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let d = LogNormal::with_median(18.0, 0.8);
+        let mut rng = SimRng::seed(3);
+        let mut v: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = v[v.len() / 2];
+        assert!((med - 18.0).abs() < 0.8, "median {med}");
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.05,
+            "mean {m} vs {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn pareto_within_bounds() {
+        let d = Pareto::bounded(2.0, 1000.0, 1.1);
+        let mut rng = SimRng::seed(4);
+        for _ in 0..50_000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..=1000.0).contains(&v), "out of bounds {v}");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let d = Pareto::bounded(2.0, 1000.0, 1.1);
+        let mut rng = SimRng::seed(5);
+        let n = 100_000;
+        let big = (0..n).filter(|_| d.sample(&mut rng) > 100.0).count();
+        // P(X > 100) for bounded pareto(2, 1000, 1.1) is about 1.3%.
+        let frac = big as f64 / n as f64;
+        assert!(frac > 0.005 && frac < 0.05, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::seed(6);
+        assert_eq!(Fixed(7.0).sample(&mut rng), 7.0);
+        assert_eq!(Fixed(7.0).sample_micros(&mut rng).as_micros(), 7);
+    }
+
+    #[test]
+    fn empirical_uniform_sampling() {
+        let d = Empirical::from_values(vec![1.0, 2.0, 3.0]);
+        let mut rng = SimRng::seed(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[d.sample(&mut rng) as usize - 1] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn empirical_weighted_sampling() {
+        let d = Empirical::from_weighted(&[(1.0, 9.0), (2.0, 1.0)]);
+        let mut rng = SimRng::seed(8);
+        let n = 50_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1.0).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn mixture_blends() {
+        let d = Mix {
+            p: 0.25,
+            a: Fixed(0.0),
+            b: Fixed(100.0),
+        };
+        let m = mean_of(&d, 100_000, 9);
+        assert!((m - 75.0).abs() < 1.0, "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empirical_rejects_empty() {
+        let _ = Empirical::from_values(vec![]);
+    }
+
+    #[test]
+    fn sample_micros_clamps_negative() {
+        // A distribution that returns a negative number.
+        struct Neg;
+        impl SampleDist for Neg {
+            fn sample(&self, _rng: &mut SimRng) -> f64 {
+                -5.0
+            }
+        }
+        let mut rng = SimRng::seed(10);
+        assert_eq!(Neg.sample_micros(&mut rng), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,424 @@
+//! The discrete-event loop.
+//!
+//! A classic calendar: events carry a firing time and are dispatched in
+//! time order, FIFO among equal times. The [`World`] owns all simulation
+//! state; during dispatch it receives a [`Ctx`] through which it can read
+//! the clock and schedule or cancel further events. Cancelation is lazy
+//! (canceled entries are skipped at pop time), which keeps the hot path a
+//! plain binary-heap push/pop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancelation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// Simulation state that receives events.
+pub trait World: Sized {
+    /// The event type dispatched to this world.
+    type Event;
+
+    /// Handles one event. `ctx` gives access to the clock and scheduler.
+    fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest entry;
+        // seq breaks ties FIFO.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Scheduling interface handed to [`World::handle`] during dispatch.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut Queue<E>,
+}
+
+struct Queue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids of scheduled-but-not-yet-fired-or-canceled events. Heap entries
+    /// whose id is absent are skipped at pop time (lazy cancelation).
+    live: HashSet<EventId>,
+    next_seq: u64,
+    next_id: u64,
+}
+
+impl<E> Queue<E> {
+    fn new() -> Self {
+        Queue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            next_id: 0,
+        }
+    }
+
+    fn schedule_at(&mut self, time: SimTime, ev: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, id, ev });
+        self.live.insert(id);
+        id
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id)
+    }
+
+    fn pop_live(&mut self) -> Option<Entry<E>> {
+        while let Some(e) = self.heap.pop() {
+            if self.live.remove(&e.id) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(e) = self.heap.peek() {
+            if self.live.contains(&e.id) {
+                return Some(e.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `ev` to fire at absolute time `time`.
+    ///
+    /// Scheduling in the past is clamped to "now" (the event fires after
+    /// the current dispatch completes, preserving causality).
+    pub fn schedule_at(&mut self, time: SimTime, ev: E) -> EventId {
+        self.queue.schedule_at(time.max(self.now), ev)
+    }
+
+    /// Schedules `ev` to fire `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, ev: E) -> EventId {
+        let t = self.now.checked_add(delay).expect("virtual time overflow");
+        self.queue.schedule_at(t, ev)
+    }
+
+    /// Cancels a previously scheduled event. Returns `false` when the
+    /// event already fired or was already canceled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+}
+
+/// The simulation engine: owns the world and the event queue.
+///
+/// # Examples
+///
+/// ```
+/// use st_sim::{Ctx, Engine, SimDuration, SimTime, World};
+///
+/// struct Counter(u32);
+/// impl World for Counter {
+///     type Event = ();
+///     fn handle(&mut self, _ev: (), ctx: &mut Ctx<'_, ()>) {
+///         self.0 += 1;
+///         if self.0 < 3 {
+///             ctx.schedule_in(SimDuration::from_micros(10), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Counter(0));
+/// engine.schedule_at(SimTime::ZERO, ());
+/// engine.run();
+/// assert_eq!(engine.world().0, 3);
+/// assert_eq!(engine.now().as_micros(), 20);
+/// ```
+pub struct Engine<W: World> {
+    world: W,
+    queue: Queue<W::Event>,
+    now: SimTime,
+    dispatched: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Creates an engine at time zero.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            queue: Queue::new(),
+            now: SimTime::ZERO,
+            dispatched: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (between dispatches).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an event at absolute time `time` (clamped to now).
+    pub fn schedule_at(&mut self, time: SimTime, ev: W::Event) -> EventId {
+        self.queue.schedule_at(time.max(self.now), ev)
+    }
+
+    /// Schedules an event `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, ev: W::Event) -> EventId {
+        let t = self.now.checked_add(delay).expect("virtual time overflow");
+        self.queue.schedule_at(t, ev)
+    }
+
+    /// Cancels a scheduled event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Dispatches the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.queue.pop_live() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.now, "time went backwards");
+        self.now = entry.time;
+        self.dispatched += 1;
+        let mut ctx = Ctx {
+            now: self.now,
+            queue: &mut self.queue,
+        };
+        self.world.handle(entry.ev, &mut ctx);
+        true
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue drains or virtual time would pass `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` are dispatched; the clock is
+    /// left at the later of its current value and `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until `pred(world)` becomes true (checked after each event) or
+    /// the queue drains. Returns whether the predicate was satisfied.
+    pub fn run_while(&mut self, mut keep_going: impl FnMut(&W) -> bool) -> bool {
+        loop {
+            if !keep_going(&self.world) {
+                return true;
+            }
+            if !self.step() {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+        to_cancel: Option<EventId>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+            self.log.push((ctx.now().as_micros(), ev));
+            if ev == 100 {
+                // Schedule two children, then cancel one of them.
+                let keep = ctx.schedule_in(SimDuration::from_micros(5), 101);
+                let kill = ctx.schedule_in(SimDuration::from_micros(5), 102);
+                let _ = keep;
+                ctx.cancel(kill);
+            }
+            if let Some(id) = self.to_cancel.take() {
+                ctx.cancel(id);
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            log: Vec::new(),
+            to_cancel: None,
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(SimTime::from_micros(30), 3);
+        e.schedule_at(SimTime::from_micros(10), 1);
+        e.schedule_at(SimTime::from_micros(20), 2);
+        e.run();
+        assert_eq!(e.world().log, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut e = Engine::new(recorder());
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_micros(5), i);
+        }
+        e.run();
+        let order: Vec<u32> = e.world().log.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelation_from_outside_and_inside() {
+        let mut e = Engine::new(recorder());
+        let a = e.schedule_at(SimTime::from_micros(1), 7);
+        assert!(e.cancel(a));
+        assert!(!e.cancel(a), "double cancel reports false");
+        e.schedule_at(SimTime::from_micros(2), 100);
+        e.run();
+        let evs: Vec<u32> = e.world().log.iter().map(|&(_, v)| v).collect();
+        assert_eq!(evs, vec![100, 101], "102 was canceled in-handler");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut e = Engine::new(recorder());
+        let a = e.schedule_at(SimTime::from_micros(1), 1);
+        e.run();
+        assert!(!e.cancel(a));
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(SimTime::from_micros(10), 1);
+        e.schedule_at(SimTime::from_micros(50), 2);
+        e.run_until(SimTime::from_micros(20));
+        assert_eq!(e.world().log, vec![(10, 1)]);
+        assert_eq!(e.now(), SimTime::from_micros(20));
+        e.run_until(SimTime::from_micros(50));
+        assert_eq!(e.world().log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_dispatches_events_at_deadline() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(SimTime::from_micros(10), 1);
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(e.world().log, vec![(10, 1)]);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(SimTime::from_micros(10), 100);
+        e.run_until(SimTime::from_micros(10));
+        // Scheduling "at 3" when now is 10 must not rewind time.
+        e.schedule_at(SimTime::from_micros(3), 9);
+        e.run();
+        let (t, _) = *e
+            .world()
+            .log
+            .iter()
+            .find(|&&(_, v)| v == 9)
+            .expect("event 9 fired");
+        assert!(t >= 10, "fired at {t}, before now");
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut e = Engine::new(recorder());
+        for i in 0..100 {
+            e.schedule_at(SimTime::from_micros(i), i as u32);
+        }
+        let satisfied = e.run_while(|w| w.log.len() < 5);
+        assert!(satisfied);
+        assert_eq!(e.world().log.len(), 5);
+    }
+
+    #[test]
+    fn dispatched_counter() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(SimTime::from_micros(1), 1);
+        e.schedule_at(SimTime::from_micros(2), 2);
+        e.run();
+        assert_eq!(e.dispatched(), 2);
+    }
+
+    #[test]
+    fn next_event_time_skips_canceled() {
+        let mut e = Engine::new(recorder());
+        let a = e.schedule_at(SimTime::from_micros(5), 1);
+        e.schedule_at(SimTime::from_micros(9), 2);
+        e.cancel(a);
+        assert_eq!(e.next_event_time(), Some(SimTime::from_micros(9)));
+    }
+}

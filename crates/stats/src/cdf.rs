@@ -1,0 +1,257 @@
+//! Exact sample sets and empirical CDFs.
+
+/// An exact collection of samples supporting order statistics.
+///
+/// The paper's Table 1 reports exact medians over two million samples; at
+/// that size keeping the raw values is cheap and avoids interpolation error.
+///
+/// # Examples
+///
+/// ```
+/// use st_stats::Samples;
+///
+/// let mut s = Samples::new();
+/// for v in [5.0, 1.0, 9.0, 3.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.quantile(0.0), Some(1.0));
+/// assert_eq!(s.quantile(1.0), Some(9.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Creates an empty sample set with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Samples {
+            values: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact `q`-quantile using the nearest-rank method; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.values.len() as f64).ceil() as usize).saturating_sub(1);
+        Some(self.values[idx.min(self.values.len() - 1)])
+    }
+
+    /// Exact median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.values.last().copied()
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn population_stddev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Fraction of observations strictly greater than `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let above = self.values.iter().filter(|&&v| v > threshold).count();
+        above as f64 / self.values.len() as f64
+    }
+
+    /// Consumes the set into a sorted empirical CDF.
+    pub fn into_ecdf(mut self) -> Ecdf {
+        self.ensure_sorted();
+        Ecdf {
+            sorted: self.values,
+        }
+    }
+
+    /// Read-only view of the raw values (unspecified order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A frozen empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from arbitrary samples.
+    pub fn from_samples(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Samples::new();
+        for v in values {
+            s.record(v);
+        }
+        s.into_ecdf()
+    }
+
+    /// `P(X <= x)`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Inverse CDF: smallest sample `x` with `P(X <= x) >= q`.
+    pub fn inverse(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// Emits `points` evenly spaced `(x, cumulative_fraction)` pairs over
+    /// `[0, x_max]`, the format of the paper's CDF figures.
+    pub fn plot_points(&self, x_max: f64, points: usize) -> Vec<(f64, f64)> {
+        (0..=points)
+            .map(|i| {
+                let x = x_max * i as f64 / points as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let mut s = Samples::new();
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.25), Some(10.0));
+        assert_eq!(s.quantile(0.5), Some(20.0));
+        assert_eq!(s.quantile(0.75), Some(30.0));
+        assert_eq!(s.quantile(1.0), Some(40.0));
+        assert_eq!(s.max(), Some(40.0));
+    }
+
+    #[test]
+    fn empty_samples() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.median(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.fraction_above(0.0), 0.0);
+    }
+
+    #[test]
+    fn fraction_above_is_strict() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 2.0, 3.0] {
+            s.record(v);
+        }
+        assert!((s.fraction_above(2.0) - 0.25).abs() < 1e-12);
+        assert!((s.fraction_above(1.9) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_roundtrip() {
+        let e = Ecdf::from_samples([3.0, 1.0, 2.0]);
+        assert_eq!(e.len(), 3);
+        assert!((e.fraction_at_or_below(0.5) - 0.0).abs() < 1e-12);
+        assert!((e.fraction_at_or_below(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.fraction_at_or_below(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.fraction_at_or_below(3.0) - 1.0).abs() < 1e-12);
+        assert_eq!(e.inverse(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn plot_points_monotone() {
+        let e = Ecdf::from_samples((0..100).map(|i| i as f64));
+        let pts = e.plot_points(150.0, 30);
+        assert_eq!(pts.len(), 31);
+        let mut last = -1.0;
+        for &(x, f) in &pts {
+            assert!(f >= last, "non-monotone at x={x}");
+            last = f;
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut s = Samples::new();
+        s.record(5.0);
+        assert_eq!(s.median(), Some(5.0));
+        s.record(1.0);
+        s.record(9.0);
+        assert_eq!(s.median(), Some(5.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+}

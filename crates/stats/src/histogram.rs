@@ -1,0 +1,337 @@
+//! Linear and logarithmic histograms.
+
+/// Fixed-width linear histogram over `[0, bucket_width * buckets)`.
+///
+/// Values at or above the upper edge are counted in a dedicated overflow
+/// bucket so that no observation is silently dropped. Quantiles are computed
+/// by linear interpolation within the containing bucket, which is the usual
+/// trade-off for constant-space distribution tracking; use
+/// [`crate::Samples`] when exact order statistics are required.
+///
+/// # Examples
+///
+/// ```
+/// use st_stats::Histogram;
+///
+/// // Track trigger intervals from 0 to 1000 µs in 1 µs buckets.
+/// let mut h = Histogram::new(1.0, 1000);
+/// for v in [2.0, 2.0, 18.0, 45.0, 300.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.fraction_above(100.0) - 0.2 < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not strictly positive or `buckets` is 0.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if value < 0.0 {
+            self.underflow += 1;
+            return;
+        }
+        let idx = (value / self.bucket_width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations that fell above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of observations strictly greater than `threshold`.
+    ///
+    /// Observations are resolved at bucket granularity: a bucket counts as
+    /// "above" when its lower edge is strictly greater than `threshold`.
+    /// With the 1 µs buckets used for trigger intervals this matches the
+    /// paper's "> 100 µs" accounting exactly.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let start = (threshold / self.bucket_width).floor() as usize + 1;
+        let above: u64 = self.counts.iter().skip(start).sum::<u64>() + self.overflow;
+        above as f64 / self.total as f64
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) by in-bucket interpolation.
+    ///
+    /// Returns `None` when the histogram is empty. Under/overflow samples
+    /// clamp to the range edges.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total as f64;
+        let mut cum = self.underflow as f64;
+        if cum >= target && self.underflow > 0 {
+            return Some(0.0);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let within = if c == 0 {
+                    0.0
+                } else {
+                    (target - cum) / c as f64
+                };
+                return Some((i as f64 + within) * self.bucket_width);
+            }
+            cum = next;
+        }
+        Some(self.counts.len() as f64 * self.bucket_width)
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Iterates over `(bucket_lower_edge, count)` pairs for plotting.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as f64 * self.bucket_width, c))
+    }
+
+    /// Emits the cumulative distribution as `(upper_edge, cumulative_fraction)`.
+    ///
+    /// This is the series plotted in the paper's Figures 4 and 6.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        if self.total == 0 {
+            return out;
+        }
+        let mut cum = self.underflow;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            out.push((
+                (i + 1) as f64 * self.bucket_width,
+                cum as f64 / self.total as f64,
+            ));
+        }
+        out
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket width or bucket count differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.underflow += other.underflow;
+        self.total += other.total;
+    }
+}
+
+/// Power-of-two bucketed histogram for values spanning many decades.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`; values below 1 land in bucket 0.
+/// Used for coarse latency breakdowns where a linear histogram would need
+/// millions of buckets.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty logarithmic histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records a non-negative integer observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value <= 1 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize
+        };
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().enumerate().map(|(i, &c)| (1u64 << i, c))
+    }
+
+    /// Upper bound (exclusive) of the highest non-empty bucket, or 0.
+    pub fn max_bound(&self) -> u64 {
+        match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => 1u64 << (i + 1),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_expected_buckets() {
+        let mut h = Histogram::new(10.0, 10);
+        h.record(0.0);
+        h.record(9.99);
+        h.record(10.0);
+        h.record(99.99);
+        h.record(100.0); // overflow
+        h.record(-1.0); // underflow
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets[0], (0.0, 2));
+        assert_eq!(buckets[1], (10.0, 1));
+        assert_eq!(buckets[9], (90.0, 1));
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn fraction_above_counts_overflow() {
+        let mut h = Histogram::new(1.0, 100);
+        for _ in 0..90 {
+            h.record(5.0);
+        }
+        for _ in 0..10 {
+            h.record(500.0);
+        }
+        assert!((h.fraction_above(100.0) - 0.10).abs() < 1e-12);
+        // Samples equal to the threshold are not "above" it.
+        assert!((h.fraction_above(5.0) - 0.10).abs() < 1e-12);
+        // A threshold below the bucket includes the whole bucket.
+        assert!((h.fraction_above(4.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut h = Histogram::new(1.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        let med = h.median().unwrap();
+        assert!(med > 4.0 && med < 6.0, "median {med} out of range");
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        let q100 = h.quantile(1.0).unwrap();
+        assert!(q100 >= 9.0);
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone_and_end_at_coverage() {
+        let mut h = Histogram::new(2.0, 50);
+        for i in 0..100 {
+            h.record((i % 60) as f64);
+        }
+        let pts = h.cdf_points();
+        let mut last = 0.0;
+        for &(_, f) in &pts {
+            assert!(f >= last);
+            last = f;
+        }
+        assert!((last - 1.0).abs() < 1e-12, "no overflow expected");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(1.0, 10);
+        let mut b = Histogram::new(1.0, 10);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(1.0, 10);
+        let b = Histogram::new(2.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets[0], (1, 2));
+        assert_eq!(buckets[1], (2, 2));
+        assert_eq!(h.max_bound(), 2048);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn log_histogram_empty_max_bound() {
+        let h = LogHistogram::new();
+        assert_eq!(h.max_bound(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Statistics support for the soft-timers reproduction.
+//!
+//! The paper's evaluation reports summary statistics (Table 1), cumulative
+//! distribution functions (Figures 4 and 6), windowed medians (Figure 5) and
+//! derived overhead percentages (Figure 3). This crate provides the
+//! corresponding building blocks:
+//!
+//! - [`Summary`] — streaming count/mean/variance/min/max (Welford).
+//! - [`Histogram`] — fixed-width linear histogram with quantile queries.
+//! - [`LogHistogram`] — power-of-two bucketed histogram for wide ranges.
+//! - [`Samples`] / [`Ecdf`] — exact sample sets and empirical CDFs.
+//! - [`P2Quantile`] — constant-space streaming quantile estimator.
+//! - [`WindowedMedian`] — per-interval medians over a time series.
+//! - [`Series`] — simple (x, y) series with CSV export for plotting.
+//!
+//! The crate is dependency-free so that every other crate in the workspace
+//! can use it without pulling anything else in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod histogram;
+pub mod p2;
+pub mod series;
+pub mod summary;
+pub mod window;
+
+pub use cdf::{Ecdf, Samples};
+pub use histogram::{Histogram, LogHistogram};
+pub use p2::P2Quantile;
+pub use series::Series;
+pub use summary::Summary;
+pub use window::WindowedMedian;

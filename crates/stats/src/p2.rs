@@ -1,0 +1,227 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator.
+//!
+//! Jain & Chlamtac's P² algorithm estimates a single quantile in constant
+//! space. It is used where the full trigger-interval stream is too long to
+//! retain (multi-billion-event soak runs) and a histogram's fixed range is
+//! inconvenient.
+
+/// Constant-space estimator of one quantile of a stream.
+///
+/// # Examples
+///
+/// ```
+/// use st_stats::P2Quantile;
+///
+/// let mut p = P2Quantile::new(0.5);
+/// for i in 0..10_001 {
+///     p.record(i as f64);
+/// }
+/// let est = p.estimate().unwrap();
+/// assert!((est - 5000.0).abs() < 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Number of observations seen so far.
+    count: u64,
+    /// Initial observations until the markers are seeded.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile (`0 < q < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(value);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+                for i in 0..5 {
+                    self.heights[i] = self.initial[i];
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing the new observation and update extremes.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if value >= self.heights[i] && value < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let n = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; `None` before any observation.
+    ///
+    /// With fewer than five observations the exact order statistic over
+    /// the buffered values is returned.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            let idx = ((self.q * v.len() as f64).ceil() as usize).saturating_sub(1);
+            return Some(v[idx.min(v.len() - 1)]);
+        }
+        Some(self.heights[2])
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewer_than_five_samples_exact() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.record(10.0);
+        assert_eq!(p.estimate(), Some(10.0));
+        p.record(20.0);
+        p.record(30.0);
+        assert_eq!(p.estimate(), Some(20.0));
+    }
+
+    #[test]
+    fn uniform_stream_median() {
+        let mut p = P2Quantile::new(0.5);
+        // Deterministic pseudo-shuffled uniform values.
+        let mut x: u64 = 88172645463325252;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            p.record((x % 1000) as f64);
+        }
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - 500.0).abs() < 30.0,
+            "median estimate {est} too far from 500"
+        );
+    }
+
+    #[test]
+    fn ninety_ninth_percentile() {
+        let mut p = P2Quantile::new(0.99);
+        for i in 0..100_000u64 {
+            // Values 0..100; interleave order to exercise marker moves.
+            p.record(((i * 7919) % 100) as f64);
+        }
+        let est = p.estimate().unwrap();
+        assert!(est > 95.0 && est <= 100.0, "p99 estimate {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn skewed_distribution_median_close_to_exact() {
+        // Exponential-ish discrete distribution, like trigger intervals:
+        // heavily skewed toward small values.
+        let mut p = P2Quantile::new(0.5);
+        let mut exact = Vec::new();
+        let mut x: u64 = 123456789;
+        for _ in 0..50_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((x >> 11) as f64) / ((1u64 << 53) as f64);
+            let v = -30.0 * (1.0 - u).ln();
+            p.record(v);
+            exact.push(v);
+        }
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let true_median = exact[exact.len() / 2];
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - true_median).abs() < 2.0,
+            "estimate {est} vs true {true_median}"
+        );
+    }
+}

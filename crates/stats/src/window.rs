@@ -1,0 +1,137 @@
+//! Per-interval (windowed) aggregates over a time series.
+
+/// Computes the median of observations inside consecutive fixed-length
+/// windows of time, as in the paper's Figure 5 (trigger-interval medians
+/// during 1 ms and 10 ms intervals).
+///
+/// Observations are `(timestamp, value)` pairs; timestamps must be
+/// non-decreasing. When a window closes, its median is appended to the
+/// output series.
+///
+/// # Examples
+///
+/// ```
+/// use st_stats::WindowedMedian;
+///
+/// let mut w = WindowedMedian::new(100.0);
+/// w.record(10.0, 5.0);
+/// w.record(20.0, 7.0);
+/// w.record(150.0, 9.0); // closes the [0, 100) window
+/// let out = w.finish();
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out[0], (0.0, 5.0)); // median of {5, 7} (lower of two)
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedMedian {
+    window: f64,
+    current_start: f64,
+    current: Vec<f64>,
+    out: Vec<(f64, f64)>,
+    started: bool,
+}
+
+impl WindowedMedian {
+    /// Creates a windowed-median tracker with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not strictly positive.
+    pub fn new(window: f64) -> Self {
+        assert!(window > 0.0, "window must be positive");
+        WindowedMedian {
+            window,
+            current_start: 0.0,
+            current: Vec::new(),
+            out: Vec::new(),
+            started: false,
+        }
+    }
+
+    fn close_current(&mut self) {
+        if !self.current.is_empty() {
+            self.current
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN value"));
+            let med = self.current[(self.current.len() - 1) / 2];
+            self.out.push((self.current_start, med));
+            self.current.clear();
+        }
+    }
+
+    /// Records an observation at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the currently open window (out-of-order
+    /// input).
+    pub fn record(&mut self, time: f64, value: f64) {
+        if !self.started {
+            self.started = true;
+            self.current_start = (time / self.window).floor() * self.window;
+        }
+        assert!(
+            time >= self.current_start,
+            "out-of-order observation at t={time}"
+        );
+        while time >= self.current_start + self.window {
+            self.close_current();
+            self.current_start += self.window;
+        }
+        self.current.push(value);
+    }
+
+    /// Closes the final window and returns `(window_start, median)` pairs.
+    ///
+    /// Windows with no observations produce no output point, matching the
+    /// paper's plots (which only show intervals that contained samples).
+    pub fn finish(mut self) -> Vec<(f64, f64)> {
+        self.close_current();
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let mut w = WindowedMedian::new(10.0);
+        w.record(1.0, 1.0);
+        w.record(35.0, 3.0); // skips the [10,20) and [20,30) windows
+        let out = w.finish();
+        assert_eq!(out, vec![(0.0, 1.0), (30.0, 3.0)]);
+    }
+
+    #[test]
+    fn median_is_per_window() {
+        let mut w = WindowedMedian::new(10.0);
+        for (t, v) in [(0.0, 1.0), (1.0, 100.0), (2.0, 2.0), (12.0, 50.0)] {
+            w.record(t, v);
+        }
+        let out = w.finish();
+        assert_eq!(out[0], (0.0, 2.0));
+        assert_eq!(out[1], (10.0, 50.0));
+    }
+
+    #[test]
+    fn first_window_aligns_to_grid() {
+        let mut w = WindowedMedian::new(10.0);
+        w.record(25.0, 7.0);
+        let out = w.finish();
+        assert_eq!(out, vec![(20.0, 7.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn rejects_time_travel() {
+        let mut w = WindowedMedian::new(10.0);
+        w.record(25.0, 1.0);
+        w.record(5.0, 1.0);
+    }
+
+    #[test]
+    fn no_observations_no_output() {
+        let w = WindowedMedian::new(1.0);
+        assert!(w.finish().is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Simulated TCP data-transfer engine.
+//!
+//! Implements the protocol behaviour the paper's evaluation depends on:
+//!
+//! - [`sender`] — window management: slow start from FreeBSD-2.2.6's
+//!   initial window, ACK-clocked growth, receiver-window limiting, and the
+//!   paper's *rate-based clocking* mode that skips slow start and paces
+//!   segments at a known capacity.
+//! - [`receiver`] — in-order reassembly and ACK generation: the standard
+//!   delayed-ACK policy (every second segment, with the periodic delayed-
+//!   ACK timer) and a slow-reader mode that produces the *big ACKs* of
+//!   Appendix A.3.
+//! - [`pacing`] — the transmission-process simulator behind Tables 4-5:
+//!   the real soft-timer facility driven by a synthetic trigger-state
+//!   stream, transmitting through the adaptive pacer.
+//! - [`transfer`] — the end-to-end WAN experiment of Tables 6-7: client,
+//!   WAN emulator router, server; regular TCP vs. rate-based clocking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pacing;
+pub mod receiver;
+pub mod sender;
+pub mod transfer;
+
+pub use pacing::{PacingRun, TransmissionProcess};
+pub use receiver::{AckDecision, AckPolicy, TcpReceiver};
+pub use sender::{SenderConfig, SenderMode, TcpSender};
+pub use transfer::{TransferConfig, TransferOutcome, TransferSim};

@@ -1,0 +1,287 @@
+//! The transmission-process simulator behind Tables 4 and 5.
+//!
+//! Drives the *real* facility ([`SoftTimerCore`]) and the *real* adaptive
+//! pacer ([`Pacer`]) with a synthetic trigger-state stream (gaps supplied
+//! by the caller — e.g. drawn from the ST-Apache workload model) plus the
+//! periodic backup interrupt, and reports the statistics of the resulting
+//! packet transmission process: average inter-transmission interval and
+//! its standard deviation, exactly the columns of Tables 4-5.
+//!
+//! The hardware-timer comparison rows are produced by
+//! [`TransmissionProcess::run_hardware`]: a periodic interrupt at the
+//! target rate, with interrupt-masked windows during which timer ticks are
+//! lost (the paper: "some timer interrupts are lost during periods when
+//! interrupts are disabled in FreeBSD").
+
+use st_core::facility::{Config, Expired, SoftTimerCore};
+use st_core::pacer::{Pacer, PacerConfig};
+use st_kernel::hwtimer::HardwareTimer;
+use st_sim::{SampleDist, SimDuration, SimRng, SimTime};
+use st_stats::Summary;
+
+/// Statistics of one pacing run. All values in measurement-clock ticks
+/// (µs at the default 1 MHz).
+#[derive(Debug, Clone)]
+pub struct PacingRun {
+    /// Inter-transmission interval statistics.
+    pub intervals: Summary,
+    /// Packets transmitted.
+    pub packets: u64,
+    /// Fraction of transmissions released by the backup interrupt rather
+    /// than a trigger state (soft runs only; 0 for hardware runs).
+    pub backup_fraction: f64,
+}
+
+impl PacingRun {
+    /// Average inter-transmission interval (ticks).
+    pub fn avg_interval(&self) -> f64 {
+        self.intervals.mean()
+    }
+
+    /// Standard deviation of the interval (ticks).
+    pub fn std_dev(&self) -> f64 {
+        self.intervals.population_stddev()
+    }
+}
+
+/// Harness for transmission-process experiments.
+#[derive(Debug)]
+pub struct TransmissionProcess;
+
+impl TransmissionProcess {
+    /// Runs `packets` soft-timer-paced transmissions.
+    ///
+    /// `trigger_gap` yields successive trigger-state gaps in ticks (the
+    /// workload's inter-trigger distribution); the backup interrupt runs
+    /// every `X` ticks per the facility config.
+    pub fn run_soft(
+        pacer_config: PacerConfig,
+        facility_config: Config,
+        packets: u64,
+        mut trigger_gap: impl FnMut() -> u64,
+    ) -> PacingRun {
+        let x = facility_config.x_ticks();
+        let mut core: SoftTimerCore<()> = SoftTimerCore::new(facility_config);
+        let mut pacer = Pacer::new(pacer_config);
+        pacer.start_train(0);
+
+        let mut intervals = Summary::new();
+        let mut sent = 0u64;
+        let mut last_tx: Option<u64> = None;
+        let mut backup_fires = 0u64;
+
+        let mut next_trigger = trigger_gap().max(1);
+        let mut next_backup = x;
+        // First transmission is scheduled immediately.
+        core.schedule(0, 0, ());
+        let mut due: Vec<Expired<()>> = Vec::new();
+
+        while sent < packets {
+            // Advance to the next check, whichever comes first.
+            let now = next_backup.min(next_trigger);
+            let is_backup = next_backup < next_trigger;
+            due.clear();
+            if is_backup {
+                core.interrupt_sweep(now, &mut due);
+                next_backup += x;
+            } else {
+                core.poll(now, &mut due);
+                next_trigger = now + trigger_gap().max(1);
+            }
+            for ev in &due {
+                if ev.origin == st_core::facility::FireOrigin::BackupInterrupt {
+                    backup_fires += 1;
+                }
+                // Transmit one packet and schedule the next event.
+                if let Some(prev) = last_tx {
+                    intervals.record((now - prev) as f64);
+                }
+                last_tx = Some(now);
+                sent += 1;
+                if sent >= packets {
+                    break;
+                }
+                let interval = pacer.on_transmit(now);
+                core.schedule(now, pacer.next_delta(interval), ());
+            }
+        }
+
+        PacingRun {
+            intervals,
+            packets: sent,
+            backup_fraction: if sent == 0 {
+                0.0
+            } else {
+                backup_fires as f64 / sent as f64
+            },
+        }
+    }
+
+    /// Runs `packets` hardware-timer-paced transmissions: the 8253 is
+    /// programmed to `target_interval` ticks; interrupt-masked windows
+    /// (Poisson arrivals at `mask_rate_per_tick`, durations drawn from
+    /// `mask_duration`) delay deliveries, and ticks that fully elapse
+    /// while masked are lost.
+    pub fn run_hardware(
+        target_interval: u64,
+        packets: u64,
+        mask_rate_per_tick: f64,
+        mask_duration: &impl SampleDist,
+        rng: &mut SimRng,
+    ) -> PacingRun {
+        assert!(target_interval > 0, "interval must be positive");
+        let mut timer =
+            HardwareTimer::new(SimDuration::from_micros(target_interval), SimTime::ZERO);
+        let mut intervals = Summary::new();
+        let mut last_tx: Option<u64> = None;
+        let mut sent = 0u64;
+
+        // Pre-draw the masked windows as (start, end) in ticks, in order.
+        let mean_gap = 1.0 / mask_rate_per_tick.max(1e-12);
+        let mut mask_start = (rng.uniform01() * mean_gap) as u64;
+        let mut mask_end = mask_start + mask_duration.sample(rng).max(0.0) as u64;
+
+        while sent < packets {
+            let due = timer.next_due().as_micros();
+            // Advance the mask schedule past stale windows.
+            while mask_end <= due {
+                mask_start = mask_end + (-(mean_gap) * (1.0 - rng.uniform01()).ln()) as u64;
+                mask_end = mask_start + mask_duration.sample(rng).max(0.0) as u64;
+            }
+            // Delivery is deferred to the end of a masked window covering
+            // the due time.
+            let deliver = if due >= mask_start && due < mask_end {
+                mask_end
+            } else {
+                due
+            };
+            timer.fire_at(SimTime::from_micros(deliver));
+            if let Some(prev) = last_tx {
+                intervals.record((deliver - prev) as f64);
+            }
+            last_tx = Some(deliver);
+            sent += 1;
+        }
+
+        PacingRun {
+            intervals,
+            packets: sent,
+            backup_fraction: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_sim::Exp;
+
+    fn exp_gaps(mean: f64, seed: u64) -> impl FnMut() -> u64 {
+        let mut rng = SimRng::seed(seed);
+        let dist = Exp::with_mean(mean);
+        move || dist.sample(&mut rng).round().max(1.0) as u64
+    }
+
+    #[test]
+    fn dense_triggers_hit_target_rate() {
+        // Triggers every ~2 ticks: the pacer should achieve its 40-tick
+        // target almost exactly (Table 4, min interval 12 row).
+        let run = TransmissionProcess::run_soft(
+            PacerConfig::new(40, 12),
+            Config::default(),
+            20_000,
+            exp_gaps(2.0, 1),
+        );
+        let avg = run.avg_interval();
+        assert!((avg - 40.0).abs() < 1.0, "avg {avg}");
+    }
+
+    #[test]
+    fn sparse_triggers_fall_behind_without_burst_headroom() {
+        // Mean trigger gap 31.5 ticks (ST-Apache-like) with min burst
+        // interval equal to the target: no catch-up headroom, so the
+        // average interval exceeds the target (Table 4, last rows).
+        let run = TransmissionProcess::run_soft(
+            PacerConfig::new(40, 35),
+            Config::default(),
+            20_000,
+            exp_gaps(31.5, 2),
+        );
+        assert!(
+            run.avg_interval() > 50.0,
+            "should miss target: {}",
+            run.avg_interval()
+        );
+    }
+
+    #[test]
+    fn burst_headroom_restores_target() {
+        // Same sparse triggers, but bursts at 12 ticks allowed: the
+        // adaptive algorithm recovers the 40-tick average.
+        let run = TransmissionProcess::run_soft(
+            PacerConfig::new(40, 12),
+            Config::default(),
+            20_000,
+            exp_gaps(31.5, 3),
+        );
+        let avg = run.avg_interval();
+        // With memoryless (exponential) gaps the catch-up wait after the
+        // 12-tick burst interval still averages a full mean gap, so the
+        // recovery is partial (~42); the paper's ST-Apache distribution
+        // has most of its mass at small gaps and recovers fully to 40
+        // (reproduced in the Table 4 experiment with the real workload
+        // stream from st-workloads).
+        assert!((40.0..44.0).contains(&avg), "avg {avg}");
+        // And the variability is tens of ticks, like Table 4's ~30-35.
+        assert!(run.std_dev() > 5.0 && run.std_dev() < 60.0);
+    }
+
+    #[test]
+    fn backup_bound_catches_long_gaps() {
+        // Triggers every ~5000 ticks: most fires come from the 1000-tick
+        // backup interrupt; intervals never exceed ~2 backup periods.
+        let run = TransmissionProcess::run_soft(
+            PacerConfig::new(40, 12),
+            Config::default(),
+            2_000,
+            exp_gaps(5000.0, 4),
+        );
+        assert!(run.backup_fraction > 0.5, "backup {}", run.backup_fraction);
+        assert!(run.intervals.max().unwrap() <= 2100.0);
+    }
+
+    #[test]
+    fn hardware_timer_unmasked_is_exact() {
+        let mut rng = SimRng::seed(5);
+        let run = TransmissionProcess::run_hardware(
+            40,
+            5_000,
+            1e-9, // Essentially never masked.
+            &Exp::with_mean(1.0),
+            &mut rng,
+        );
+        assert!((run.avg_interval() - 40.0).abs() < 0.1);
+        assert!(run.std_dev() < 1.0);
+    }
+
+    #[test]
+    fn hardware_timer_masking_loses_ticks() {
+        let mut rng = SimRng::seed(6);
+        // Masked windows of mean 60 ticks arriving every ~300 ticks: some
+        // windows cover multiple 40-tick periods and lose ticks, pushing
+        // the average interval above the programmed 40 (Table 4: 43.6).
+        let run = TransmissionProcess::run_hardware(
+            40,
+            20_000,
+            1.0 / 300.0,
+            &Exp::with_mean(60.0),
+            &mut rng,
+        );
+        assert!(
+            run.avg_interval() > 41.0,
+            "losses should raise the average: {}",
+            run.avg_interval()
+        );
+        assert!(run.std_dev() > 1.0, "jitter from deferred deliveries");
+    }
+}

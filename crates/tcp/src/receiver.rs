@@ -1,0 +1,249 @@
+//! The TCP receiver: reassembly and ACK generation.
+//!
+//! Two ACK policies matter to the paper:
+//!
+//! - **Delayed ACKs** (the default): acknowledge every second segment
+//!   immediately; a lone outstanding segment waits for the periodic
+//!   delayed-ACK timer (FreeBSD's 200 ms `fasttimo` grid). Combined with
+//!   FreeBSD-2.2.6's initial window of one segment, this produces the
+//!   multi-hundred-millisecond stalls visible in Table 6's small
+//!   transfers.
+//! - **Slow reader** (Appendix A.3): the application reads the socket
+//!   buffer only every `read_interval`; since ACKs are sent from the
+//!   application's read path, all segments arriving in between are
+//!   covered by one *big ACK*.
+
+use st_sim::{SimDuration, SimTime};
+
+/// When the receiver decides to emit an ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckDecision {
+    /// Send a cumulative ACK for everything received (`ack` = next byte
+    /// expected).
+    AckNow {
+        /// The cumulative acknowledgment number.
+        ack: u64,
+    },
+    /// Hold the ACK (delayed-ACK policy or slow reader still sleeping).
+    Delay,
+}
+
+/// The receiver's acknowledgment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckPolicy {
+    /// Standard delayed ACKs: every 2nd segment, or the delack timer.
+    DelayedEvery2,
+    /// The application reads (and thereby ACKs) only every
+    /// `read_interval`; models the big-ACK scenarios of Appendix A.3.
+    SlowReader {
+        /// Gap between application reads.
+        read_interval: SimDuration,
+    },
+}
+
+/// In-order TCP receiver.
+#[derive(Debug)]
+pub struct TcpReceiver {
+    policy: AckPolicy,
+    /// Next byte expected.
+    rcv_nxt: u64,
+    /// Segments received since the last ACK we sent.
+    unacked_segments: u32,
+    /// Highest ACK number already emitted.
+    last_acked: u64,
+    /// Slow reader: when the next application read happens.
+    next_read_at: Option<SimTime>,
+    /// Largest number of segments one ACK covered (big-ACK detector).
+    max_ack_coverage: u32,
+    segments_received: u64,
+    acks_sent: u64,
+}
+
+impl TcpReceiver {
+    /// Creates a receiver expecting a stream starting at byte 0.
+    pub fn new(policy: AckPolicy) -> Self {
+        TcpReceiver {
+            policy,
+            rcv_nxt: 0,
+            unacked_segments: 0,
+            last_acked: 0,
+            next_read_at: None,
+            max_ack_coverage: 0,
+            segments_received: 0,
+            acks_sent: 0,
+        }
+    }
+
+    /// Next byte expected (current cumulative ACK value).
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Total segments received in order.
+    pub fn segments_received(&self) -> u64 {
+        self.segments_received
+    }
+
+    /// ACK packets emitted.
+    pub fn acks_sent(&self) -> u64 {
+        self.acks_sent
+    }
+
+    /// Largest number of segments covered by a single ACK (> 3 is a "big
+    /// ACK" by the paper's definition in Appendix A.3).
+    pub fn max_ack_coverage(&self) -> u32 {
+        self.max_ack_coverage
+    }
+
+    fn emit(&mut self) -> AckDecision {
+        self.max_ack_coverage = self.max_ack_coverage.max(self.unacked_segments);
+        self.unacked_segments = 0;
+        self.last_acked = self.rcv_nxt;
+        self.acks_sent += 1;
+        AckDecision::AckNow { ack: self.rcv_nxt }
+    }
+
+    /// Handles an in-order data segment of `len` bytes at `seq`, arriving
+    /// at `now`. Out-of-order segments are rejected (the emulated path is
+    /// FIFO and lossless, so this indicates a harness bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not the next expected byte.
+    pub fn on_data(&mut self, now: SimTime, seq: u64, len: u32) -> AckDecision {
+        assert_eq!(
+            seq, self.rcv_nxt,
+            "out-of-order segment on a FIFO lossless path"
+        );
+        self.rcv_nxt += len as u64;
+        self.segments_received += 1;
+        self.unacked_segments += 1;
+        match self.policy {
+            AckPolicy::DelayedEvery2 => {
+                if self.unacked_segments >= 2 {
+                    self.emit()
+                } else {
+                    AckDecision::Delay
+                }
+            }
+            AckPolicy::SlowReader { read_interval } => {
+                // The first segment after an idle read period schedules
+                // the next application read; everything arriving before
+                // it piles into one big ACK.
+                if self.next_read_at.is_none() {
+                    self.next_read_at = Some(now + read_interval);
+                }
+                AckDecision::Delay
+            }
+        }
+    }
+
+    /// The periodic delayed-ACK timer fired at `now`; also drives the
+    /// slow reader's application reads. Returns an ACK to send, if one is
+    /// owed.
+    pub fn on_timer(&mut self, now: SimTime) -> Option<u64> {
+        match self.policy {
+            AckPolicy::DelayedEvery2 => {
+                if self.unacked_segments > 0 {
+                    match self.emit() {
+                        AckDecision::AckNow { ack } => Some(ack),
+                        AckDecision::Delay => None,
+                    }
+                } else {
+                    None
+                }
+            }
+            AckPolicy::SlowReader { .. } => match self.next_read_at {
+                Some(t) if now >= t && self.unacked_segments > 0 => {
+                    self.next_read_at = None;
+                    match self.emit() {
+                        AckDecision::AckNow { ack } => Some(ack),
+                        AckDecision::Delay => None,
+                    }
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// When the slow reader's next application read is due (testing and
+    /// scheduling aid).
+    pub fn next_read_at(&self) -> Option<SimTime> {
+        self.next_read_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn delayed_ack_every_second_segment() {
+        let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
+        assert_eq!(r.on_data(t(0), 0, 1000), AckDecision::Delay);
+        assert_eq!(
+            r.on_data(t(10), 1000, 1000),
+            AckDecision::AckNow { ack: 2000 }
+        );
+        assert_eq!(r.on_data(t(20), 2000, 1000), AckDecision::Delay);
+        assert_eq!(r.acks_sent(), 1);
+    }
+
+    #[test]
+    fn delack_timer_flushes_lone_segment() {
+        let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
+        r.on_data(t(0), 0, 1000);
+        assert_eq!(r.on_timer(t(200_000)), Some(1000));
+        assert_eq!(r.on_timer(t(400_000)), None, "nothing owed");
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn out_of_order_rejected() {
+        let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
+        r.on_data(t(0), 1000, 1000);
+    }
+
+    #[test]
+    fn slow_reader_produces_big_ack() {
+        let mut r = TcpReceiver::new(AckPolicy::SlowReader {
+            read_interval: SimDuration::from_millis(1),
+        });
+        // Ten closely spaced segments, all before the app reads.
+        for i in 0..10u64 {
+            assert_eq!(r.on_data(t(i * 20), i * 1000, 1000), AckDecision::Delay);
+        }
+        assert_eq!(r.on_timer(t(500)), None, "read not due yet");
+        let ack = r.on_timer(t(1_500)).expect("app read flushes");
+        assert_eq!(ack, 10_000);
+        assert_eq!(r.max_ack_coverage(), 10, "a big ACK covering 10 segments");
+    }
+
+    #[test]
+    fn slow_reader_cycle_repeats() {
+        let mut r = TcpReceiver::new(AckPolicy::SlowReader {
+            read_interval: SimDuration::from_millis(1),
+        });
+        r.on_data(t(0), 0, 500);
+        assert!(r.next_read_at().is_some());
+        assert_eq!(r.on_timer(t(1_000)), Some(500));
+        assert!(r.next_read_at().is_none());
+        // Next burst restarts the cycle.
+        r.on_data(t(2_000), 500, 500);
+        assert_eq!(r.next_read_at(), Some(t(3_000)));
+    }
+
+    #[test]
+    fn coverage_counts_only_acked_batches() {
+        let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
+        r.on_data(t(0), 0, 100);
+        r.on_data(t(1), 100, 100);
+        assert_eq!(r.max_ack_coverage(), 2);
+        r.on_data(t(2), 200, 100);
+        assert_eq!(r.max_ack_coverage(), 2, "pending segment not counted yet");
+    }
+}

@@ -1,0 +1,284 @@
+//! The TCP sender: windows, slow start, and rate-based clocking.
+
+use st_net::packet::{ConnId, Packet, MSS};
+
+/// How the sender clocks transmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderMode {
+    /// Standard self-clocked TCP: slow start, ACK-driven growth.
+    SelfClocked,
+    /// The paper's rate-based clocking: slow start is skipped; the
+    /// congestion window is opened to the whole transfer and segments are
+    /// released by the pacer (the caller schedules the soft-timer events).
+    RateBased,
+}
+
+/// Sender configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SenderConfig {
+    /// Maximum segment size in bytes (payload); the paper's transfers use
+    /// 1448-byte packets.
+    pub mss: u32,
+    /// Initial congestion window in segments. FreeBSD-2.2.6 starts at 1;
+    /// the stall this causes against delayed ACKs is visible in the
+    /// paper's Table 6 small-transfer response times.
+    pub initial_cwnd_segments: u32,
+    /// Receiver window / socket-buffer limit in bytes.
+    pub rwnd: u64,
+    /// Clocking mode.
+    pub mode: SenderMode,
+}
+
+impl SenderConfig {
+    /// FreeBSD-2.2.6-like defaults used by the WAN experiments: MSS 1448,
+    /// initial window 1, and a 2 MB socket buffer — larger than the
+    /// paper's 10 Mbit bandwidth-delay product, since Table 7 shows their
+    /// regular TCP exceeding 81 Mbps at a 100 ms RTT (window >= ~1.1 MB).
+    pub fn freebsd_defaults() -> Self {
+        SenderConfig {
+            mss: MSS,
+            initial_cwnd_segments: 1,
+            rwnd: 2 << 20,
+            mode: SenderMode::SelfClocked,
+        }
+    }
+
+    /// Rate-based variant of the defaults.
+    pub fn rate_based() -> Self {
+        SenderConfig {
+            mode: SenderMode::RateBased,
+            ..SenderConfig::freebsd_defaults()
+        }
+    }
+}
+
+/// A one-direction bulk-data TCP sender.
+///
+/// Sequence space starts at 0; the caller owns packet-id allocation and
+/// the wire. The sender is passive: ask [`TcpSender::next_segment`]
+/// whether a segment may leave now (window space in self-clocked mode; the
+/// pacer's say-so in rate-based mode, where the sender only enforces the
+/// receiver window).
+#[derive(Debug)]
+pub struct TcpSender {
+    config: SenderConfig,
+    conn: ConnId,
+    transfer_len: u64,
+    /// Next new byte to send.
+    snd_nxt: u64,
+    /// Oldest unacknowledged byte.
+    snd_una: u64,
+    /// Congestion window in bytes (self-clocked mode).
+    cwnd: u64,
+    /// Duplicate-free count of ACKs processed (growth bookkeeping).
+    acks_processed: u64,
+    segments_sent: u64,
+}
+
+impl TcpSender {
+    /// Creates a sender for a `transfer_len`-byte response on `conn`.
+    pub fn new(config: SenderConfig, conn: ConnId, transfer_len: u64) -> Self {
+        TcpSender {
+            config,
+            conn,
+            transfer_len,
+            snd_nxt: 0,
+            snd_una: 0,
+            cwnd: config.mss as u64 * config.initial_cwnd_segments as u64,
+            acks_processed: 0,
+            segments_sent: 0,
+        }
+    }
+
+    /// The connection id.
+    pub fn conn(&self) -> ConnId {
+        self.conn
+    }
+
+    /// Bytes still unacknowledged.
+    pub fn inflight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Current effective window in bytes.
+    pub fn window(&self) -> u64 {
+        match self.config.mode {
+            SenderMode::SelfClocked => self.cwnd.min(self.config.rwnd),
+            SenderMode::RateBased => self.config.rwnd,
+        }
+    }
+
+    /// Current congestion window (bytes).
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// Whether all bytes are sent *and* acknowledged.
+    pub fn complete(&self) -> bool {
+        self.snd_una >= self.transfer_len
+    }
+
+    /// Whether all bytes have been handed to the wire (maybe unacked).
+    pub fn all_sent(&self) -> bool {
+        self.snd_nxt >= self.transfer_len
+    }
+
+    /// Segments transmitted so far.
+    pub fn segments_sent(&self) -> u64 {
+        self.segments_sent
+    }
+
+    /// Whether window space and data allow sending a segment now.
+    pub fn can_send(&self) -> bool {
+        !self.all_sent() && self.inflight() + self.next_len() as u64 <= self.window()
+    }
+
+    fn next_len(&self) -> u32 {
+        let remaining = self.transfer_len - self.snd_nxt.min(self.transfer_len);
+        (self.config.mss as u64).min(remaining) as u32
+    }
+
+    /// Emits the next segment if the window allows; `packet_id` is the
+    /// caller-assigned frame id and `ack`/`window` fill the header fields
+    /// of the piggybacked ACK.
+    pub fn next_segment(&mut self, packet_id: u64) -> Option<Packet> {
+        if !self.can_send() {
+            return None;
+        }
+        let len = self.next_len();
+        debug_assert!(len > 0);
+        let p = Packet::data(packet_id, self.conn, self.snd_nxt, len, 0, self.config.rwnd);
+        self.snd_nxt += len as u64;
+        self.segments_sent += 1;
+        Some(p)
+    }
+
+    /// Processes a cumulative ACK up to `ackno`. Returns the number of
+    /// newly acknowledged bytes. In self-clocked mode, slow start grows
+    /// the congestion window by one MSS per ACK that advances `snd_una` —
+    /// which is why delayed and big ACKs slow the ramp (Appendix A).
+    pub fn on_ack(&mut self, ackno: u64) -> u64 {
+        if ackno <= self.snd_una {
+            return 0;
+        }
+        let newly = ackno - self.snd_una;
+        self.snd_una = ackno.min(self.snd_nxt);
+        self.acks_processed += 1;
+        if self.config.mode == SenderMode::SelfClocked {
+            // Slow start (no loss on the emulated path, so the sender
+            // never leaves it): cwnd += MSS per window-advancing ACK.
+            self.cwnd += self.config.mss as u64;
+        }
+        newly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender(mode: SenderMode, iw: u32, len: u64) -> TcpSender {
+        TcpSender::new(
+            SenderConfig {
+                mss: 1000,
+                initial_cwnd_segments: iw,
+                rwnd: 1 << 20,
+                mode,
+            },
+            ConnId(1),
+            len,
+        )
+    }
+
+    #[test]
+    fn initial_window_limits_first_burst() {
+        let mut s = sender(SenderMode::SelfClocked, 2, 10_000);
+        assert!(s.next_segment(1).is_some());
+        assert!(s.next_segment(2).is_some());
+        assert!(s.next_segment(3).is_none(), "cwnd=2 segments");
+        assert_eq!(s.inflight(), 2000);
+    }
+
+    #[test]
+    fn ack_opens_window_by_one_mss_per_ack() {
+        let mut s = sender(SenderMode::SelfClocked, 1, 100_000);
+        s.next_segment(1).unwrap();
+        assert!(s.next_segment(2).is_none());
+        // One ACK for one segment: cwnd 1 -> 2.
+        assert_eq!(s.on_ack(1000), 1000);
+        assert_eq!(s.cwnd(), 2000);
+        assert!(s.next_segment(2).is_some());
+        assert!(s.next_segment(3).is_some());
+        assert!(s.next_segment(4).is_none());
+    }
+
+    #[test]
+    fn big_ack_grows_cwnd_once() {
+        let mut s = sender(SenderMode::SelfClocked, 4, 100_000);
+        for i in 0..4 {
+            s.next_segment(i).unwrap();
+        }
+        // One big ACK covering all four segments grows cwnd by one MSS,
+        // not four — the Appendix A big-ACK penalty.
+        s.on_ack(4000);
+        assert_eq!(s.cwnd(), 5000);
+    }
+
+    #[test]
+    fn rate_based_ignores_cwnd() {
+        let mut s = sender(SenderMode::RateBased, 1, 50_000);
+        // Fifty segments go out without any ACK, bounded only by rwnd.
+        let mut n = 0;
+        while s.next_segment(n).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 50);
+        assert!(s.all_sent());
+        assert!(!s.complete());
+        s.on_ack(50_000);
+        assert!(s.complete());
+    }
+
+    #[test]
+    fn rwnd_caps_rate_based_inflight() {
+        let mut s = TcpSender::new(
+            SenderConfig {
+                mss: 1000,
+                initial_cwnd_segments: 1,
+                rwnd: 3000,
+                mode: SenderMode::RateBased,
+            },
+            ConnId(1),
+            100_000,
+        );
+        let mut n = 0;
+        while s.next_segment(n).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3, "rwnd of 3 segments");
+        s.on_ack(1000);
+        assert!(s.next_segment(99).is_some());
+    }
+
+    #[test]
+    fn short_final_segment() {
+        let mut s = sender(SenderMode::RateBased, 1, 2_500);
+        assert_eq!(s.next_segment(1).unwrap().payload_bytes, 1000);
+        assert_eq!(s.next_segment(2).unwrap().payload_bytes, 1000);
+        assert_eq!(s.next_segment(3).unwrap().payload_bytes, 500);
+        assert!(s.next_segment(4).is_none());
+        assert_eq!(s.segments_sent(), 3);
+    }
+
+    #[test]
+    fn stale_and_duplicate_acks_ignored() {
+        let mut s = sender(SenderMode::SelfClocked, 2, 10_000);
+        s.next_segment(1).unwrap();
+        s.next_segment(2).unwrap();
+        assert_eq!(s.on_ack(2000), 2000);
+        let cwnd = s.cwnd();
+        assert_eq!(s.on_ack(2000), 0, "duplicate");
+        assert_eq!(s.on_ack(1000), 0, "stale");
+        assert_eq!(s.cwnd(), cwnd, "no growth from duplicates");
+    }
+}

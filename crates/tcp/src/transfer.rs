@@ -1,0 +1,424 @@
+//! End-to-end WAN transfer experiment (Tables 6 and 7).
+//!
+//! Client ── WAN emulator router ── server, as in section 5.8: a
+//! persistent connection already exists; at t = 0 the client's request
+//! leaves for the server; the response of N segments comes back either
+//! through standard slow-start TCP or through rate-based clocking at the
+//! known bottleneck capacity. Response time is measured from the request
+//! to the arrival of the last payload byte at the client.
+
+use st_net::link::Link;
+use st_net::packet::{ConnId, Packet, HEADER_BYTES};
+use st_net::wan::WanEmulator;
+use st_sim::{Bandwidth, Ctx, Engine, Exp, SampleDist, SimDuration, SimRng, SimTime, World};
+
+use crate::receiver::{AckDecision, AckPolicy, TcpReceiver};
+use crate::sender::{SenderConfig, SenderMode, TcpSender};
+
+/// Transfer experiment configuration.
+#[derive(Debug, Clone)]
+pub struct TransferConfig {
+    /// Bottleneck bandwidth of the emulated WAN.
+    pub bottleneck: Bandwidth,
+    /// One-way propagation delay of the emulated WAN.
+    pub one_way_delay: SimDuration,
+    /// The server's LAN access link (the testbed's 100 Mbps Ethernet).
+    pub lan: Bandwidth,
+    /// Response length in MSS-sized segments (the paper's "transfer
+    /// size (1448 byte packets)" column).
+    pub transfer_segments: u64,
+    /// Sender configuration (mode, initial window, rwnd).
+    pub sender: SenderConfig,
+    /// Rate-based mode: the pacing interval in µs per segment — the wire
+    /// time of one full frame at the known capacity (240 µs at 50 Mbps,
+    /// 120 µs at 100 Mbps).
+    pub pacing_interval_us: u64,
+    /// Mean trigger-state gap on the (otherwise idle) server, µs. An idle
+    /// CPU's loop checks continuously, so this is small (~1-2 µs).
+    pub trigger_mean_us: f64,
+    /// The client's delayed-ACK timer period (FreeBSD: a 200 ms grid).
+    pub delack_period: SimDuration,
+    /// The client's ACK policy.
+    pub ack_policy: AckPolicy,
+    /// Cross traffic on the reverse (client-to-server) path, causing ACK
+    /// compression (Appendix A.1): every `period`, a burst of
+    /// `burst_bytes` occupies the reverse bottleneck ahead of any ACKs,
+    /// which then drain back to back.
+    pub reverse_cross_traffic: Option<CrossTraffic>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Periodic cross traffic on the reverse path.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossTraffic {
+    /// Bytes injected per burst.
+    pub burst_bytes: u32,
+    /// Gap between bursts.
+    pub period: SimDuration,
+}
+
+impl TransferConfig {
+    /// The Table 6 setup at a given transfer size (50 Mbps bottleneck).
+    pub fn table6(transfer_segments: u64, rate_based: bool) -> Self {
+        TransferConfig::paper(Bandwidth::mbps(50), 240, transfer_segments, rate_based)
+    }
+
+    /// The Table 7 setup (100 Mbps bottleneck).
+    pub fn table7(transfer_segments: u64, rate_based: bool) -> Self {
+        TransferConfig::paper(Bandwidth::mbps(100), 120, transfer_segments, rate_based)
+    }
+
+    fn paper(
+        bottleneck: Bandwidth,
+        pacing_interval_us: u64,
+        transfer_segments: u64,
+        rate_based: bool,
+    ) -> Self {
+        TransferConfig {
+            bottleneck,
+            one_way_delay: SimDuration::from_millis(50),
+            lan: Bandwidth::mbps(100),
+            transfer_segments,
+            sender: if rate_based {
+                SenderConfig::rate_based()
+            } else {
+                SenderConfig::freebsd_defaults()
+            },
+            pacing_interval_us,
+            trigger_mean_us: 1.5,
+            delack_period: SimDuration::from_millis(200),
+            ack_policy: AckPolicy::DelayedEvery2,
+            reverse_cross_traffic: None,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of one transfer.
+#[derive(Debug, Clone)]
+pub struct TransferOutcome {
+    /// Request-to-last-byte response time.
+    pub response_time: SimDuration,
+    /// Payload throughput over the response time, Mbps (the paper's
+    /// "Xput" column).
+    pub throughput_mbps: f64,
+    /// Segments the server sent.
+    pub segments: u64,
+    /// ACK packets the client sent.
+    pub acks: u64,
+    /// Inter-arrival statistics of ACKs at the server, µs.
+    pub ack_gap_us: st_stats::Summary,
+    /// ACK gaps under 50 µs — back-to-back arrivals, the direct signature
+    /// of ACK compression (a 52 B ACK serializes in ~8 µs at 50 Mbps).
+    pub compressed_ack_gaps: u64,
+    /// Largest segment count covered by one ACK.
+    pub max_ack_coverage: u32,
+    /// Worst instantaneous bottleneck-queue backlog at the WAN router
+    /// (time to drain), a direct measure of sender burstiness.
+    pub wan_max_backlog: SimDuration,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A cross-traffic burst enters the reverse path.
+    CrossTraffic,
+    /// The client's request (or an ACK) arrives at the server.
+    ServerRx(Packet),
+    /// A data segment arrives at the client.
+    ClientRx(Packet),
+    /// The client's periodic delayed-ACK / slow-reader timer.
+    AckTimer,
+    /// A pacing opportunity on the server (soft-timer fire).
+    PaceFire,
+}
+
+struct TransferWorld {
+    config: TransferConfig,
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    wan: WanEmulator,
+    server_lan: Link,
+    rng: SimRng,
+    trigger_gap: Exp,
+    next_packet_id: u64,
+    transfer_len: u64,
+    started: bool,
+    pace_pending: bool,
+    done_at: Option<SimTime>,
+    last_ack_at: Option<SimTime>,
+    ack_gap_us: st_stats::Summary,
+    compressed_ack_gaps: u64,
+}
+
+impl TransferWorld {
+    fn new(config: TransferConfig) -> Self {
+        let transfer_len = config.transfer_segments * config.sender.mss as u64;
+        TransferWorld {
+            sender: TcpSender::new(config.sender, ConnId(1), transfer_len),
+            receiver: TcpReceiver::new(config.ack_policy),
+            wan: WanEmulator::new(config.bottleneck, config.one_way_delay),
+            server_lan: Link::new(config.lan, SimDuration::from_micros(5)),
+            rng: SimRng::seed(config.seed),
+            trigger_gap: Exp::with_mean(config.trigger_mean_us.max(0.01)),
+            next_packet_id: 1,
+            transfer_len,
+            started: false,
+            pace_pending: false,
+            config,
+            done_at: None,
+            last_ack_at: None,
+            ack_gap_us: st_stats::Summary::new(),
+            compressed_ack_gaps: 0,
+        }
+    }
+
+    fn pid(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    /// Sends one data segment: server LAN, then the WAN bottleneck.
+    fn transmit(&mut self, now: SimTime, p: Packet, ctx: &mut Ctx<'_, Ev>) {
+        let at_router = self.server_lan.enqueue_forward(now, p.wire_bytes);
+        let at_client = self.wan.forward(at_router, p.wire_bytes);
+        ctx.schedule_at(at_client, Ev::ClientRx(p));
+    }
+
+    /// Self-clocked mode: send as much as the window allows.
+    fn pump_self_clocked(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        while self.sender.can_send() {
+            let id = self.pid();
+            let p = self
+                .sender
+                .next_segment(id)
+                .expect("can_send implies a segment");
+            self.transmit(now, p, ctx);
+        }
+    }
+
+    /// Rate-based mode: schedule the next pacing opportunity after the
+    /// pacer interval plus a trigger-state delay.
+    fn schedule_pace(&mut self, interval_us: u64, ctx: &mut Ctx<'_, Ev>) {
+        let delay = self.trigger_gap.sample(&mut self.rng).max(0.0);
+        let d = SimDuration::from_micros(interval_us) + SimDuration::from_micros_f64(delay);
+        self.pace_pending = true;
+        ctx.schedule_in(d, Ev::PaceFire);
+    }
+
+    fn send_ack(&mut self, now: SimTime, ack: u64, ctx: &mut Ctx<'_, Ev>) {
+        let id = self.pid();
+        let p = Packet::ack(id, ConnId(1), ack, self.config.sender.rwnd);
+        let at_server = self.wan.reverse(now, HEADER_BYTES);
+        ctx.schedule_at(at_server, Ev::ServerRx(p));
+    }
+}
+
+impl World for TransferWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        match ev {
+            Ev::CrossTraffic => {
+                if let Some(ct) = self.config.reverse_cross_traffic {
+                    // The burst occupies the reverse bottleneck; its
+                    // delivery is irrelevant, only the queueing it causes.
+                    let _ = self.wan.reverse(now, ct.burst_bytes);
+                    if self.done_at.is_none() {
+                        ctx.schedule_in(ct.period, Ev::CrossTraffic);
+                    }
+                }
+            }
+            Ev::ServerRx(p) => {
+                if !self.started {
+                    // The request: start the response.
+                    self.started = true;
+                    match self.config.sender.mode {
+                        SenderMode::SelfClocked => self.pump_self_clocked(now, ctx),
+                        SenderMode::RateBased => self.schedule_pace(0, ctx),
+                    }
+                } else if p.is_pure_ack() {
+                    if let Some(last) = self.last_ack_at {
+                        let gap = now.since(last).as_micros_f64();
+                        self.ack_gap_us.record(gap);
+                        if gap < 50.0 {
+                            self.compressed_ack_gaps += 1;
+                        }
+                    }
+                    self.last_ack_at = Some(now);
+                    self.sender.on_ack(p.tcp.ack);
+                    match self.config.sender.mode {
+                        SenderMode::SelfClocked => self.pump_self_clocked(now, ctx),
+                        SenderMode::RateBased => {
+                            // An ACK freeing rwnd space restarts pacing if
+                            // it had stalled.
+                            if !self.pace_pending && !self.sender.all_sent() {
+                                self.schedule_pace(0, ctx);
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::PaceFire => {
+                self.pace_pending = false;
+                if self.sender.all_sent() {
+                    return;
+                }
+                let id = self.pid();
+                if let Some(p) = self.sender.next_segment(id) {
+                    self.transmit(now, p, ctx);
+                    if !self.sender.all_sent() {
+                        self.schedule_pace(self.config.pacing_interval_us, ctx);
+                    }
+                }
+                // If rwnd-blocked, the next ACK restarts pacing.
+            }
+            Ev::ClientRx(p) => {
+                let read_pending_before = self.receiver.next_read_at();
+                match self.receiver.on_data(now, p.tcp.seq, p.payload_bytes) {
+                    AckDecision::AckNow { ack } => self.send_ack(now, ack, ctx),
+                    AckDecision::Delay => {}
+                }
+                // A slow reader schedules its next application read when
+                // the first segment of a burst arrives; fire the timer at
+                // exactly that time (not on the coarse delack grid).
+                if read_pending_before.is_none() {
+                    if let Some(at) = self.receiver.next_read_at() {
+                        ctx.schedule_at(at, Ev::AckTimer);
+                    }
+                }
+                if self.receiver.rcv_nxt() >= self.transfer_len && self.done_at.is_none() {
+                    self.done_at = Some(now);
+                }
+            }
+            Ev::AckTimer => {
+                if let Some(ack) = self.receiver.on_timer(now) {
+                    self.send_ack(now, ack, ctx);
+                }
+                // The periodic delayed-ACK grid re-arms itself; one-shot
+                // slow-reader read events (scheduled above) do not — they
+                // fire once at their exact time. Distinguish by policy:
+                // the grid is only needed for delayed ACKs.
+                if self.done_at.is_none()
+                    && matches!(self.config.ack_policy, AckPolicy::DelayedEvery2)
+                {
+                    ctx.schedule_in(self.config.delack_period, Ev::AckTimer);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one transfer to completion.
+#[derive(Debug)]
+pub struct TransferSim;
+
+impl TransferSim {
+    /// Executes the configured transfer and returns its outcome.
+    pub fn run(config: TransferConfig) -> TransferOutcome {
+        let transfer_len = config.transfer_segments * config.sender.mss as u64;
+        let mut engine = Engine::new(TransferWorld::new(config.clone()));
+
+        // The request leaves the client at t = 0 and crosses the WAN.
+        let at_server = engine
+            .world_mut()
+            .wan
+            .reverse(SimTime::ZERO, 300 + HEADER_BYTES);
+        let req = Packet::data(0, ConnId(1), 0, 300, 0, 65_535);
+        engine.schedule_at(at_server, Ev::ServerRx(req));
+        engine.schedule_at(SimTime::ZERO + config.delack_period, Ev::AckTimer);
+        if config.reverse_cross_traffic.is_some() {
+            engine.schedule_at(SimTime::from_micros(11), Ev::CrossTraffic);
+        }
+
+        let finished = engine.run_while(|w| w.done_at.is_none());
+        assert!(finished, "transfer did not complete: event queue drained");
+
+        let world = engine.into_world();
+        let done = world.done_at.expect("loop exits only when done");
+        let response_time = done.since(SimTime::ZERO);
+        let secs = response_time.as_secs_f64();
+        TransferOutcome {
+            response_time,
+            throughput_mbps: if secs > 0.0 {
+                transfer_len as f64 * 8.0 / secs / 1e6
+            } else {
+                0.0
+            },
+            segments: world.sender.segments_sent(),
+            acks: world.receiver.acks_sent(),
+            ack_gap_us: world.ack_gap_us.clone(),
+            compressed_ack_gaps: world.compressed_ack_gaps,
+            max_ack_coverage: world.receiver.max_ack_coverage(),
+            wan_max_backlog: world.wan.max_backlog(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_based_small_transfer_is_about_one_rtt() {
+        // Table 6, 5-packet row, rate-based: ~101 ms.
+        let out = TransferSim::run(TransferConfig::table6(5, true));
+        let ms = out.response_time.as_secs_f64() * 1e3;
+        assert!((95.0..115.0).contains(&ms), "response {ms} ms");
+        assert_eq!(out.segments, 5);
+    }
+
+    #[test]
+    fn regular_small_transfer_stalls_on_delayed_ack() {
+        // Table 6, 5-packet row, regular TCP: hundreds of ms — the lone
+        // initial segment waits out the delayed-ACK timer.
+        let out = TransferSim::run(TransferConfig::table6(5, false));
+        let ms = out.response_time.as_secs_f64() * 1e3;
+        assert!(ms > 300.0, "expected delack stall, got {ms} ms");
+    }
+
+    #[test]
+    fn rate_based_100_packets_matches_paper_shape() {
+        // Table 6: 123.7 ms. One RTT/2 each way + 100 * 240 µs of pacing.
+        let out = TransferSim::run(TransferConfig::table6(100, true));
+        let ms = out.response_time.as_secs_f64() * 1e3;
+        assert!((115.0..140.0).contains(&ms), "response {ms} ms");
+    }
+
+    #[test]
+    fn regular_100_packets_takes_many_rtts() {
+        // Table 6: 1145 ms — slow start needs ~10 round trips.
+        let out = TransferSim::run(TransferConfig::table6(100, false));
+        let ms = out.response_time.as_secs_f64() * 1e3;
+        assert!((800.0..1500.0).contains(&ms), "response {ms} ms");
+    }
+
+    #[test]
+    fn large_transfer_converges_to_bottleneck() {
+        // Table 6, 10000 packets: both modes approach the bottleneck
+        // rate; rate-based stays ahead.
+        let reg = TransferSim::run(TransferConfig::table6(10_000, false));
+        let rbc = TransferSim::run(TransferConfig::table6(10_000, true));
+        assert!(rbc.throughput_mbps > reg.throughput_mbps);
+        assert!(
+            rbc.throughput_mbps > 40.0 && rbc.throughput_mbps < 50.0,
+            "rbc {}",
+            rbc.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn faster_bottleneck_is_faster() {
+        let t6 = TransferSim::run(TransferConfig::table6(1000, true));
+        let t7 = TransferSim::run(TransferConfig::table7(1000, true));
+        assert!(t7.response_time < t6.response_time);
+    }
+
+    #[test]
+    fn all_segments_delivered_exactly_once() {
+        let out = TransferSim::run(TransferConfig::table7(500, false));
+        assert_eq!(out.segments, 500, "no loss, no retransmit on this path");
+    }
+}

@@ -1,0 +1,297 @@
+//! A calendar queue (Brown 1988): the self-resizing cousin of the timing
+//! wheel, standard in discrete-event simulators.
+//!
+//! Buckets cover `bucket_width` ticks each; the structure re-sizes (and
+//! re-estimates the width from the spacing of live deadlines) when the
+//! population outgrows or undershoots the bucket count, keeping near-O(1)
+//! operation across widely varying timer densities — the property the
+//! fixed-geometry wheels trade away. Included as an ablation point next
+//! to the paper's "modified timing wheels".
+
+use crate::slab::{Entry, TimerSlab};
+use crate::{TimerHandle, TimerQueue};
+
+const MIN_BUCKETS: usize = 16;
+
+/// A self-resizing calendar queue.
+///
+/// # Examples
+///
+/// ```
+/// use st_wheel::{CalendarQueue, TimerQueue};
+///
+/// let mut q = CalendarQueue::new();
+/// q.schedule(25, "a");
+/// q.schedule(1_000_000, "b");
+/// let mut out = Vec::new();
+/// q.advance(100, &mut out);
+/// assert_eq!(out, vec![(25, "a")]);
+/// ```
+#[derive(Debug)]
+pub struct CalendarQueue<P> {
+    buckets: Vec<Vec<Entry>>,
+    /// Ticks covered by one bucket (>= 1).
+    bucket_width: u64,
+    past_due: Vec<Entry>,
+    slab: TimerSlab<P>,
+    now: u64,
+    seq: u64,
+    resizes: u64,
+}
+
+impl<P> CalendarQueue<P> {
+    /// Creates an empty queue (16 buckets of 64 ticks).
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_width: 64,
+            past_due: Vec::new(),
+            slab: TimerSlab::new(),
+            now: 0,
+            seq: 0,
+            resizes: 0,
+        }
+    }
+
+    /// Current bucket count.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width in ticks.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// How many times the calendar has re-sized itself.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    fn bucket_of(&self, deadline: u64) -> usize {
+        ((deadline / self.bucket_width) % self.buckets.len() as u64) as usize
+    }
+
+    fn place(&mut self, deadline: u64, entry: Entry) {
+        if deadline <= self.now {
+            self.past_due.push(entry);
+        } else {
+            let b = self.bucket_of(deadline);
+            self.buckets[b].push(entry);
+        }
+    }
+
+    /// Re-sizes to `n` buckets, re-estimating the width from live
+    /// deadlines (Brown's heuristic: average spacing of a sample).
+    fn resize(&mut self, n: usize) {
+        self.resizes += 1;
+        // Collect the live entries.
+        let mut live: Vec<(u64, Entry)> = Vec::with_capacity(self.slab.len());
+        for bucket in &self.buckets {
+            for &entry in bucket {
+                if let Some(d) = self.slab.deadline_of(entry.index, entry.generation) {
+                    live.push((d, entry));
+                }
+            }
+        }
+        // Width estimate: average gap across a sorted sample's middle
+        // half; falls back to the old width when too few samples.
+        let mut sample: Vec<u64> = live.iter().map(|&(d, _)| d).take(64).collect();
+        sample.sort_unstable();
+        if sample.len() >= 4 {
+            let lo = sample.len() / 4;
+            let hi = (3 * sample.len()) / 4;
+            let span = sample[hi].saturating_sub(sample[lo]);
+            let gaps = (hi - lo).max(1) as u64;
+            self.bucket_width = (span / gaps).clamp(1, 1 << 32);
+        }
+        self.buckets = (0..n.max(MIN_BUCKETS)).map(|_| Vec::new()).collect();
+        for (d, entry) in live {
+            self.place(d, entry);
+        }
+    }
+
+    fn maybe_resize(&mut self) {
+        let live = self.slab.len();
+        let n = self.buckets.len();
+        if live > 2 * n {
+            self.resize(n * 2);
+        } else if n > MIN_BUCKETS && live < n / 2 {
+            self.resize((n / 2).max(MIN_BUCKETS));
+        }
+    }
+}
+
+impl<P> Default for CalendarQueue<P> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<P> TimerQueue<P> for CalendarQueue<P> {
+    fn schedule(&mut self, deadline: u64, payload: P) -> TimerHandle {
+        let handle = self.slab.insert(deadline, payload);
+        self.seq += 1;
+        self.place(
+            deadline,
+            Entry {
+                index: handle.index,
+                generation: handle.generation,
+            },
+        );
+        self.maybe_resize();
+        handle
+    }
+
+    fn cancel(&mut self, handle: TimerHandle) -> Option<P> {
+        self.slab.remove(handle).map(|(_, _, p)| p)
+    }
+
+    fn advance(&mut self, now: u64, out: &mut Vec<(u64, P)>) {
+        assert!(now >= self.now, "time went backwards: {} -> {now}", self.now);
+        let old = self.now;
+        self.now = now;
+
+        let mut due: Vec<(u64, u64, P)> = Vec::new();
+        let past = std::mem::take(&mut self.past_due);
+        for entry in past {
+            if let Some((d, s, p)) = self.slab.remove_index(entry.index, entry.generation) {
+                due.push((d, s, p));
+            }
+        }
+
+        // Visit each bucket whose time band intersects (old, now]; a jump
+        // past a full rotation visits every bucket once.
+        let n = self.buckets.len() as u64;
+        let first_band = old / self.bucket_width;
+        let last_band = now / self.bucket_width;
+        let bands = (last_band - first_band).min(n - 1);
+        for band in first_band..=first_band + bands {
+            let idx = (band % n) as usize;
+            let mut bucket = std::mem::take(&mut self.buckets[idx]);
+            bucket.retain(
+                |entry| match self.slab.deadline_of(entry.index, entry.generation) {
+                    None => false,
+                    Some(d) if d <= now => {
+                        if let Some((dd, s, p)) =
+                            self.slab.remove_index(entry.index, entry.generation)
+                        {
+                            due.push((dd, s, p));
+                        }
+                        false
+                    }
+                    Some(_) => true,
+                },
+            );
+            self.buckets[idx] = bucket;
+        }
+
+        due.sort_by_key(|&(d, s, _)| (d, s));
+        out.extend(due.into_iter().map(|(d, _, p)| (d, p)));
+        self.maybe_resize();
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let mut consider = |d: u64| {
+            min = Some(match min {
+                Some(m) => m.min(d),
+                None => d,
+            });
+        };
+        for entry in &self.past_due {
+            if let Some(d) = self.slab.deadline_of(entry.index, entry.generation) {
+                consider(d);
+            }
+        }
+        for bucket in &self.buckets {
+            for entry in bucket {
+                if let Some(d) = self.slab.deadline_of(entry.index, entry.generation) {
+                    consider(d);
+                }
+            }
+        }
+        min
+    }
+
+    fn len(&self) -> usize {
+        self.slab.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order_across_bucket_widths() {
+        let mut q = CalendarQueue::new();
+        for d in [5u64, 500, 50_000, 5_000_000] {
+            q.schedule(d, d);
+        }
+        let mut out = Vec::new();
+        q.advance(10_000_000, &mut out);
+        assert_eq!(
+            out.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            vec![5, 500, 50_000, 5_000_000]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn grows_and_shrinks_with_population() {
+        let mut q = CalendarQueue::new();
+        let handles: Vec<_> = (0..1_000u64).map(|i| q.schedule(10 + i * 7, i)).collect();
+        assert!(q.bucket_count() > MIN_BUCKETS, "grew: {}", q.bucket_count());
+        assert!(q.resizes() > 0);
+        for h in handles {
+            q.cancel(h);
+        }
+        // Shrink happens lazily on the next operations.
+        for i in 0..40u64 {
+            let h = q.schedule(1_000_000 + i, i);
+            q.cancel(h);
+        }
+        assert!(
+            q.bucket_count() < 256,
+            "shrunk back: {}",
+            q.bucket_count()
+        );
+    }
+
+    #[test]
+    fn width_adapts_to_deadline_spacing() {
+        let mut q = CalendarQueue::new();
+        // Deadlines 1000 ticks apart: after resizing, the width should be
+        // in that order of magnitude, not the initial 64.
+        for i in 0..200u64 {
+            q.schedule(1_000 + i * 1_000, i);
+        }
+        assert!(
+            q.bucket_width() >= 256,
+            "width {} should track the 1000-tick spacing",
+            q.bucket_width()
+        );
+    }
+
+    #[test]
+    fn past_deadlines_fire_next_advance() {
+        let mut q = CalendarQueue::new();
+        let mut out = Vec::new();
+        q.advance(100, &mut out);
+        q.schedule(50, "late");
+        q.advance(100, &mut out);
+        assert_eq!(out, vec![(50, "late")]);
+    }
+
+    #[test]
+    fn cancel_and_next_deadline() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(30, ());
+        q.schedule(90, ());
+        assert_eq!(q.next_deadline(), Some(30));
+        assert_eq!(q.cancel(a), Some(()));
+        assert_eq!(q.next_deadline(), Some(90));
+        assert_eq!(q.len(), 1);
+    }
+}

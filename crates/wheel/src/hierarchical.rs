@@ -1,0 +1,333 @@
+//! Hierarchical timing wheel (Varghese & Lauck scheme 7).
+
+use crate::slab::{Entry, TimerSlab};
+use crate::{TimerHandle, TimerQueue};
+
+/// Bits per level; each level has `2^LEVEL_BITS` slots.
+const LEVEL_BITS: u32 = 8;
+/// Number of levels; together they span `2^(LEVEL_BITS * LEVELS)` ticks.
+const LEVELS: usize = 4;
+const SLOTS_PER_LEVEL: usize = 1 << LEVEL_BITS;
+const LEVEL_MASK: u64 = (SLOTS_PER_LEVEL as u64) - 1;
+/// Deadlines further than this from `now` park in the overflow list.
+const HORIZON: u64 = 1 << (LEVEL_BITS * LEVELS as u32);
+
+/// Hierarchical timing wheel: four levels of 256 slots spanning 2^32 ticks
+/// (over an hour at 1 µs ticks), with an overflow list beyond that.
+///
+/// Entries at level `k` cover deadlines `2^(8k) <= delta < 2^(8(k+1))` and
+/// cascade down a level as the cursor reaches their epoch — the structure
+/// used by classic kernel timer implementations.
+///
+/// # Examples
+///
+/// ```
+/// use st_wheel::{HierarchicalWheel, TimerQueue};
+///
+/// let mut w = HierarchicalWheel::new();
+/// w.schedule(70_000, "far");  // level 2 at first
+/// w.schedule(3, "near");
+/// let mut out = Vec::new();
+/// w.advance(100, &mut out);
+/// assert_eq!(out, vec![(3, "near")]);
+/// out.clear();
+/// w.advance(70_000, &mut out);
+/// assert_eq!(out, vec![(70_000, "far")]);
+/// ```
+#[derive(Debug)]
+pub struct HierarchicalWheel<P> {
+    levels: Vec<Vec<Vec<Entry>>>,
+    overflow: Vec<Entry>,
+    past_due: Vec<Entry>,
+    slab: TimerSlab<P>,
+    now: u64,
+}
+
+impl<P> HierarchicalWheel<P> {
+    /// Creates an empty wheel at tick 0.
+    pub fn new() -> Self {
+        HierarchicalWheel {
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS_PER_LEVEL).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+            past_due: Vec::new(),
+            slab: TimerSlab::new(),
+            now: 0,
+        }
+    }
+
+    /// The tick span covered by the wheel levels (beyond it: overflow list).
+    pub fn horizon() -> u64 {
+        HORIZON
+    }
+
+    fn place(&mut self, deadline: u64, entry: Entry) {
+        if deadline <= self.now {
+            self.past_due.push(entry);
+            return;
+        }
+        let delta = deadline - self.now;
+        if delta >= HORIZON {
+            self.overflow.push(entry);
+            return;
+        }
+        // Smallest level whose span contains delta.
+        let level = ((64 - delta.leading_zeros() - 1) / LEVEL_BITS) as usize;
+        let level = level.min(LEVELS - 1);
+        let slot = ((deadline >> (LEVEL_BITS * level as u32)) & LEVEL_MASK) as usize;
+        self.levels[level][slot].push(entry);
+    }
+
+    /// Re-places every entry of `list`, emitting due ones into `due`.
+    fn replace_or_expire(&mut self, list: Vec<Entry>, due: &mut Vec<(u64, u64, P)>) {
+        for entry in list {
+            match self.slab.deadline_of(entry.index, entry.generation) {
+                None => {} // Canceled; drop.
+                Some(d) if d <= self.now => {
+                    if let Some((dd, s, p)) = self.slab.remove_index(entry.index, entry.generation)
+                    {
+                        due.push((dd, s, p));
+                    }
+                }
+                Some(d) => self.place(d, entry),
+            }
+        }
+    }
+}
+
+impl<P> Default for HierarchicalWheel<P> {
+    fn default() -> Self {
+        HierarchicalWheel::new()
+    }
+}
+
+impl<P> TimerQueue<P> for HierarchicalWheel<P> {
+    fn schedule(&mut self, deadline: u64, payload: P) -> TimerHandle {
+        let handle = self.slab.insert(deadline, payload);
+        self.place(
+            deadline,
+            Entry {
+                index: handle.index,
+                generation: handle.generation,
+            },
+        );
+        handle
+    }
+
+    fn cancel(&mut self, handle: TimerHandle) -> Option<P> {
+        self.slab.remove(handle).map(|(_, _, p)| p)
+    }
+
+    fn advance(&mut self, now: u64, out: &mut Vec<(u64, P)>) {
+        assert!(
+            now >= self.now,
+            "time went backwards: {} -> {now}",
+            self.now
+        );
+        let old = self.now;
+        self.now = now;
+
+        let mut due: Vec<(u64, u64, P)> = Vec::new();
+
+        let past = std::mem::take(&mut self.past_due);
+        for entry in past {
+            if let Some((d, s, p)) = self.slab.remove_index(entry.index, entry.generation) {
+                due.push((d, s, p));
+            }
+        }
+
+        // Process levels from coarsest to finest so that cascaded entries
+        // land in already-final lower-level slots before those are visited.
+        for level in (0..LEVELS).rev() {
+            let shift = LEVEL_BITS * level as u32;
+            let from_epoch = old >> shift;
+            let to_epoch = now >> shift;
+            if to_epoch == from_epoch && level > 0 {
+                continue;
+            }
+            let crossed = to_epoch - from_epoch;
+            if crossed >= SLOTS_PER_LEVEL as u64 {
+                // Full rotation (or more): every slot needs a pass.
+                for slot in 0..SLOTS_PER_LEVEL {
+                    let list = std::mem::take(&mut self.levels[level][slot]);
+                    self.replace_or_expire(list, &mut due);
+                }
+            } else {
+                // Visit epochs from_epoch+1..=to_epoch, plus the target
+                // epoch's slot at level 0 equals `now & mask` which is
+                // covered by the same range when level == 0.
+                let mut epoch = from_epoch + 1;
+                while epoch <= to_epoch {
+                    let slot = (epoch & LEVEL_MASK) as usize;
+                    let list = std::mem::take(&mut self.levels[level][slot]);
+                    self.replace_or_expire(list, &mut due);
+                    epoch += 1;
+                }
+            }
+        }
+
+        // Overflow entries may have come into range (or become due).
+        if now - old > 0 {
+            let overflow = std::mem::take(&mut self.overflow);
+            for entry in overflow {
+                match self.slab.deadline_of(entry.index, entry.generation) {
+                    None => {}
+                    Some(d) => {
+                        let e = entry;
+                        if d <= now {
+                            if let Some((dd, s, p)) = self.slab.remove_index(e.index, e.generation)
+                            {
+                                due.push((dd, s, p));
+                            }
+                        } else if d - now < HORIZON {
+                            self.place(d, e);
+                        } else {
+                            self.overflow.push(e);
+                        }
+                    }
+                }
+            }
+        }
+
+        due.sort_by_key(|&(d, s, _)| (d, s));
+        out.extend(due.into_iter().map(|(d, _, p)| (d, p)));
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let mut consider = |d: u64| {
+            min = Some(match min {
+                Some(m) => m.min(d),
+                None => d,
+            });
+        };
+        for entry in &self.past_due {
+            if let Some(d) = self.slab.deadline_of(entry.index, entry.generation) {
+                consider(d);
+            }
+        }
+        for level in &self.levels {
+            for slot in level {
+                for entry in slot {
+                    if let Some(d) = self.slab.deadline_of(entry.index, entry.generation) {
+                        consider(d);
+                    }
+                }
+            }
+        }
+        for entry in &self.overflow {
+            if let Some(d) = self.slab.deadline_of(entry.index, entry.generation) {
+                consider(d);
+            }
+        }
+        min
+    }
+
+    fn len(&self) -> usize {
+        self.slab.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_and_far_deadlines() {
+        let mut w = HierarchicalWheel::new();
+        w.schedule(1, "t1");
+        w.schedule(300, "t300");
+        w.schedule(70_000, "t70k");
+        w.schedule(20_000_000, "t20M");
+        let mut out = Vec::new();
+        w.advance(25_000_000, &mut out);
+        let names: Vec<&str> = out.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["t1", "t300", "t70k", "t20M"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cascading_preserves_deadline() {
+        let mut w = HierarchicalWheel::new();
+        // Lands at level 1 initially; cascades to level 0 when the cursor
+        // enters its epoch; must fire exactly at 300, not early.
+        w.schedule(300, ());
+        let mut out = Vec::new();
+        w.advance(299, &mut out);
+        assert!(out.is_empty(), "fired early: {out:?}");
+        w.advance(300, &mut out);
+        assert_eq!(out, vec![(300, ())]);
+    }
+
+    #[test]
+    fn step_by_step_advance_equals_jump() {
+        let deadlines = [3u64, 255, 256, 257, 65_535, 65_536, 70_001];
+        let mut w1 = HierarchicalWheel::new();
+        let mut w2 = HierarchicalWheel::new();
+        for &d in &deadlines {
+            w1.schedule(d, d);
+            w2.schedule(d, d);
+        }
+        let mut out1 = Vec::new();
+        w1.advance(100_000, &mut out1);
+        let mut out2 = Vec::new();
+        let mut t = 0;
+        while t < 100_000 {
+            t += 997; // Prime step to hit odd boundaries.
+            w2.advance(t.min(100_000), &mut out2);
+        }
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn overflow_beyond_horizon() {
+        let mut w = HierarchicalWheel::new();
+        let far = HierarchicalWheel::<u32>::horizon() + 500;
+        w.schedule(far, 1);
+        assert_eq!(w.next_deadline(), Some(far));
+        let mut out = Vec::new();
+        w.advance(far - 1, &mut out);
+        assert!(out.is_empty());
+        w.advance(far, &mut out);
+        assert_eq!(out, vec![(far, 1)]);
+    }
+
+    #[test]
+    fn cancel_at_every_level() {
+        let mut w = HierarchicalWheel::new();
+        let h1 = w.schedule(10, ());
+        let h2 = w.schedule(1000, ());
+        let h3 = w.schedule(100_000, ());
+        let far = HierarchicalWheel::<()>::horizon() + 10;
+        let h4 = w.schedule(far, ());
+        for h in [h1, h2, h3, h4] {
+            assert!(w.cancel(h).is_some());
+        }
+        assert!(w.is_empty());
+        let mut out = Vec::new();
+        w.advance(far + 10, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn equal_deadlines_fifo() {
+        let mut w = HierarchicalWheel::new();
+        for i in 0..5 {
+            w.schedule(1000, i);
+        }
+        let mut out = Vec::new();
+        w.advance(1000, &mut out);
+        assert_eq!(out, (0..5).map(|i| (1000, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let mut w = HierarchicalWheel::new();
+        let mut out = Vec::new();
+        w.advance(500, &mut out);
+        w.schedule(100, "late-scheduled");
+        w.advance(500, &mut out);
+        assert_eq!(out, vec![(100, "late-scheduled")]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Generation-checked payload storage shared by all timer structures.
+//!
+//! Wheels keep lists of small indices rather than payloads; the payload
+//! and its full deadline live in a slab slot. Cancelation empties the slot
+//! (`O(1)`) and stale list entries are skipped when their slot generation
+//! no longer matches — the classic lazy-deletion scheme, which keeps wheel
+//! slots as plain `Vec<u32>`s.
+
+/// Opaque handle to a scheduled timer, valid across any [`crate::TimerQueue`]
+/// implementation that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+#[derive(Debug)]
+pub(crate) struct Slot<P> {
+    pub(crate) generation: u32,
+    pub(crate) state: SlotState<P>,
+}
+
+#[derive(Debug)]
+pub(crate) enum SlotState<P> {
+    Free { next_free: Option<u32> },
+    Occupied { deadline: u64, seq: u64, payload: P },
+}
+
+/// Slab of timer slots with an intrusive free list.
+#[derive(Debug)]
+pub(crate) struct TimerSlab<P> {
+    slots: Vec<Slot<P>>,
+    free_head: Option<u32>,
+    live: usize,
+    next_seq: u64,
+}
+
+impl<P> TimerSlab<P> {
+    pub(crate) fn new() -> Self {
+        TimerSlab {
+            slots: Vec::new(),
+            free_head: None,
+            live: 0,
+            next_seq: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Stores a payload, returning its handle and insertion sequence.
+    pub(crate) fn insert(&mut self, deadline: u64, payload: P) -> TimerHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live += 1;
+        match self.free_head {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                let next_free = match slot.state {
+                    SlotState::Free { next_free } => next_free,
+                    SlotState::Occupied { .. } => unreachable!("free list points at occupied slot"),
+                };
+                self.free_head = next_free;
+                slot.state = SlotState::Occupied {
+                    deadline,
+                    seq,
+                    payload,
+                };
+                TimerHandle {
+                    index: idx,
+                    generation: slot.generation,
+                }
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("timer slab exceeds u32 slots");
+                self.slots.push(Slot {
+                    generation: 0,
+                    state: SlotState::Occupied {
+                        deadline,
+                        seq,
+                        payload,
+                    },
+                });
+                TimerHandle {
+                    index: idx,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Removes the payload behind `handle` if it is still current.
+    pub(crate) fn remove(&mut self, handle: TimerHandle) -> Option<(u64, u64, P)> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        if matches!(slot.state, SlotState::Free { .. }) {
+            return None;
+        }
+        let state = std::mem::replace(
+            &mut slot.state,
+            SlotState::Free {
+                next_free: self.free_head,
+            },
+        );
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free_head = Some(handle.index);
+        self.live -= 1;
+        match state {
+            SlotState::Occupied {
+                deadline,
+                seq,
+                payload,
+            } => Some((deadline, seq, payload)),
+            SlotState::Free { .. } => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// Removes by raw index when the stored generation matches `generation`.
+    pub(crate) fn remove_index(&mut self, index: u32, generation: u32) -> Option<(u64, u64, P)> {
+        self.remove(TimerHandle { index, generation })
+    }
+
+    /// The deadline stored at `index` when live under `generation`.
+    pub(crate) fn deadline_of(&self, index: u32, generation: u32) -> Option<u64> {
+        let slot = self.slots.get(index as usize)?;
+        if slot.generation != generation {
+            return None;
+        }
+        match slot.state {
+            SlotState::Occupied { deadline, .. } => Some(deadline),
+            SlotState::Free { .. } => None,
+        }
+    }
+}
+
+/// A wheel-slot entry: slab index plus the generation at insert time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Entry {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s: TimerSlab<&str> = TimerSlab::new();
+        let h = s.insert(10, "a");
+        assert_eq!(s.len(), 1);
+        let (d, _, p) = s.remove(h).unwrap();
+        assert_eq!((d, p), (10, "a"));
+        assert_eq!(s.len(), 0);
+        assert!(s.remove(h).is_none(), "double remove");
+    }
+
+    #[test]
+    fn slots_are_reused_with_new_generation() {
+        let mut s: TimerSlab<u32> = TimerSlab::new();
+        let h1 = s.insert(1, 100);
+        s.remove(h1).unwrap();
+        let h2 = s.insert(2, 200);
+        assert_eq!(h1.index, h2.index, "slot reused");
+        assert_ne!(h1.generation, h2.generation, "generation bumped");
+        assert!(s.remove(h1).is_none(), "stale handle rejected");
+        assert_eq!(s.remove(h2).unwrap().2, 200);
+    }
+
+    #[test]
+    fn seq_monotone() {
+        let mut s: TimerSlab<()> = TimerSlab::new();
+        let h1 = s.insert(5, ());
+        let h2 = s.insert(5, ());
+        let (_, s1, _) = s.remove(h1).unwrap();
+        let (_, s2, _) = s.remove(h2).unwrap();
+        assert!(s1 < s2);
+    }
+
+    #[test]
+    fn deadline_of_checks_generation() {
+        let mut s: TimerSlab<()> = TimerSlab::new();
+        let h = s.insert(42, ());
+        assert_eq!(s.deadline_of(h.index, h.generation), Some(42));
+        assert_eq!(s.deadline_of(h.index, h.generation + 1), None);
+        s.remove(h).unwrap();
+        assert_eq!(s.deadline_of(h.index, h.generation), None);
+    }
+}

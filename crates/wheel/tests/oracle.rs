@@ -1,0 +1,140 @@
+//! Property tests: every wheel must agree with the binary-heap oracle on
+//! arbitrary schedule / cancel / advance sequences.
+
+use proptest::prelude::*;
+use st_wheel::{CalendarQueue, HashedWheel, HeapQueue, HierarchicalWheel, SimpleWheel, TimerQueue};
+
+/// An operation in a random timer workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule a timer `delta` ticks past the current advance point.
+    Schedule { delta: u64 },
+    /// Cancel the `nth` still-live handle (modulo live count).
+    Cancel { nth: usize },
+    /// Advance time forward by `delta` ticks.
+    Advance { delta: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..5000).prop_map(|delta| Op::Schedule { delta }),
+        1 => any::<usize>().prop_map(|nth| Op::Cancel { nth }),
+        2 => (0u64..2000).prop_map(|delta| Op::Advance { delta }),
+    ]
+}
+
+/// Runs the op sequence against `queue` and the oracle simultaneously,
+/// asserting identical observable behaviour after every step.
+fn check_against_oracle<Q: TimerQueue<u64>>(mut queue: Q, ops: &[Op]) {
+    let mut oracle: HeapQueue<u64> = HeapQueue::new();
+    let mut now = 0u64;
+    let mut live: Vec<(st_wheel::TimerHandle, st_wheel::TimerHandle)> = Vec::new();
+    let mut payload = 0u64;
+
+    for op in ops {
+        match *op {
+            Op::Schedule { delta } => {
+                let deadline = now + delta;
+                let h1 = queue.schedule(deadline, payload);
+                let h2 = oracle.schedule(deadline, payload);
+                live.push((h1, h2));
+                payload += 1;
+            }
+            Op::Cancel { nth } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = nth % live.len();
+                let (h1, h2) = live.swap_remove(idx);
+                let c1 = queue.cancel(h1);
+                let c2 = oracle.cancel(h2);
+                assert_eq!(c1, c2, "cancel result diverged");
+            }
+            Op::Advance { delta } => {
+                now += delta;
+                let mut out1 = Vec::new();
+                let mut out2 = Vec::new();
+                queue.advance(now, &mut out1);
+                oracle.advance(now, &mut out2);
+                assert_eq!(out1, out2, "expiry diverged at t={now}");
+                // Handles of fired timers stay in `live`; canceling them
+                // later must return `None` identically in both structures,
+                // which the Cancel arm asserts.
+            }
+        }
+        assert_eq!(queue.len(), oracle.len(), "len diverged");
+        assert_eq!(
+            queue.next_deadline(),
+            oracle.next_deadline(),
+            "next_deadline diverged"
+        );
+    }
+
+    // Drain everything left and compare.
+    let mut out1 = Vec::new();
+    let mut out2 = Vec::new();
+    queue.advance(now + (1u64 << 34), &mut out1);
+    oracle.advance(now + (1u64 << 34), &mut out2);
+    assert_eq!(out1, out2, "final drain diverged");
+    assert!(queue.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simple_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_against_oracle(SimpleWheel::new(512), &ops);
+    }
+
+    #[test]
+    fn small_simple_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        // A tiny horizon exercises the overflow path constantly.
+        check_against_oracle(SimpleWheel::new(7), &ops);
+    }
+
+    #[test]
+    fn hashed_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_against_oracle(HashedWheel::with_slots(64), &ops);
+    }
+
+    #[test]
+    fn tiny_hashed_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        // One-slot wheel degenerates to a single unsorted list; still must
+        // behave identically.
+        check_against_oracle(HashedWheel::with_slots(1), &ops);
+    }
+
+    #[test]
+    fn hierarchical_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_against_oracle(HierarchicalWheel::new(), &ops);
+    }
+
+    #[test]
+    fn calendar_queue_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_against_oracle(CalendarQueue::new(), &ops);
+    }
+
+    #[test]
+    fn hierarchical_wheel_long_jumps(
+        deltas in proptest::collection::vec(0u64..100_000_000, 1..40),
+        deadlines in proptest::collection::vec(0u64..200_000_000, 1..40),
+    ) {
+        // Long jumps stress cascading and the overflow list.
+        let mut w = HierarchicalWheel::new();
+        let mut oracle = HeapQueue::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            w.schedule(d, i as u64);
+            oracle.schedule(d, i as u64);
+        }
+        let mut now = 0;
+        for &d in &deltas {
+            now += d;
+            let mut o1 = Vec::new();
+            let mut o2 = Vec::new();
+            w.advance(now, &mut o1);
+            oracle.advance(now, &mut o2);
+            prop_assert_eq!(o1, o2, "diverged at t={}", now);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Sampling trigger streams from a workload spec.
+
+use st_kernel::trigger::TriggerSource;
+use st_sim::{SimRng, SimTime};
+
+use crate::spec::{IntervalComponent, WorkloadSpec};
+
+/// An infinite stream of tagged trigger states.
+///
+/// # Examples
+///
+/// ```
+/// use st_workloads::{all_workloads, TriggerStream, WorkloadId};
+///
+/// let spec = WorkloadId::StApache.spec();
+/// let mut stream = TriggerStream::new(spec, 42);
+/// let (gap_us, source) = stream.next_gap();
+/// assert!(gap_us > 0.0);
+/// let _ = source;
+/// # let _ = all_workloads();
+/// ```
+#[derive(Debug)]
+pub struct TriggerStream {
+    spec: WorkloadSpec,
+    rng: SimRng,
+    component_cdf: Vec<f64>,
+    source_cdf: Vec<f64>,
+    now: SimTime,
+}
+
+impl TriggerStream {
+    /// Creates a stream for `spec` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec has no components or sources.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        assert!(!spec.components.is_empty(), "spec needs components");
+        assert!(!spec.sources.is_empty(), "spec needs sources");
+        let mut component_cdf = Vec::with_capacity(spec.components.len());
+        let total_c: f64 = spec.components.iter().map(|&(w, _)| w).sum();
+        let mut acc = 0.0;
+        for &(w, _) in &spec.components {
+            acc += w / total_c;
+            component_cdf.push(acc);
+        }
+        let mut source_cdf = Vec::with_capacity(spec.sources.len());
+        let total_s: f64 = spec.sources.iter().map(|&(w, _)| w).sum();
+        let mut acc = 0.0;
+        for &(w, _) in &spec.sources {
+            acc += w / total_s;
+            source_cdf.push(acc);
+        }
+        TriggerStream {
+            spec,
+            rng: SimRng::seed(seed),
+            component_cdf,
+            source_cdf,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The spec driving this stream.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Draws the next inter-trigger gap (µs) and the source of the
+    /// trigger that ends it.
+    pub fn next_gap(&mut self) -> (f64, TriggerSource) {
+        let u = self.rng.uniform01();
+        let idx = self.component_cdf.partition_point(|&c| c < u);
+        let (_, comp) = self.spec.components[idx.min(self.spec.components.len() - 1)];
+        let raw = match comp {
+            IntervalComponent::LogNormal { median, sigma } => {
+                (median.ln() + sigma * self.rng.standard_normal()).exp()
+            }
+            IntervalComponent::Band { lo, hi } => self.rng.uniform(lo, hi),
+            IntervalComponent::Exponential { mean } => -mean * (1.0 - self.rng.uniform01()).ln(),
+        };
+        let gap = (raw * self.spec.time_scale).clamp(0.1, self.spec.max_interval);
+
+        let u = self.rng.uniform01();
+        let idx = self.source_cdf.partition_point(|&c| c < u);
+        let (_, source) = self.spec.sources[idx.min(self.spec.sources.len() - 1)];
+        (gap, source)
+    }
+
+    /// Advances internal simulated time by one gap and returns the
+    /// absolute trigger time with its source.
+    pub fn next_trigger(&mut self) -> (SimTime, TriggerSource) {
+        let (gap, source) = self.next_gap();
+        self.now += st_sim::SimDuration::from_micros_f64(gap);
+        (self.now, source)
+    }
+
+    /// Current stream time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Convenience: a closure yielding gaps in whole microsecond ticks,
+    /// for APIs like `TransmissionProcess::run_soft`.
+    pub fn tick_gap_fn(mut self) -> impl FnMut() -> u64 {
+        move || self.next_gap().0.round().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+
+    fn two_component_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "t",
+            components: vec![
+                (
+                    0.9,
+                    IntervalComponent::LogNormal {
+                        median: 10.0,
+                        sigma: 0.0,
+                    },
+                ),
+                (
+                    0.1,
+                    IntervalComponent::Band {
+                        lo: 100.0,
+                        hi: 100.0,
+                    },
+                ),
+            ],
+            sources: vec![(0.75, TriggerSource::Syscall), (0.25, TriggerSource::Trap)],
+            max_interval: 1000.0,
+            time_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn component_weights_respected() {
+        let mut s = TriggerStream::new(two_component_spec(), 1);
+        let n = 50_000;
+        let long = (0..n).filter(|_| s.next_gap().0 > 50.0).count();
+        let frac = long as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "band fraction {frac}");
+    }
+
+    #[test]
+    fn source_weights_respected() {
+        let mut s = TriggerStream::new(two_component_spec(), 2);
+        let n = 50_000;
+        let traps = (0..n)
+            .filter(|_| s.next_gap().1 == TriggerSource::Trap)
+            .count();
+        let frac = traps as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "trap fraction {frac}");
+    }
+
+    #[test]
+    fn clamping_bounds_gaps() {
+        let spec = WorkloadSpec {
+            components: vec![(1.0, IntervalComponent::Exponential { mean: 800.0 })],
+            ..two_component_spec()
+        };
+        let mut s = TriggerStream::new(spec, 3);
+        for _ in 0..10_000 {
+            let (g, _) = s.next_gap();
+            assert!((0.1..=1000.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn absolute_times_are_monotone() {
+        let mut s = TriggerStream::new(two_component_spec(), 4);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let (t, _) = s.next_trigger();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = TriggerStream::new(two_component_spec(), 7);
+        let mut b = TriggerStream::new(two_component_spec(), 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+    }
+}

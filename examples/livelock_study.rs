@@ -1,0 +1,52 @@
+//! Receive livelock: why polling matters under overload.
+//!
+//! Sweeps an open-loop packet load from well below to far beyond the
+//! server's processing capacity for each dispatch policy, printing the
+//! classic goodput curves: interrupt-driven dispatch collapses, the
+//! Mogul-Ramakrishnan hybrid and soft-timer polling plateau.
+//!
+//! ```text
+//! cargo run --release --example livelock_study
+//! ```
+
+use soft_timers::http::livelock::{run_livelock, LivelockConfig};
+use soft_timers::net::driver::DriverStrategy;
+
+fn main() {
+    let policies: [(&str, DriverStrategy); 4] = [
+        ("interrupts", DriverStrategy::InterruptDriven),
+        ("hybrid", DriverStrategy::Hybrid),
+        (
+            "soft-poll q=5",
+            DriverStrategy::SoftTimerPolling { quota: 5.0 },
+        ),
+        (
+            "pure-poll 100us",
+            DriverStrategy::PurePolling { period: 100 },
+        ),
+    ];
+    let loads: [f64; 8] = [10e3, 25e3, 40e3, 55e3, 70e3, 100e3, 160e3, 250e3];
+
+    println!("goodput (kpps) vs offered load (kpps); per-packet work 13 us:\n");
+    print!("{:>14}", "offered");
+    for (name, _) in &policies {
+        print!("{name:>17}");
+    }
+    println!();
+    for &pps in &loads {
+        print!("{:>14.0}", pps / 1e3);
+        for &(_, driver) in &policies {
+            let r = run_livelock(LivelockConfig::baseline(driver, pps, 7));
+            print!("{:>17.1}", r.delivered_pps / 1e3);
+        }
+        println!();
+    }
+    println!(
+        "\ninterrupt dispatch outranks packet processing, so past saturation it\n\
+         starves the work that would deliver packets (receive livelock). The\n\
+         hybrid and soft-timer polling bound dispatch work and hold capacity;\n\
+         soft-timer polling additionally keeps microsecond latency when idle\n\
+         (interrupts are re-enabled in the idle loop) — the paper's section 6\n\
+         comparison."
+    );
+}

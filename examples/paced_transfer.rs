@@ -1,0 +1,56 @@
+//! Rate-based clocking over a high bandwidth-delay-product path.
+//!
+//! Reproduces the scenario motivating the paper's section 5.8: a web
+//! server answers a request over an emulated WAN (100 ms RTT) either with
+//! standard slow-start TCP or with soft-timer rate-based clocking at the
+//! known bottleneck capacity. Small and medium transfers see most of
+//! their response time disappear.
+//!
+//! ```text
+//! cargo run --release --example paced_transfer [-- <bottleneck_mbps> <packets>]
+//! ```
+
+use soft_timers::tcp::transfer::{TransferConfig, TransferSim};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mbps: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let packets: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    assert!(
+        mbps == 50 || mbps == 100,
+        "the emulated paths are 50 or 100 Mbps (Tables 6 and 7)"
+    );
+
+    println!("transfer of {packets} x 1448 B packets over a {mbps} Mbps bottleneck, 100 ms RTT\n");
+
+    let config = |rbc| {
+        if mbps == 50 {
+            TransferConfig::table6(packets, rbc)
+        } else {
+            TransferConfig::table7(packets, rbc)
+        }
+    };
+
+    let reg = TransferSim::run(config(false));
+    let rbc = TransferSim::run(config(true));
+
+    println!("                      regular TCP    rate-based clocking");
+    println!(
+        "response time      {:>10.1} ms    {:>10.1} ms",
+        reg.response_time.as_secs_f64() * 1e3,
+        rbc.response_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "throughput         {:>10.2} Mbps  {:>10.2} Mbps",
+        reg.throughput_mbps, rbc.throughput_mbps
+    );
+    println!(
+        "segments / ACKs    {:>7} / {:<6} {:>7} / {:<6}",
+        reg.segments, reg.acks, rbc.segments, rbc.acks
+    );
+    println!(
+        "\nresponse-time reduction: {:.0}%  (the paper reports up to 89% for 100-packet\n\
+         transfers — slow start needs ~10 round trips that pacing simply skips)",
+        (1.0 - rbc.response_time.as_secs_f64() / reg.response_time.as_secs_f64()) * 100.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Cross-crate determinism: identical seeds produce identical results in
+//! every simulation layer.
+
+use soft_timers::http::model::{HttpMode, ServerKind, ServerModel};
+use soft_timers::http::saturation::{SaturationConfig, SaturationSim};
+use soft_timers::kernel::CostModel;
+use soft_timers::sim::SimDuration;
+use soft_timers::tcp::transfer::{TransferConfig, TransferSim};
+use soft_timers::workloads::{TriggerStream, WorkloadId};
+
+#[test]
+fn workload_streams_are_deterministic() {
+    for id in WorkloadId::ALL {
+        let mut a = TriggerStream::new(id.spec(), 123);
+        let mut b = TriggerStream::new(id.spec(), 123);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_gap(), b.next_gap(), "{} diverged", id.label());
+        }
+    }
+}
+
+#[test]
+fn saturation_sim_is_deterministic() {
+    let machine = CostModel::pentium_ii_300();
+    let server = ServerModel::calibrated(ServerKind::Apache, HttpMode::Http, &machine, 774.0);
+    let cfg = |seed| {
+        let mut c = SaturationConfig::baseline(machine, server.clone(), seed);
+        c.duration = SimDuration::from_millis(500);
+        c
+    };
+    let a = SaturationSim::run(cfg(7));
+    let b = SaturationSim::run(cfg(7));
+    assert_eq!(a.requests, b.requests);
+    assert_eq!(a.soft_fires, b.soft_fires);
+    assert_eq!(a.trigger_mean_us, b.trigger_mean_us);
+
+    // And a different seed actually changes the run.
+    let c = SaturationSim::run(cfg(8));
+    assert!(
+        a.trigger_mean_us != c.trigger_mean_us || a.requests != c.requests,
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn wan_transfer_is_deterministic() {
+    let mk = || TransferSim::run(TransferConfig::table6(200, true));
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.response_time, b.response_time);
+    assert_eq!(a.segments, b.segments);
+    assert_eq!(a.acks, b.acks);
+}
+
+#[test]
+fn experiment_reports_are_deterministic() {
+    use soft_timers::experiments::{table45, Scale};
+    let a = table45::run(Scale::Quick, 5);
+    let b = table45::run(Scale::Quick, 5);
+    for (ra, rb) in a.table4.rows.iter().zip(b.table4.rows.iter()) {
+        assert_eq!(ra.avg_interval, rb.avg_interval);
+        assert_eq!(ra.std_dev, rb.std_dev);
+    }
+    assert_eq!(a.table4.hw_avg, b.table4.hw_avg);
+}

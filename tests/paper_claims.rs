@@ -1,0 +1,60 @@
+//! The paper's abstract-level claims, checked end to end against the
+//! reproduction at reduced scale:
+//!
+//! 1. Rate-based clocking improves HTTP response time over high
+//!    bandwidth-delay-product paths by up to ~89 %.
+//! 2. Soft timers support rate-based clocking at high aggregate
+//!    bandwidth for 2-6 % overhead where hardware timers cost 26-38 %.
+//! 3. Soft-timer network polling improves web-server throughput by up
+//!    to ~25 %.
+//! 4. The facility schedules events down to tens of microseconds with a
+//!    hard 1 ms delay bound.
+
+use soft_timers::experiments::{table3, table67, table8, Scale};
+
+#[test]
+fn claim_response_time_reduction_up_to_89_percent() {
+    let t = table67::run(Scale::Quick, 1);
+    let best = t
+        .table6
+        .rows
+        .iter()
+        .chain(t.table7.rows.iter())
+        .map(|r| r.reduction_pct())
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        (80.0..95.0).contains(&best),
+        "best response-time reduction {best}%, paper: up to 89%"
+    );
+}
+
+#[test]
+fn claim_rate_based_clocking_overhead_ratio() {
+    let t = table3::run(Scale::Quick, 2);
+    for c in &t.columns {
+        assert!(
+            c.soft_overhead() < 0.10,
+            "soft overhead {} (paper: 2-6%)",
+            c.soft_overhead()
+        );
+        assert!(
+            c.hw_overhead() > 0.20,
+            "hw overhead {} (paper: 26-38%)",
+            c.hw_overhead()
+        );
+    }
+}
+
+#[test]
+fn claim_polling_improves_throughput() {
+    let t = table8::run(Scale::Quick, 3);
+    let best = t
+        .rows
+        .iter()
+        .flat_map(|r| r.soft_poll.iter().map(move |&(_, tput)| tput / r.interrupt))
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        (1.10..1.40).contains(&best),
+        "best polling speedup {best} (paper: up to 1.25)"
+    );
+}
