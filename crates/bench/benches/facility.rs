@@ -6,7 +6,7 @@
 //! noticeable impact on system performance" — for that to hold, this
 //! path must be a clock read and one comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::criterion::{criterion_group, criterion_main, Criterion};
 use st_core::facility::{Config, Expired, SoftTimerCore};
 use st_wheel::{HeapQueue, HierarchicalWheel, TimerQueue};
 

@@ -1,7 +1,7 @@
 //! Rate-based clocking and poll-controller hot paths, plus the
 //! transmission-process pipeline at small scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::criterion::{criterion_group, criterion_main, Criterion};
 use st_core::facility::Config;
 use st_core::pacer::{Pacer, PacerConfig};
 use st_core::poller::{PollController, PollControllerConfig};

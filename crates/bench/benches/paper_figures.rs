@@ -4,7 +4,7 @@
 //! figure's pipeline per iteration; full-scale regeneration is the
 //! `repro` binary's job.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::criterion::{criterion_group, criterion_main, Criterion};
 use st_experiments::{fig5, fig6_table2, scaling, Scale};
 use st_http::model::{HttpMode, ServerKind, ServerModel};
 use st_http::saturation::{SaturationConfig, SaturationSim, TimerLoad};

@@ -7,7 +7,7 @@
 //! expensive one-time setup (model calibration) hoisted out of the
 //! timing loop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::criterion::{criterion_group, criterion_main, Criterion};
 use st_core::facility::Config;
 use st_core::pacer::PacerConfig;
 use st_http::model::{HttpMode, ServerKind, ServerModel};

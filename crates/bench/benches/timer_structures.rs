@@ -3,7 +3,7 @@
 //! wheel schemes — schedule, advance, and cancel at several pending-set
 //! sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use st_bench::{deadline_stream, PENDING_SIZES};
 use st_wheel::{CalendarQueue, HashedWheel, HeapQueue, HierarchicalWheel, SimpleWheel, TimerQueue};
 

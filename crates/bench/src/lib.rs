@@ -1,4 +1,5 @@
-//! Shared helpers for the Criterion benchmark suite.
+//! Shared helpers for the benchmark suite, including the in-repo
+//! criterion-compatible harness ([`criterion`]).
 //!
 //! The benches split into two groups:
 //!
@@ -14,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod criterion;
 
 use st_sim::SimRng;
 

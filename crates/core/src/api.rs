@@ -121,28 +121,37 @@ impl<C: Clock> SoftTimers<C> {
 
     /// Declares a trigger state: checks for due events and runs their
     /// handlers inline. Returns how many ran.
+    ///
+    /// A panicking handler is caught and counted
+    /// ([`FacilityStats::handler_panics`]); remaining due handlers still
+    /// run and the facility stays usable.
     pub fn trigger_state(&mut self) -> usize {
         let now = self.clock.measure_time();
         let mut due = std::mem::take(&mut self.scratch);
         due.clear();
         self.core.poll(now, &mut due);
-        let n = due.len();
-        for ev in due.drain(..) {
-            (ev.payload)(ev.fired_at);
-        }
-        self.scratch = due;
-        n
+        self.dispatch(due)
     }
 
-    /// The periodic backup interrupt: sweeps overdue events.
+    /// The periodic backup interrupt: sweeps overdue events. Handler
+    /// panics are isolated exactly as in [`SoftTimers::trigger_state`].
     pub fn backup_interrupt(&mut self) -> usize {
         let now = self.clock.measure_time();
         let mut due = std::mem::take(&mut self.scratch);
         due.clear();
         self.core.interrupt_sweep(now, &mut due);
+        self.dispatch(due)
+    }
+
+    fn dispatch(&mut self, mut due: Vec<Expired<SoftHandler>>) -> usize {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         let n = due.len();
         for ev in due.drain(..) {
-            (ev.payload)(ev.fired_at);
+            let fired_at = ev.fired_at;
+            let payload = ev.payload;
+            if catch_unwind(AssertUnwindSafe(move || payload(fired_at))).is_err() {
+                self.core.note_handler_panic();
+            }
         }
         self.scratch = due;
         n
@@ -226,14 +235,39 @@ mod tests {
     #[test]
     fn handlers_fire_in_deadline_order() {
         let mut st = facility();
-        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
         for (delta, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
             let o = order.clone();
-            st.schedule_soft_event(delta, move |_| o.lock().push(tag));
+            st.schedule_soft_event(delta, move |_| o.lock().unwrap().push(tag));
         }
         st.clock().set(100);
         assert_eq!(st.trigger_state(), 3);
-        assert_eq!(*order.lock(), vec!['a', 'b', 'c']);
+        assert_eq!(*order.lock().unwrap(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn panicking_handler_is_isolated_and_counted() {
+        let mut st = facility();
+        let count = Arc::new(AtomicU64::new(0));
+        st.schedule_soft_event(5, |_| panic!("hostile"));
+        let c = count.clone();
+        st.schedule_soft_event(10, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        st.clock().set(50);
+        // Both are due; the panic is swallowed and the later handler runs.
+        assert_eq!(st.trigger_state(), 2);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(st.stats().handler_panics, 1);
+
+        // The facility is still usable afterwards.
+        let c = count.clone();
+        st.schedule_soft_event(5, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        st.clock().set(100);
+        assert_eq!(st.backup_interrupt(), 1);
+        assert_eq!(count.load(Ordering::SeqCst), 2);
     }
 
     #[test]

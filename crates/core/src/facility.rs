@@ -144,6 +144,12 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
         self.stats = FacilityStats::new();
     }
 
+    /// Records that an embedding runtime caught a panic from a dispatched
+    /// event handler (see [`FacilityStats::handler_panics`]).
+    pub fn note_handler_panic(&mut self) {
+        self.stats.handler_panics += 1;
+    }
+
     /// The paper's `schedule_soft_event(T, handler)`: schedules `payload`
     /// to fire at least `delta` ticks in the future, measured from `now`.
     ///
@@ -151,8 +157,10 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
     pub fn schedule(&mut self, now: u64, delta: u64, payload: P) -> TimerHandle {
         // Earliest legal firing tick: strictly more than `delta` ticks
         // after the schedule tick. The +1 accounts for the schedule time
-        // falling between clock ticks (section 3).
-        let deadline = now + delta + 1;
+        // falling between clock ticks (section 3). Saturate: a delta near
+        // `u64::MAX` must pin to the end of time, not wrap into the past
+        // and fire immediately.
+        let deadline = now.saturating_add(delta).saturating_add(1);
         let handle = self.wheel.schedule(deadline, payload);
         self.earliest = Some(match self.earliest {
             Some(e) => e.min(deadline),
@@ -205,11 +213,16 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
 
     fn fire(&mut self, now: u64, origin: FireOrigin, out: &mut Vec<Expired<P>>) -> usize {
         self.stats.checks += 1;
-        debug_assert!(
-            now >= self.last_seen,
-            "measurement clock went backwards: {} -> {now}",
+        // A measurement clock can go backwards in the real world (TSC
+        // wrap, unsynchronized cores, a buggy clock source). Clamp to the
+        // largest tick seen instead of mis-computing delays or handing the
+        // wheel a time regression; count it so embeddings can alarm.
+        let now = if now < self.last_seen {
+            self.stats.clock_regressions += 1;
             self.last_seen
-        );
+        } else {
+            now
+        };
         self.last_seen = now;
         match self.earliest {
             Some(e) if now >= e => {}
@@ -348,6 +361,61 @@ mod tests {
     #[test]
     fn x_ticks_default_is_1000() {
         assert_eq!(Config::default().x_ticks(), 1000);
+    }
+
+    #[test]
+    fn schedule_saturates_instead_of_wrapping() {
+        let mut c = core();
+        // now + delta + 1 would wrap; the deadline must pin to u64::MAX,
+        // i.e. the event stays in the future rather than firing at once.
+        c.schedule(u64::MAX - 10, u64::MAX, 1);
+        let mut out = Vec::new();
+        assert_eq!(c.poll(u64::MAX - 1, &mut out), 0, "must not fire early");
+        assert_eq!(c.earliest_deadline(), Some(u64::MAX));
+        assert_eq!(c.poll(u64::MAX, &mut out), 1, "fires at the end of time");
+        assert_eq!(out[0].due, u64::MAX);
+    }
+
+    #[test]
+    fn schedule_at_max_now_with_zero_delta() {
+        let mut c = core();
+        c.schedule(u64::MAX, 0, 7);
+        let mut out = Vec::new();
+        // Deadline saturates to u64::MAX; a check at u64::MAX fires it.
+        assert_eq!(c.poll(u64::MAX, &mut out), 1);
+        assert_eq!(out[0].delay(), 0);
+    }
+
+    #[test]
+    fn clock_regression_is_clamped_and_counted() {
+        let mut c = core();
+        c.schedule(0, 40, 1);
+        let mut out = Vec::new();
+        assert_eq!(c.poll(100, &mut out), 1);
+        assert_eq!(out[0].fired_at, 100);
+        // The clock jumps backwards; the facility clamps to tick 100.
+        c.schedule(0, 10, 2);
+        assert_eq!(c.poll(50, &mut out), 1, "clamped check still fires");
+        assert_eq!(out[1].fired_at, 100, "fired at the clamped tick");
+        assert_eq!(out[1].delay(), 89, "delay from clamped now, no underflow");
+        assert_eq!(c.stats().clock_regressions, 1);
+        // Monotone checks afterwards don't count as regressions.
+        c.poll(150, &mut out);
+        assert_eq!(c.stats().clock_regressions, 1);
+    }
+
+    #[test]
+    fn regression_during_backup_sweep_is_release_safe() {
+        let mut c = core();
+        c.schedule(0, 10, 1);
+        let mut out = Vec::new();
+        c.poll(2000, &mut out);
+        out.clear();
+        c.schedule(0, 5, 2); // Due at tick 6, far in the clamped past.
+        c.interrupt_sweep(1000, &mut out); // Backup reads a stale clock.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fired_at, 2000);
+        assert_eq!(c.stats().clock_regressions, 1);
     }
 
     #[test]

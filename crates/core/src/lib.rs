@@ -69,6 +69,6 @@ pub use api::SoftTimers;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use facility::{Config, Expired, FireOrigin, SoftTimerCore};
 pub use pacer::{Pacer, PacerConfig};
-pub use smp::{IdleDirective, SmpFacility};
 pub use poller::{PollController, PollControllerConfig};
+pub use smp::{IdleDirective, SmpFacility};
 pub use stats::FacilityStats;

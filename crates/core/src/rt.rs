@@ -29,12 +29,12 @@
 //! timers.shutdown();
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use st_wheel::TimerHandle;
 
 use crate::clock::{Clock, MonotonicClock};
@@ -81,11 +81,25 @@ impl RtPeriodic {
 }
 
 /// Thread-safe soft-timer runtime over the monotonic clock.
+///
+/// Hardened against hostile callbacks: a handler that panics is caught
+/// (and counted — see [`RtSoftTimers::handler_panics`]) so it can neither
+/// kill the backup-interrupt thread nor poison the shared wheel; events
+/// scheduled after a panic keep firing normally.
 pub struct RtSoftTimers {
     core: Mutex<SoftTimerCore<Handler>>,
     clock: MonotonicClock,
     shutdown: AtomicBool,
     backup: Mutex<Option<JoinHandle<()>>>,
+    panics: AtomicU64,
+}
+
+/// Locks a mutex, recovering the data even if a previous holder panicked.
+/// Handlers run outside the lock, so poisoning is only reachable through a
+/// panic inside the facility itself; the wheel's state is kept consistent
+/// by its own methods, so continuing is always sound here.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl RtSoftTimers {
@@ -110,6 +124,7 @@ impl RtSoftTimers {
             clock,
             shutdown: AtomicBool::new(false),
             backup: Mutex::new(None),
+            panics: AtomicU64::new(0),
         });
         let for_thread = Arc::clone(&rt);
         let period = config.backup_period;
@@ -122,8 +137,22 @@ impl RtSoftTimers {
                 }
             })
             .expect("failed to spawn backup thread");
-        *rt.backup.lock() = Some(handle);
+        *lock_recover(&rt.backup) = Some(handle);
         rt
+    }
+
+    /// Handlers that panicked and were caught (the runtime survives them).
+    pub fn handler_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Runs one due handler, catching a panic so neither the caller's
+    /// trigger loop nor the backup thread dies with it.
+    fn dispatch(&self, ev: Expired<Handler>) {
+        if catch_unwind(AssertUnwindSafe(|| (ev.payload)(self))).is_err() {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            lock_recover(&self.core).note_handler_panic();
+        }
     }
 
     /// The paper's `measure_time()`.
@@ -139,7 +168,7 @@ impl RtSoftTimers {
     /// The paper's `interrupt_clock_resolution()` (Hz): the backup sweep
     /// frequency, i.e. the worst-case event delay bound.
     pub fn interrupt_clock_resolution(&self) -> u64 {
-        self.core.lock().interrupt_clock_resolution()
+        lock_recover(&self.core).interrupt_clock_resolution()
     }
 
     /// The paper's `schedule_soft_event(T, handler)`: runs `handler` at
@@ -152,12 +181,12 @@ impl RtSoftTimers {
     ) -> TimerHandle {
         let now = self.clock.measure_time();
         let ticks = delay.as_micros() as u64;
-        self.core.lock().schedule(now, ticks, Box::new(handler))
+        lock_recover(&self.core).schedule(now, ticks, Box::new(handler))
     }
 
     /// Cancels a scheduled event. Returns whether it was still pending.
     pub fn cancel(&self, handle: TimerHandle) -> bool {
-        self.core.lock().cancel(handle).is_some()
+        lock_recover(&self.core).cancel(handle).is_some()
     }
 
     /// Runs `handler` approximately every `period`, starting one period
@@ -189,7 +218,7 @@ impl RtSoftTimers {
         let now = rt.measure_time();
         let delta = due.saturating_sub(now);
         let rt2 = Arc::downgrade(rt);
-        rt.core.lock().schedule(
+        lock_recover(&rt.core).schedule(
             now,
             delta,
             Box::new(move |inner: &RtSoftTimers| {
@@ -222,37 +251,38 @@ impl RtSoftTimers {
     pub fn run_pending(&self) -> usize {
         let mut due: Vec<Expired<Handler>> = Vec::new();
         {
-            let mut core = self.core.lock();
+            let mut core = lock_recover(&self.core);
             let now = self.clock.measure_time();
             core.poll(now, &mut due);
         }
-        // Run handlers outside the lock so they can reschedule.
+        // Run handlers outside the lock so they can reschedule; each is
+        // unwind-isolated so one panic cannot take out the rest.
         let n = due.len();
         for ev in due {
-            (ev.payload)(self);
+            self.dispatch(ev);
         }
         n
     }
 
     /// Number of pending events.
     pub fn pending(&self) -> usize {
-        self.core.lock().pending()
+        lock_recover(&self.core).pending()
     }
 
     /// Snapshot of facility statistics.
     pub fn stats(&self) -> crate::stats::FacilityStats {
-        self.core.lock().stats().clone()
+        lock_recover(&self.core).stats().clone()
     }
 
     fn backup_sweep(&self) {
         let mut due: Vec<Expired<Handler>> = Vec::new();
         {
-            let mut core = self.core.lock();
+            let mut core = lock_recover(&self.core);
             let now = self.clock.measure_time();
             core.interrupt_sweep(now, &mut due);
         }
         for ev in due {
-            (ev.payload)(self);
+            self.dispatch(ev);
         }
     }
 
@@ -261,7 +291,7 @@ impl RtSoftTimers {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
-        if let Some(handle) = self.backup.lock().take() {
+        if let Some(handle) = lock_recover(&self.backup).take() {
             let _ = handle.join();
         }
     }
@@ -413,6 +443,91 @@ mod tests {
     #[test]
     fn shutdown_is_idempotent() {
         let rt = RtSoftTimers::start(RtConfig::default());
+        rt.shutdown();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_does_not_kill_run_pending() {
+        let rt = RtSoftTimers::start(RtConfig {
+            backup_period: Duration::from_millis(200),
+            record_stats: true,
+        });
+        rt.schedule_in(Duration::from_micros(10), |_| panic!("hostile"));
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = fired.clone();
+        rt.schedule_in(Duration::from_micros(20), move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        // Both events are due; the panic is caught and the second handler
+        // still runs in the same trigger check.
+        assert_eq!(rt.run_pending(), 2);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(rt.handler_panics(), 1);
+        assert_eq!(rt.stats().handler_panics, 1);
+
+        // The wheel is not poisoned: events scheduled afterwards fire.
+        let f2 = fired.clone();
+        rt.schedule_in(Duration::from_micros(10), move |_| {
+            f2.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(rt.run_pending(), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_does_not_kill_backup_thread() {
+        let rt = RtSoftTimers::start(RtConfig {
+            backup_period: Duration::from_millis(1),
+            record_stats: true,
+        });
+        rt.schedule_in(Duration::from_micros(10), |_| panic!("hostile"));
+        // Never call run_pending: the backup thread must take the panic
+        // and survive.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while rt.handler_panics() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(rt.handler_panics(), 1, "backup thread never dispatched");
+
+        // The thread is still alive: a later event fires via the backup
+        // sweep with no trigger states at all.
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = fired.clone();
+        rt.schedule_in(Duration::from_micros(10), move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while fired.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "backup thread died after the panic"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_backup_thread_after_panics() {
+        let rt = RtSoftTimers::start(RtConfig {
+            backup_period: Duration::from_millis(1),
+            record_stats: true,
+        });
+        for _ in 0..3 {
+            rt.schedule_in(Duration::from_micros(5), |_| panic!("hostile"));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while rt.handler_panics() < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(rt.handler_panics(), 3);
+        // Shutdown joins cleanly even though handlers panicked, and stays
+        // idempotent.
         rt.shutdown();
         rt.shutdown();
     }

@@ -66,6 +66,11 @@ pub struct SmpFacility<P> {
     cpus: Vec<CpuState>,
     checker: Option<usize>,
     halted_wakeups_saved: u64,
+    /// Tick of the designated checker's most recent `idle_check`; `None`
+    /// right after a designation that carried no timestamp (promotion on
+    /// `cpu_idle_exit`), in which case the next backup starts the clock.
+    checker_last_check: Option<u64>,
+    checker_recoveries: u64,
 }
 
 impl<P> SmpFacility<P> {
@@ -91,6 +96,8 @@ impl<P> SmpFacility<P> {
             cpus: vec![CpuState::Busy; n],
             checker: None,
             halted_wakeups_saved: 0,
+            checker_last_check: None,
+            checker_recoveries: 0,
         }
     }
 
@@ -107,6 +114,12 @@ impl<P> SmpFacility<P> {
     /// Idle-loop iterations avoided by the halting rules (power saved).
     pub fn halted_wakeups_saved(&self) -> u64 {
         self.halted_wakeups_saved
+    }
+
+    /// Times the backup interrupt demoted a stalled designated checker
+    /// (one that went a full backup period without an `idle_check`).
+    pub fn checker_recoveries(&self) -> u64 {
+        self.checker_recoveries
     }
 
     /// The shared facility (for stats and configuration).
@@ -172,6 +185,7 @@ impl<P> SmpFacility<P> {
         }
         self.cpus[cpu] = CpuState::IdleChecking;
         self.checker = Some(cpu);
+        self.checker_last_check = Some(now);
         IdleDirective::SpinChecking
     }
 
@@ -184,17 +198,20 @@ impl<P> SmpFacility<P> {
         assert!(cpu < self.cpus.len(), "no such CPU {cpu}");
         self.cpus[cpu] = CpuState::Busy;
         if self.checker == Some(cpu) {
-            self.checker = None;
             // Promote a halted idle CPU to checker, if any (it would be
-            // woken by the designation IPI in a real kernel).
-            if let Some(next) = self
-                .cpus
-                .iter()
-                .position(|&s| s == CpuState::IdleHalted)
-            {
-                self.cpus[next] = CpuState::IdleChecking;
-                self.checker = Some(next);
-            }
+            // woken by the designation IPI in a real kernel). No clock is
+            // available here, so the stall watchdog's clock starts at the
+            // next backup sweep.
+            self.checker = None;
+            self.checker_last_check = None;
+            self.promote_halted();
+        }
+    }
+
+    fn promote_halted(&mut self) {
+        if let Some(next) = self.cpus.iter().position(|&s| s == CpuState::IdleHalted) {
+            self.cpus[next] = CpuState::IdleChecking;
+            self.checker = Some(next);
         }
     }
 
@@ -211,10 +228,12 @@ impl<P> SmpFacility<P> {
             "cpu {cpu} is not the designated idle checker"
         );
         let fired = self.core.poll(now, out);
+        self.checker_last_check = Some(now);
         // Rule (a) re-evaluated each iteration: once nothing is due
         // before the backup, the checker may halt too.
         if !self.has_event_before_backup(now) {
             self.checker = None;
+            self.checker_last_check = None;
             self.cpus[cpu] = CpuState::IdleHalted;
             self.halted_wakeups_saved += 1;
         }
@@ -223,7 +242,33 @@ impl<P> SmpFacility<P> {
 
     /// The periodic backup interrupt (delivered to one CPU; which one is
     /// irrelevant to the facility).
+    ///
+    /// Doubles as the watchdog for the designated checker: a CPU that
+    /// claimed `SpinChecking` but then went a full backup period without
+    /// an `idle_check` has stalled (wedged in a long-running interrupt
+    /// handler, taken offline, spinning on a lock). Rule (b) would
+    /// otherwise keep every other idle CPU halted forever while nobody
+    /// checks; the sweep demotes the stalled checker to `Busy` and
+    /// promotes a halted idle CPU, so trigger-state coverage resumes.
     pub fn backup(&mut self, now: u64, out: &mut Vec<Expired<P>>) -> usize {
+        if let Some(c) = self.checker {
+            match self.checker_last_check {
+                Some(last) if now.saturating_sub(last) >= self.core.config().x_ticks() => {
+                    self.checker_recoveries += 1;
+                    self.cpus[c] = CpuState::Busy;
+                    self.checker = None;
+                    self.checker_last_check = None;
+                    self.promote_halted();
+                    if self.checker.is_some() {
+                        self.checker_last_check = Some(now);
+                    }
+                }
+                // Designated without a timestamp (promotion on idle-exit
+                // or recovery): start the watchdog clock now.
+                None => self.checker_last_check = Some(now),
+                _ => {}
+            }
+        }
         self.core.interrupt_sweep(now, out)
     }
 }
@@ -308,6 +353,82 @@ mod tests {
         let mut smp2: SmpFacility<u32> = SmpFacility::new(1);
         smp2.schedule(250, 900, 1); // Deadline 1151 > 1000: far.
         assert!(!smp2.has_event_before_backup(250));
+    }
+
+    #[test]
+    fn stalled_checker_is_demoted_and_replaced() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(3);
+        // Keep something near so CPU 0 becomes (and stays) the checker.
+        smp.schedule(0, 500, 1);
+        assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::SpinChecking);
+        assert_eq!(smp.cpu_idle_enter(1, 0), IdleDirective::HaltOtherChecker);
+        let mut out = Vec::new();
+        assert_eq!(smp.idle_check(0, 100, &mut out), 0);
+        assert_eq!(smp.checker(), Some(0));
+
+        // CPU 0 wedges. The first backup after less than X ticks of
+        // silence tolerates it...
+        assert_eq!(smp.backup(1_000, &mut out), 1);
+        assert_eq!(smp.checker(), Some(0));
+        assert_eq!(smp.checker_recoveries(), 0);
+
+        // ...but a full backup period without a check is a stall: demote
+        // CPU 0, promote the halted CPU 1.
+        smp.schedule(1_000, 500, 2);
+        smp.backup(2_000, &mut out);
+        assert_eq!(smp.checker_recoveries(), 1);
+        assert_eq!(smp.checker(), Some(1));
+        // The replacement checker actually checks.
+        assert_eq!(smp.idle_check(1, 2_100, &mut out), 0);
+    }
+
+    #[test]
+    fn active_checker_is_not_demoted() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(2);
+        smp.schedule(0, 500, 1);
+        assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::SpinChecking);
+        let mut out = Vec::new();
+        // Checked recently (and stays designated: the event is still near).
+        smp.idle_check(0, 400, &mut out);
+        assert_eq!(smp.checker(), Some(0));
+        smp.backup(1_000, &mut out);
+        assert_eq!(smp.checker_recoveries(), 0);
+        assert_eq!(smp.checker(), Some(0));
+    }
+
+    #[test]
+    fn stall_recovery_without_halted_cpu_clears_designation() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(2);
+        smp.schedule(0, 500, 1);
+        assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::SpinChecking);
+        let mut out = Vec::new();
+        smp.backup(5_000, &mut out);
+        assert_eq!(smp.checker_recoveries(), 1);
+        // Nobody halted to promote: no checker, so the next idle CPU can
+        // claim the role instead of halting under rule (b) forever.
+        assert_eq!(smp.checker(), None);
+        smp.schedule(5_000, 500, 2);
+        assert_eq!(smp.cpu_idle_enter(1, 5_000), IdleDirective::SpinChecking);
+    }
+
+    #[test]
+    fn promoted_checker_gets_a_grace_period() {
+        let mut smp: SmpFacility<u32> = SmpFacility::new(2);
+        smp.schedule(0, 10_000, 1);
+        smp.schedule(0, 500, 2);
+        assert_eq!(smp.cpu_idle_enter(0, 0), IdleDirective::SpinChecking);
+        assert_eq!(smp.cpu_idle_enter(1, 0), IdleDirective::HaltOtherChecker);
+        // CPU 0 takes work; CPU 1 is promoted with no timestamp.
+        smp.cpu_idle_exit(0);
+        assert_eq!(smp.checker(), Some(1));
+        let mut out = Vec::new();
+        // The next backup starts the watchdog clock rather than demoting.
+        smp.backup(1_000, &mut out);
+        assert_eq!(smp.checker(), Some(1));
+        assert_eq!(smp.checker_recoveries(), 0);
+        // Silence for a further full period is then a stall.
+        smp.backup(2_000, &mut out);
+        assert_eq!(smp.checker_recoveries(), 1);
     }
 
     #[test]

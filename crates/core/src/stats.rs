@@ -21,6 +21,14 @@ pub struct FacilityStats {
     pub fired_trigger: u64,
     /// Events fired from the backup sweep.
     pub fired_backup: u64,
+    /// Checks that handed the facility a clock value smaller than one
+    /// already seen (wrapped TSC, badly synchronized clock source). The
+    /// facility clamps such reads to the largest tick seen so delay
+    /// accounting never underflows; this counts how often it had to.
+    pub clock_regressions: u64,
+    /// Event handlers that panicked while dispatched by an embedding
+    /// runtime ([`crate::api::SoftTimers`], [`crate::rt::RtSoftTimers`]).
+    pub handler_panics: u64,
     /// Delay past the earliest legal tick, in measurement ticks.
     pub delay_ticks: Summary,
     /// Delay histogram (1-tick buckets).
@@ -37,6 +45,8 @@ impl FacilityStats {
             backup_sweeps: 0,
             fired_trigger: 0,
             fired_backup: 0,
+            clock_regressions: 0,
+            handler_panics: 0,
             delay_ticks: Summary::new(),
             delay_hist: Histogram::new(1.0, 2048),
         }

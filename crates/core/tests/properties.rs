@@ -1,24 +1,33 @@
-//! Property tests for the facility's firing bounds (section 3 of the
-//! paper), the pacer's rate invariants (section 4.1) and the poll
+//! Randomized property tests for the facility's firing bounds (section 3
+//! of the paper), the pacer's rate invariants (section 4.1) and the poll
 //! controller's clamps (section 4.2).
+//!
+//! Cases are drawn from the in-repo deterministic [`SimRng`] (fixed seed,
+//! so failures replay exactly) instead of an external property-testing
+//! framework — the workspace builds with no network access.
 
-use proptest::prelude::*;
 use st_core::facility::{Config, Expired, SoftTimerCore};
 use st_core::pacer::{Pacer, PacerConfig};
 use st_core::poller::{PollController, PollControllerConfig};
+use st_sim::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// With a backup interrupt every `X` ticks and arbitrary trigger-state
-    /// times, every event fires at an actual delta strictly inside the
-    /// paper's `(T, T + X + 1)` bound.
-    #[test]
-    fn facility_firing_bounds(
-        deltas in proptest::collection::vec(0u64..3000, 1..40),
-        gaps in proptest::collection::vec(1u64..700, 1..400),
-        x in 100u64..2000,
-    ) {
+/// With a backup interrupt every `X` ticks and arbitrary trigger-state
+/// times, every event fires at an actual delta strictly inside the
+/// paper's `(T, T + X + 1)` bound.
+#[test]
+fn facility_firing_bounds() {
+    let mut rng = SimRng::seed(0xb0_07d);
+    for case in 0..CASES {
+        let deltas: Vec<u64> = (0..rng.range_u64(1, 40))
+            .map(|_| rng.range_u64(0, 3000))
+            .collect();
+        let gaps: Vec<u64> = (0..rng.range_u64(1, 400))
+            .map(|_| rng.range_u64(1, 700))
+            .collect();
+        let x = rng.range_u64(100, 2000);
+
         let config = Config {
             measure_hz: 1_000_000,
             interrupt_hz: 1_000_000 / x,
@@ -52,29 +61,43 @@ proptest! {
             next_backup += x;
         }
 
-        prop_assert_eq!(fired.len(), deltas.len(), "every event fires exactly once");
+        assert_eq!(
+            fired.len(),
+            deltas.len(),
+            "every event fires exactly once (case {case})"
+        );
         for ev in &fired {
             let (_, t) = ev.payload;
             let actual = ev.fired_at; // Scheduled at tick 0.
-            prop_assert!(actual > t, "fired at {} <= T {}", actual, t);
-            prop_assert!(
+            assert!(actual > t, "fired at {actual} <= T {t} (case {case})");
+            assert!(
                 actual < t + x + 1 + x, // Backup grid may land up to X late past due.
-                "fired at {} >= T + 2X + 1 ({} + {} + 1)", actual, t, 2 * x
+                "fired at {actual} >= T + 2X + 1 ({t} + {} + 1) (case {case})",
+                2 * x
             );
             // The precise paper bound holds when measured against the
             // sweep that caught it: delay past `due` is at most X.
-            prop_assert!(ev.delay() <= x, "delay {} > X {}", ev.delay(), x);
+            assert!(
+                ev.delay() <= x,
+                "delay {} > X {x} (case {case})",
+                ev.delay()
+            );
         }
     }
+}
 
-    /// The pacer only ever returns the target or the burst interval, and
-    /// the long-run achieved rate never exceeds the target.
-    #[test]
-    fn pacer_invariants(
-        target in 20u64..200,
-        burst_frac in 1u64..10,
-        delays in proptest::collection::vec(0u64..300, 10..300),
-    ) {
+/// The pacer only ever returns the target or the burst interval, and the
+/// long-run achieved rate never exceeds the target.
+#[test]
+fn pacer_invariants() {
+    let mut rng = SimRng::seed(0x000f_ace2);
+    for case in 0..CASES {
+        let target = rng.range_u64(20, 200);
+        let burst_frac = rng.range_u64(1, 10);
+        let delays: Vec<u64> = (0..rng.range_u64(10, 300))
+            .map(|_| rng.range_u64(0, 300))
+            .collect();
+
         let burst = (target / (burst_frac + 1)).max(1);
         let mut p = Pacer::new(PacerConfig::new(target, burst));
         p.start_train(0);
@@ -84,9 +107,9 @@ proptest! {
         for &d in &delays {
             last_tx = now;
             let interval = p.on_transmit(now);
-            prop_assert!(
+            assert!(
                 interval == target || interval == burst,
-                "unexpected interval {}", interval
+                "unexpected interval {interval} (case {case})"
             );
             sent += 1;
             // The event fires no earlier than scheduled, possibly late.
@@ -97,25 +120,30 @@ proptest! {
         // sent packets take at least (sent - 1) * burst ticks, and the
         // pacer only bursts while behind the target line.
         let min_elapsed = (sent - 1) * burst;
-        prop_assert!(now >= min_elapsed);
+        assert!(now >= min_elapsed, "case {case}");
         // After the final transmit the train is never ahead of schedule
         // by more than one target interval.
         let elapsed = now; // Train started at 0.
-        prop_assert!(
+        assert!(
             sent * target + target >= elapsed || p.behind(now),
-            "pacer lost track of the train"
+            "pacer lost track of the train (case {case})"
         );
     }
+}
 
-    /// The poll controller's interval stays within its configured range
-    /// for arbitrary found-counts.
-    #[test]
-    fn poll_controller_clamped(
-        found in proptest::collection::vec(0u64..100, 1..200),
-        quota in 1u64..20,
-        min in 1u64..50,
-        span in 1u64..2000,
-    ) {
+/// The poll controller's interval stays within its configured range for
+/// arbitrary found-counts.
+#[test]
+fn poll_controller_clamped() {
+    let mut rng = SimRng::seed(0x9011);
+    for case in 0..CASES {
+        let found: Vec<u64> = (0..rng.range_u64(1, 200))
+            .map(|_| rng.range_u64(0, 100))
+            .collect();
+        let quota = rng.range_u64(1, 20);
+        let min = rng.range_u64(1, 50);
+        let span = rng.range_u64(1, 2000);
+
         let config = PollControllerConfig {
             quota: quota as f64,
             min_interval: min,
@@ -125,17 +153,25 @@ proptest! {
         let mut pc = PollController::new(config);
         for &f in &found {
             let next = pc.on_poll(f);
-            prop_assert!(next >= min && next <= min + span, "interval {} out of range", next);
+            assert!(
+                next >= min && next <= min + span,
+                "interval {next} out of range (case {case})"
+            );
         }
     }
+}
 
-    /// Scheduling and canceling arbitrary subsets never fires canceled
-    /// events and always fires the rest.
-    #[test]
-    fn facility_cancel_subset(
-        deltas in proptest::collection::vec(0u64..1000, 1..50),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..50),
-    ) {
+/// Scheduling and canceling arbitrary subsets never fires canceled events
+/// and always fires the rest.
+#[test]
+fn facility_cancel_subset() {
+    let mut rng = SimRng::seed(0xca_9ce1);
+    for case in 0..CASES {
+        let deltas: Vec<u64> = (0..rng.range_u64(1, 50))
+            .map(|_| rng.range_u64(0, 1000))
+            .collect();
+        let cancel_mask: Vec<bool> = (0..deltas.len()).map(|_| rng.chance(0.5)).collect();
+
         let mut core: SoftTimerCore<usize> = SoftTimerCore::new(Config::default());
         let handles: Vec<_> = deltas
             .iter()
@@ -150,10 +186,13 @@ proptest! {
         }
         let mut fired = Vec::new();
         core.poll(10_000, &mut fired);
-        let fired_ids: std::collections::HashSet<usize> =
-            fired.iter().map(|e| e.payload).collect();
+        let fired_ids: std::collections::HashSet<usize> = fired.iter().map(|e| e.payload).collect();
         for (i, &was_canceled) in canceled.iter().enumerate() {
-            prop_assert_eq!(fired_ids.contains(&i), !was_canceled, "event {}", i);
+            assert_eq!(
+                fired_ids.contains(&i),
+                !was_canceled,
+                "event {i} (case {case})"
+            );
         }
     }
 }

@@ -123,8 +123,7 @@ mod tests {
         // ...and the self-clocked sender's bursts load the router harder
         // than the paced sender under identical compression.
         assert!(
-            a.compressed_self_clocked.max_backlog_ms
-                > 2.0 * a.compressed_rate_based.max_backlog_ms,
+            a.compressed_self_clocked.max_backlog_ms > 2.0 * a.compressed_rate_based.max_backlog_ms,
             "bursty {} ms vs paced {} ms",
             a.compressed_self_clocked.max_backlog_ms,
             a.compressed_rate_based.max_backlog_ms

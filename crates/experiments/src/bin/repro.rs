@@ -5,12 +5,12 @@
 //!
 //! EXPERIMENT: all (default), fig2, sec52, fig4, table1, fig5, fig6,
 //!             table2, table3, table45, table67, table8, scaling,
-//!             appendix_a, livelock, latency, ack_compression
+//!             appendix_a, livelock, latency, ack_compression, fault_matrix
 //! ```
 
 use st_experiments::{
-    ack_compression, appendix_a, fig2_fig3, fig4_table1, fig5, fig6_table2, latency, livelock,
-    scaling, sec52, table3, table45, table67, table8, Scale,
+    ack_compression, appendix_a, fault_matrix, fig2_fig3, fig4_table1, fig5, fig6_table2, latency,
+    livelock, scaling, sec52, table3, table45, table67, table8, Scale,
 };
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR]\n\
-                     experiments: all fig2 sec52 fig4 table1 fig5 fig6 table2 table3 table45 table67 table8 scaling appendix_a ack_compression livelock latency"
+                     experiments: all fig2 sec52 fig4 table1 fig5 fig6 table2 table3 table45 table67 table8 scaling appendix_a ack_compression livelock latency fault_matrix"
                 );
                 return;
             }
@@ -46,13 +46,35 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 21] = [
-        "all", "fig2", "fig3", "sec52", "fig4", "table1", "fig5", "fig6", "table2", "table3",
-        "table45", "table4", "table5", "table67", "table6", "table7", "table8", "scaling",
-        "appendix_a", "livelock", "latency",
+    const KNOWN: [&str; 23] = [
+        "all",
+        "fig2",
+        "fig3",
+        "sec52",
+        "fig4",
+        "table1",
+        "fig5",
+        "fig6",
+        "table2",
+        "table3",
+        "table45",
+        "table4",
+        "table5",
+        "table67",
+        "table6",
+        "table7",
+        "table8",
+        "scaling",
+        "appendix_a",
+        "livelock",
+        "latency",
+        "fault_matrix",
+        "faultmatrix",
     ];
     for w in &wanted {
-        if !KNOWN.contains(&w.as_str()) && w != "appendixa" && w != "ackcompression"
+        if !KNOWN.contains(&w.as_str())
+            && w != "appendixa"
+            && w != "ackcompression"
             && w != "ack_compression"
         {
             die(&format!(
@@ -149,6 +171,16 @@ fn main() {
     }
     if want(&["ack_compression", "ackcompression"]) {
         println!("{}", ack_compression::run(scale, seed).render());
+    }
+    if want(&["fault_matrix", "faultmatrix"]) {
+        // The hostile-callback rows inject panics that the harness
+        // catches; keep the default hook from spraying their
+        // backtraces over the report.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let matrix = fault_matrix::run(scale, seed);
+        std::panic::set_hook(hook);
+        println!("{}", matrix.render());
     }
 }
 

@@ -25,6 +25,7 @@
 //! | [`appendix_a`] | Appendix A: big ACKs & burst smoothing (extension) |
 //! | [`ack_compression`] | Appendix A.1: ACK compression vs pacing (extension) |
 //! | [`livelock`] | receive livelock across dispatch policies (extension) |
+//! | [`fault_matrix`] | fault injection: firing bound under clock/interrupt/NIC/callback faults (extension) |
 //! | [`latency`] | packet latency on an idle machine across policies (extension) |
 
 #![forbid(unsafe_code)]
@@ -32,6 +33,7 @@
 
 pub mod ack_compression;
 pub mod appendix_a;
+pub mod fault_matrix;
 pub mod fig2_fig3;
 pub mod fig4_table1;
 pub mod fig5;

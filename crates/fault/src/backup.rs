@@ -1,0 +1,105 @@
+//! Faults on the periodic backup interrupt: drops, delays, coalescing.
+
+use st_sim::SimRng;
+
+use crate::plan::BackupFaults;
+
+/// What happens to one scheduled backup interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackupFate {
+    /// Delivered on its grid slot.
+    Deliver,
+    /// Lost entirely (masked too long, latch overwritten).
+    Drop,
+    /// Delivered the given number of ticks after its slot. Delays of a
+    /// full period or more land in the next slot and coalesce with that
+    /// sweep.
+    Delay(u64),
+}
+
+/// A deterministic per-slot fate stream for the backup interrupt.
+///
+/// The harness asks for one fate per grid slot, in order; with the same
+/// plan and RNG fork the stream replays exactly.
+#[derive(Debug)]
+pub struct BackupFaultStream {
+    faults: Option<BackupFaults>,
+    rng: SimRng,
+    delivered: u64,
+    dropped: u64,
+    delayed: u64,
+}
+
+impl BackupFaultStream {
+    /// Creates a stream for the given fault class (`None` = healthy).
+    pub fn new(faults: Option<BackupFaults>, rng: SimRng) -> Self {
+        BackupFaultStream {
+            faults,
+            rng,
+            delivered: 0,
+            dropped: 0,
+            delayed: 0,
+        }
+    }
+
+    /// Decides the fate of the next grid slot.
+    pub fn next_fate(&mut self) -> BackupFate {
+        let Some(f) = self.faults else {
+            self.delivered += 1;
+            return BackupFate::Deliver;
+        };
+        if self.rng.chance(f.drop_chance) {
+            self.dropped += 1;
+            return BackupFate::Drop;
+        }
+        if self.rng.chance(f.delay_chance) && f.max_delay > 0 {
+            self.delayed += 1;
+            return BackupFate::Delay(self.rng.range_u64(1, f.max_delay + 1));
+        }
+        self.delivered += 1;
+        BackupFate::Deliver
+    }
+
+    /// Slots delivered on time so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Slots dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Slots delayed so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_stream_always_delivers() {
+        let mut s = BackupFaultStream::new(None, SimRng::seed(3));
+        for _ in 0..100 {
+            assert_eq!(s.next_fate(), BackupFate::Deliver);
+        }
+        assert_eq!(s.delivered(), 100);
+        assert_eq!(s.dropped() + s.delayed(), 0);
+    }
+
+    #[test]
+    fn faulty_stream_mixes_fates_deterministically() {
+        let mk = || BackupFaultStream::new(Some(BackupFaults::nasty()), SimRng::seed(11));
+        let mut a = mk();
+        let mut b = mk();
+        let fates_a: Vec<_> = (0..500).map(|_| a.next_fate()).collect();
+        let fates_b: Vec<_> = (0..500).map(|_| b.next_fate()).collect();
+        assert_eq!(fates_a, fates_b);
+        assert!(a.dropped() > 0, "nasty plan should drop some");
+        assert!(a.delayed() > 0, "nasty plan should delay some");
+        assert!(a.delivered() > 0, "nasty plan should deliver some");
+    }
+}

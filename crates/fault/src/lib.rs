@@ -1,0 +1,35 @@
+//! Deterministic, seedable fault injection for the soft-timers facility.
+//!
+//! The paper's guarantee — every event fires inside `(S+T, S+T+X+1)` —
+//! is easy to keep on a healthy machine. This crate checks that the
+//! implementation keeps (or gracefully relaxes) it on an unhealthy one:
+//!
+//! - [`plan`] — composable [`plan::FaultPlan`]s covering five classes:
+//!   clock anomalies, trigger-state starvation, backup-interrupt loss,
+//!   NIC storms, and hostile callbacks;
+//! - [`clock`] — [`clock::FaultyClock`], a measurement clock with skew,
+//!   jumps, and transient regressions;
+//! - [`backup`] — [`backup::BackupFaultStream`], per-slot fates for the
+//!   periodic backup interrupt;
+//! - [`nic`] — [`nic::NicFaultInjector`], losses and storms in front of
+//!   the receive ring;
+//! - [`harness`] — [`harness::Scenario`], which drives a facility,
+//!   pacer, and poll controller under a plan and asserts the firing
+//!   bound on every event.
+//!
+//! All randomness flows from one seed through per-class
+//! [`st_sim::SimRng`] forks, so a failing run replays byte-identically:
+//! rerun the same `(plan, seed, duration)` and compare
+//! [`harness::FaultReport`]s with `==`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backup;
+pub mod clock;
+pub mod harness;
+pub mod nic;
+pub mod plan;
+
+pub use harness::{FaultReport, Scenario};
+pub use plan::FaultPlan;

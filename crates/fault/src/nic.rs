@@ -1,0 +1,134 @@
+//! Faults on the NIC receive path: losses before the ring and packet
+//! storms that try to overflow it.
+
+use st_net::nic::Nic;
+use st_net::packet::Packet;
+use st_sim::{SimRng, SimTime};
+
+use crate::plan::NicFaults;
+
+/// Wraps delivery into a [`Nic`], injecting drops and storms.
+#[derive(Debug)]
+pub struct NicFaultInjector {
+    faults: Option<NicFaults>,
+    rng: SimRng,
+    offered: u64,
+    injected_drops: u64,
+    storm_extras: u64,
+}
+
+impl NicFaultInjector {
+    /// Creates an injector for the given fault class (`None` = healthy).
+    pub fn new(faults: Option<NicFaults>, rng: SimRng) -> Self {
+        NicFaultInjector {
+            faults,
+            rng,
+            offered: 0,
+            injected_drops: 0,
+            storm_extras: 0,
+        }
+    }
+
+    /// Delivers `packet` into `nic`, subject to the plan. Returns how
+    /// many frames actually reached the ring (0 when dropped before it,
+    /// more than 1 during a storm; ring overflow on top shows up in the
+    /// NIC's own `rx_dropped`).
+    pub fn deliver(&mut self, nic: &mut Nic, now: SimTime, packet: Packet) -> u64 {
+        self.offered += 1;
+        let Some(f) = self.faults else {
+            return nic.deliver_rx(now, packet) as u64;
+        };
+        if self.rng.chance(f.drop_chance) {
+            self.injected_drops += 1;
+            return 0;
+        }
+        let copies = if self.rng.chance(f.storm_chance) {
+            self.storm_extras += f.storm_len;
+            1 + f.storm_len
+        } else {
+            1
+        };
+        let mut reached = 0;
+        for _ in 0..copies {
+            if nic.deliver_rx(now, packet.clone()) {
+                reached += 1;
+            }
+        }
+        reached
+    }
+
+    /// Packets offered by the wire so far (storm extras not counted).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Packets the injector dropped before the ring.
+    pub fn injected_drops(&self) -> u64 {
+        self.injected_drops
+    }
+
+    /// Extra frames injected by storms.
+    pub fn storm_extras(&self) -> u64 {
+        self.storm_extras
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_net::packet::ConnId;
+
+    fn pkt(id: u64) -> Packet {
+        Packet::data(id, ConnId(1), id * 1_000, 1_000, 0, 64_000)
+    }
+
+    #[test]
+    fn healthy_injector_is_transparent() {
+        let mut nic = Nic::new(64);
+        let mut inj = NicFaultInjector::new(None, SimRng::seed(5));
+        for i in 0..10 {
+            assert_eq!(inj.deliver(&mut nic, SimTime::from_micros(i), pkt(i)), 1);
+        }
+        assert_eq!(nic.rx_pending(), 10);
+        assert_eq!(inj.injected_drops(), 0);
+        assert_eq!(inj.storm_extras(), 0);
+    }
+
+    #[test]
+    fn storms_can_overflow_the_ring() {
+        let mut nic = Nic::new(8);
+        let mut inj = NicFaultInjector::new(Some(NicFaults::nasty()), SimRng::seed(6));
+        for i in 0..2_000 {
+            inj.deliver(&mut nic, SimTime::from_micros(i), pkt(i));
+            if nic.rx_pending() > 4 {
+                nic.poll_rx(4);
+            }
+        }
+        assert!(inj.injected_drops() > 0, "nasty plan should drop");
+        assert!(inj.storm_extras() > 0, "nasty plan should storm");
+        assert!(
+            nic.rx_dropped() > 0,
+            "storms should overflow an 8-slot ring"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let run = || {
+            let mut nic = Nic::new(16);
+            let mut inj = NicFaultInjector::new(Some(NicFaults::nasty()), SimRng::seed(77));
+            for i in 0..500 {
+                inj.deliver(&mut nic, SimTime::from_micros(i), pkt(i));
+                nic.poll_rx(2);
+            }
+            (
+                inj.injected_drops(),
+                inj.storm_extras(),
+                nic.rx_delivered(),
+                nic.rx_dropped(),
+                nic.rx_polled(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

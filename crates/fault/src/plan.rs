@@ -1,0 +1,258 @@
+//! Composable fault plans: which anomalies to inject, how often, how big.
+//!
+//! A [`FaultPlan`] is plain data — it carries no randomness of its own.
+//! The harness draws every probabilistic decision from a [`st_sim::SimRng`]
+//! forked per fault class, so one `(plan, seed)` pair replays an entire
+//! run byte-for-byte.
+
+/// Clock anomalies: rate skew, forward jumps, transient regressions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockFaults {
+    /// Rate error in parts per million; positive runs fast, negative
+    /// slow. Models a mis-trimmed TSC.
+    pub skew_ppm: f64,
+    /// Probability per clock-advance step of a sudden forward jump
+    /// (SMI, VM pause, firmware clock write).
+    pub jump_chance: f64,
+    /// Largest forward jump, in measurement ticks.
+    pub max_jump: u64,
+    /// Probability per clock-advance step of a transient backwards
+    /// reading (unsynchronized TSC across sockets, wraparound glitch).
+    pub regression_chance: f64,
+    /// Largest transient regression, in measurement ticks.
+    pub max_regression: u64,
+}
+
+impl ClockFaults {
+    /// The fault-matrix default: 200 ppm skew, occasional 5 ms jumps and
+    /// 2 ms transient regressions.
+    pub fn nasty() -> Self {
+        ClockFaults {
+            skew_ppm: 200.0,
+            jump_chance: 0.01,
+            max_jump: 5_000,
+            regression_chance: 0.01,
+            max_regression: 2_000,
+        }
+    }
+}
+
+/// Trigger-state starvation: stretches with no kernel entries at all
+/// (a long-running system call, a tight userspace loop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarvationFaults {
+    /// Probability, at each trigger state, that the system goes quiet.
+    pub window_chance: f64,
+    /// Shortest quiet window, in measurement ticks.
+    pub min_window: u64,
+    /// Longest quiet window, in measurement ticks.
+    pub max_window: u64,
+}
+
+impl StarvationFaults {
+    /// The fault-matrix default: frequent 2–20 ms silences (many backup
+    /// periods long).
+    pub fn nasty() -> Self {
+        StarvationFaults {
+            window_chance: 0.02,
+            min_window: 2_000,
+            max_window: 20_000,
+        }
+    }
+}
+
+/// Backup-interrupt faults: sweeps dropped outright or delivered late
+/// (masked sections, interrupt coalescing in firmware).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackupFaults {
+    /// Probability a scheduled backup interrupt is lost.
+    pub drop_chance: f64,
+    /// Probability a scheduled backup interrupt is delayed.
+    pub delay_chance: f64,
+    /// Largest delivery delay, in measurement ticks. Delays of a full
+    /// period or more coalesce with the next sweep.
+    pub max_delay: u64,
+}
+
+impl BackupFaults {
+    /// The fault-matrix default: 20% dropped, 20% delayed by up to
+    /// 1.5 periods at the default 1 kHz backup (so some coalesce).
+    pub fn nasty() -> Self {
+        BackupFaults {
+            drop_chance: 0.2,
+            delay_chance: 0.2,
+            max_delay: 1_500,
+        }
+    }
+}
+
+/// NIC receive-path faults: packet storms and losses in front of the
+/// polling interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicFaults {
+    /// Probability an arriving packet is silently lost before the ring.
+    pub drop_chance: f64,
+    /// Probability an arrival is a storm burst instead of one packet.
+    pub storm_chance: f64,
+    /// Extra copies delivered per storm burst.
+    pub storm_len: u64,
+}
+
+impl NicFaults {
+    /// The fault-matrix default: 5% loss, 5% bursts of 32 extras —
+    /// enough to overflow the default receive ring.
+    pub fn nasty() -> Self {
+        NicFaults {
+            drop_chance: 0.05,
+            storm_chance: 0.05,
+            storm_len: 32,
+        }
+    }
+}
+
+/// Event-handler faults: callbacks that panic or hog the CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallbackFaults {
+    /// Probability a scheduled handler panics when dispatched.
+    pub panic_chance: f64,
+    /// Probability a scheduled handler runs long.
+    pub slow_chance: f64,
+    /// How long a slow handler holds the CPU, in measurement ticks.
+    pub slow_ticks: u64,
+}
+
+impl CallbackFaults {
+    /// The fault-matrix default: 10% panics, 10% handlers that run for
+    /// two backup periods.
+    pub fn nasty() -> Self {
+        CallbackFaults {
+            panic_chance: 0.1,
+            slow_chance: 0.1,
+            slow_ticks: 2_000,
+        }
+    }
+}
+
+/// A composable selection of fault classes; `None` means that class is
+/// healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Clock skew / jumps / regressions.
+    pub clock: Option<ClockFaults>,
+    /// Trigger-state starvation windows.
+    pub starvation: Option<StarvationFaults>,
+    /// Dropped / delayed backup interrupts.
+    pub backup: Option<BackupFaults>,
+    /// NIC storms and drops.
+    pub nic: Option<NicFaults>,
+    /// Panicking / slow callbacks.
+    pub callbacks: Option<CallbackFaults>,
+}
+
+impl FaultPlan {
+    /// A healthy system: no faults at all (the control row).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Only clock anomalies.
+    pub fn clock_anomalies() -> Self {
+        FaultPlan::none().with_clock(ClockFaults::nasty())
+    }
+
+    /// Only trigger-state starvation.
+    pub fn starvation() -> Self {
+        FaultPlan::none().with_starvation(StarvationFaults::nasty())
+    }
+
+    /// Only backup-interrupt loss and delay.
+    pub fn backup_loss() -> Self {
+        FaultPlan::none().with_backup(BackupFaults::nasty())
+    }
+
+    /// Only NIC storms and drops.
+    pub fn nic_storm() -> Self {
+        FaultPlan::none().with_nic(NicFaults::nasty())
+    }
+
+    /// Only hostile callbacks.
+    pub fn hostile_callbacks() -> Self {
+        FaultPlan::none().with_callbacks(CallbackFaults::nasty())
+    }
+
+    /// Every fault class at once.
+    pub fn everything() -> Self {
+        FaultPlan {
+            clock: Some(ClockFaults::nasty()),
+            starvation: Some(StarvationFaults::nasty()),
+            backup: Some(BackupFaults::nasty()),
+            nic: Some(NicFaults::nasty()),
+            callbacks: Some(CallbackFaults::nasty()),
+        }
+    }
+
+    /// Adds clock anomalies.
+    pub fn with_clock(mut self, f: ClockFaults) -> Self {
+        self.clock = Some(f);
+        self
+    }
+
+    /// Adds starvation windows.
+    pub fn with_starvation(mut self, f: StarvationFaults) -> Self {
+        self.starvation = Some(f);
+        self
+    }
+
+    /// Adds backup-interrupt faults.
+    pub fn with_backup(mut self, f: BackupFaults) -> Self {
+        self.backup = Some(f);
+        self
+    }
+
+    /// Adds NIC faults.
+    pub fn with_nic(mut self, f: NicFaults) -> Self {
+        self.nic = Some(f);
+        self
+    }
+
+    /// Adds callback faults.
+    pub fn with_callbacks(mut self, f: CallbackFaults) -> Self {
+        self.callbacks = Some(f);
+        self
+    }
+
+    /// Whether the paper's `(S+T, S+T+X+1)` firing bound can be asserted
+    /// unrelaxed: it requires every backup sweep delivered on the grid
+    /// and a trustworthy clock. Starvation, NIC and callback faults do
+    /// not break the bound — the backup interrupt exists precisely to
+    /// cover them.
+    pub fn paper_bound_holds(&self) -> bool {
+        self.backup.is_none() && self.clock.is_none() && self.callbacks.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_select_exactly_one_class() {
+        assert_eq!(FaultPlan::clock_anomalies().backup, None);
+        assert!(FaultPlan::clock_anomalies().clock.is_some());
+        assert!(FaultPlan::backup_loss().backup.is_some());
+        assert!(FaultPlan::none().paper_bound_holds());
+        assert!(FaultPlan::starvation().paper_bound_holds());
+        assert!(FaultPlan::nic_storm().paper_bound_holds());
+        assert!(!FaultPlan::backup_loss().paper_bound_holds());
+        assert!(!FaultPlan::clock_anomalies().paper_bound_holds());
+        assert!(!FaultPlan::everything().paper_bound_holds());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = FaultPlan::none()
+            .with_nic(NicFaults::nasty())
+            .with_backup(BackupFaults::nasty());
+        assert!(p.nic.is_some() && p.backup.is_some() && p.clock.is_none());
+    }
+}

@@ -1,25 +1,35 @@
-//! Property tests for the network substrate: links and the WAN emulator
-//! must deliver FIFO per direction, never faster than serialization
-//! allows, and conserve every byte.
+//! Randomized property tests for the network substrate: links and the
+//! WAN emulator must deliver FIFO per direction, never faster than
+//! serialization allows, and conserve every byte.
+//!
+//! Cases are drawn from the in-repo deterministic [`SimRng`] (fixed seed,
+//! so failures replay exactly) instead of an external property-testing
+//! framework — the workspace builds with no network access.
 
-use proptest::prelude::*;
 use st_net::{Link, WanEmulator};
-use st_sim::{Bandwidth, SimDuration, SimTime};
+use st_sim::{Bandwidth, SimDuration, SimRng, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// Deliveries in one direction are FIFO and spaced at least a
-    /// serialization time apart.
-    #[test]
-    fn link_is_fifo_and_rate_limited(
-        sends in proptest::collection::vec((0u64..10_000, 64u32..2_000), 1..100),
-        mbps in 1u64..1000,
-    ) {
+fn random_sends(rng: &mut SimRng, t_max: u64, b_max: u64, n_max: u64) -> Vec<(u64, u32)> {
+    let mut sends: Vec<(u64, u32)> = (0..rng.range_u64(1, n_max))
+        .map(|_| (rng.range_u64(0, t_max), rng.range_u64(64, b_max) as u32))
+        .collect();
+    // Enqueue times must be non-decreasing (as in a simulation run).
+    sends.sort_by_key(|&(t, _)| t);
+    sends
+}
+
+/// Deliveries in one direction are FIFO and spaced at least a
+/// serialization time apart.
+#[test]
+fn link_is_fifo_and_rate_limited() {
+    let mut rng = SimRng::seed(0x11f0);
+    for case in 0..CASES {
+        let sends = random_sends(&mut rng, 10_000, 2_000, 100);
+        let mbps = rng.range_u64(1, 1000);
+
         let mut link = Link::new(Bandwidth::mbps(mbps), SimDuration::from_micros(7));
-        // Enqueue times must be non-decreasing (as in a simulation run).
-        let mut sends = sends;
-        sends.sort_by_key(|&(t, _)| t);
         let mut last_delivery: Option<(SimTime, u32)> = None;
         let mut total = 0u64;
         for &(t, bytes) in &sends {
@@ -29,34 +39,39 @@ proptest! {
             let min = SimTime::from_micros(t)
                 + Bandwidth::mbps(mbps).serialization_time(bytes as u64)
                 + SimDuration::from_micros(7);
-            prop_assert!(at >= min, "arrived {at} before physics allows {min}");
+            assert!(
+                at >= min,
+                "arrived {at} before physics allows {min} (case {case})"
+            );
             if let Some((prev_at, _)) = last_delivery {
-                prop_assert!(at >= prev_at, "FIFO violated");
+                assert!(at >= prev_at, "FIFO violated (case {case})");
                 // The wire can't deliver two frames closer than the
                 // second frame's serialization time.
                 let gap = at.since(prev_at);
                 let ser = Bandwidth::mbps(mbps).serialization_time(bytes as u64);
-                prop_assert!(gap >= ser, "gap {gap} < serialization {ser}");
+                assert!(gap >= ser, "gap {gap} < serialization {ser} (case {case})");
             }
             last_delivery = Some((at, bytes));
         }
-        prop_assert_eq!(link.forward_bytes(), total, "byte conservation");
-        prop_assert_eq!(link.forward_frames(), sends.len() as u64);
-    }
-
-    /// The WAN emulator adds exactly its one-way delay on top of
-    /// bottleneck serialization, per direction, FIFO.
-    #[test]
-    fn wan_is_fifo_with_fixed_delay(
-        sends in proptest::collection::vec((0u64..50_000, 64u32..1_500), 1..100),
-        delay_ms in 1u64..200,
-    ) {
-        let mut wan = WanEmulator::new(
-            Bandwidth::mbps(50),
-            SimDuration::from_millis(delay_ms),
+        assert_eq!(
+            link.forward_bytes(),
+            total,
+            "byte conservation (case {case})"
         );
-        let mut sends = sends;
-        sends.sort_by_key(|&(t, _)| t);
+        assert_eq!(link.forward_frames(), sends.len() as u64, "case {case}");
+    }
+}
+
+/// The WAN emulator adds exactly its one-way delay on top of bottleneck
+/// serialization, per direction, FIFO.
+#[test]
+fn wan_is_fifo_with_fixed_delay() {
+    let mut rng = SimRng::seed(0x3a9);
+    for case in 0..CASES {
+        let sends = random_sends(&mut rng, 50_000, 1_500, 100);
+        let delay_ms = rng.range_u64(1, 200);
+
+        let mut wan = WanEmulator::new(Bandwidth::mbps(50), SimDuration::from_millis(delay_ms));
         let mut last: Option<SimTime> = None;
         let mut wire_busy_until = SimTime::ZERO;
         for &(t, bytes) in &sends {
@@ -66,21 +81,28 @@ proptest! {
             let start = now.max(wire_busy_until);
             let done = start + Bandwidth::mbps(50).serialization_time(bytes as u64);
             wire_busy_until = done;
-            prop_assert_eq!(at, done + SimDuration::from_millis(delay_ms));
+            assert_eq!(at, done + SimDuration::from_millis(delay_ms), "case {case}");
             if let Some(prev) = last {
-                prop_assert!(at >= prev, "FIFO violated");
+                assert!(at >= prev, "FIFO violated (case {case})");
             }
             last = Some(at);
         }
-        prop_assert_eq!(wan.forwarded(), sends.len() as u64);
+        assert_eq!(wan.forwarded(), sends.len() as u64, "case {case}");
     }
+}
 
-    /// Forward and reverse directions never interfere.
-    #[test]
-    fn wan_directions_independent(
-        fwd in proptest::collection::vec(64u32..1_500, 1..50),
-        rev in proptest::collection::vec(64u32..1_500, 1..50),
-    ) {
+/// Forward and reverse directions never interfere.
+#[test]
+fn wan_directions_independent() {
+    let mut rng = SimRng::seed(0xd19);
+    for case in 0..CASES {
+        let fwd: Vec<u32> = (0..rng.range_u64(1, 50))
+            .map(|_| rng.range_u64(64, 1_500) as u32)
+            .collect();
+        let rev: Vec<u32> = (0..rng.range_u64(1, 50))
+            .map(|_| rng.range_u64(64, 1_500) as u32)
+            .collect();
+
         let mut both = WanEmulator::paper_50mbps();
         let mut only_fwd = WanEmulator::paper_50mbps();
         let mut t = 0u64;
@@ -95,6 +117,6 @@ proptest! {
                 let _ = both.reverse(now, rb);
             }
         }
-        prop_assert_eq!(fwd_results_both, fwd_results_only);
+        assert_eq!(fwd_results_both, fwd_results_only, "case {case}");
     }
 }

@@ -1,15 +1,18 @@
 //! Seeded, reproducible random-number generation.
-
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+//!
+//! The generator is implemented in-repo (xoshiro256** over a splitmix64
+//! seed expansion) so the workspace builds with no registry dependencies:
+//! determinism across machines and toolchains is a hard requirement — the
+//! fault-injection layer (`st-fault`) replays failing runs from a seed,
+//! and every experiment must be bit-identical under its seed.
 
 /// The workspace-wide random number generator.
 ///
-/// A thin wrapper over a seeded [`SmallRng`] that exposes exactly the
-/// operations the simulation needs and nothing else, so that swapping the
-/// underlying generator can never change the public API. Determinism is a
-/// hard requirement: every experiment takes a seed and two runs with the
-/// same seed must agree bit-for-bit.
+/// A small deterministic generator (xoshiro256\*\*) that exposes exactly
+/// the operations the simulation needs and nothing else, so that swapping
+/// the underlying algorithm can never change the public API. Determinism
+/// is a hard requirement: every experiment takes a seed and two runs with
+/// the same seed must agree bit-for-bit.
 ///
 /// # Examples
 ///
@@ -22,14 +25,31 @@ use rand::{RngExt, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// One step of splitmix64: the recommended seed expander for xoshiro.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        // Expand the seed through splitmix64 so that nearby seeds yield
+        // uncorrelated states (and an all-zero state is unreachable).
+        let mut s = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -42,14 +62,24 @@ impl SimRng {
         SimRng::seed(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// A uniformly distributed `u64`.
+    /// A uniformly distributed `u64` (xoshiro256\*\* step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
-    /// A uniform float in `[0, 1)`.
+    /// A uniform float in `[0, 1)` (53 high bits of one draw).
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform float in `[lo, hi)`.
@@ -69,7 +99,21 @@ impl SimRng {
     /// Panics when the range is empty.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty integer range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): rejection keeps the draw
+        // uniform without a modulo in the common case.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            let low = m as u64;
+            if low < span {
+                let threshold = span.wrapping_neg() % span;
+                if low < threshold {
+                    continue;
+                }
+            }
+            return lo + (m >> 64) as u64;
+        }
     }
 
     /// A uniform index in `[0, n)`.
@@ -79,7 +123,7 @@ impl SimRng {
     /// Panics when `n` is zero.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick from an empty collection");
-        self.inner.random_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -118,6 +162,14 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_usable() {
+        let mut r = SimRng::seed(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b, "state must not be stuck");
+    }
+
+    #[test]
     fn forks_are_reproducible_and_distinct() {
         let mut root1 = SimRng::seed(9);
         let mut root2 = SimRng::seed(9);
@@ -142,6 +194,29 @@ mod tests {
             let i = r.range_u64(10, 20);
             assert!((10..20).contains(&i));
         }
+    }
+
+    #[test]
+    fn uniform01_in_unit_interval() {
+        let mut r = SimRng::seed(11);
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let v = r.uniform01();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_u64_covers_all_values() {
+        let mut r = SimRng::seed(6);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.range_u64(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of [0, 8) should appear");
     }
 
     #[test]

@@ -1,33 +1,41 @@
-//! Property tests for the TCP engine: sequence-space conservation, window
-//! discipline, receiver cumulative-ACK monotonicity, and end-to-end
-//! transfer invariants.
+//! Randomized property tests for the TCP engine: sequence-space
+//! conservation, window discipline, receiver cumulative-ACK monotonicity,
+//! and end-to-end transfer invariants.
+//!
+//! Cases are drawn from the in-repo deterministic [`SimRng`] (fixed seed,
+//! so failures replay exactly) instead of an external property-testing
+//! framework — the workspace builds with no network access.
 
-use proptest::prelude::*;
 use st_net::packet::ConnId;
-use st_sim::SimTime;
+use st_sim::{SimRng, SimTime};
 use st_tcp::receiver::{AckDecision, AckPolicy, TcpReceiver};
 use st_tcp::sender::{SenderConfig, SenderMode, TcpSender};
 use st_tcp::transfer::{TransferConfig, TransferSim};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Under any interleaving of send opportunities and cumulative ACKs,
-    /// the sender never exceeds its window, never re-sends bytes, and
-    /// exactly covers the transfer.
-    #[test]
-    fn sender_conserves_sequence_space(
-        transfer_segments in 1u64..200,
-        iw in 1u32..8,
-        acks_per_round in 1usize..5,
-        mode_rb in any::<bool>(),
-    ) {
+/// Under any interleaving of send opportunities and cumulative ACKs, the
+/// sender never exceeds its window, never re-sends bytes, and exactly
+/// covers the transfer.
+#[test]
+fn sender_conserves_sequence_space() {
+    let mut rng = SimRng::seed(0x5ec_0de);
+    for case in 0..CASES {
+        let transfer_segments = rng.range_u64(1, 200);
+        let iw = rng.range_u64(1, 8) as u32;
+        let acks_per_round = rng.range_u64(1, 5) as usize;
+        let mode_rb = rng.chance(0.5);
+
         let mss = 1_000u32;
         let config = SenderConfig {
             mss,
             initial_cwnd_segments: iw,
             rwnd: 64_000,
-            mode: if mode_rb { SenderMode::RateBased } else { SenderMode::SelfClocked },
+            mode: if mode_rb {
+                SenderMode::RateBased
+            } else {
+                SenderMode::SelfClocked
+            },
         };
         let transfer = transfer_segments * mss as u64;
         let mut s = TcpSender::new(config, ConnId(1), transfer);
@@ -37,15 +45,19 @@ proptest! {
         let mut guard = 0;
         while !s.complete() {
             guard += 1;
-            prop_assert!(guard < 100_000, "live-lock in the sender");
+            assert!(guard < 100_000, "live-lock in the sender (case {case})");
             // Send as much as allowed.
             while let Some(p) = s.next_segment(id) {
                 id += 1;
                 // No overlap with anything sent before.
                 if let Some(&(last_seq, last_len)) = sent.last() {
-                    prop_assert_eq!(p.tcp.seq, last_seq + last_len as u64, "gap or overlap");
+                    assert_eq!(
+                        p.tcp.seq,
+                        last_seq + last_len as u64,
+                        "gap or overlap (case {case})"
+                    );
                 }
-                prop_assert!(s.inflight() <= s.window(), "window violated");
+                assert!(s.inflight() <= s.window(), "window violated (case {case})");
                 sent.push((p.tcp.seq, p.payload_bytes));
             }
             // Acknowledge a few outstanding segments cumulatively.
@@ -65,16 +77,20 @@ proptest! {
         }
         // Every byte sent exactly once.
         let total: u64 = sent.iter().map(|&(_, l)| l as u64).sum();
-        prop_assert_eq!(total, transfer);
-        prop_assert_eq!(s.segments_sent(), sent.len() as u64);
+        assert_eq!(total, transfer, "case {case}");
+        assert_eq!(s.segments_sent(), sent.len() as u64, "case {case}");
     }
+}
 
-    /// The receiver's cumulative ACK is monotone, never past the data it
-    /// has seen, and every delayed ACK eventually flushes on the timer.
-    #[test]
-    fn receiver_acks_are_monotone_and_complete(
-        lens in proptest::collection::vec(1u32..1500, 1..200),
-    ) {
+/// The receiver's cumulative ACK is monotone, never past the data it has
+/// seen, and every delayed ACK eventually flushes on the timer.
+#[test]
+fn receiver_acks_are_monotone_and_complete() {
+    let mut rng = SimRng::seed(0xacc);
+    for case in 0..CASES {
+        let n = rng.range_u64(1, 200) as usize;
+        let lens: Vec<u32> = (0..n).map(|_| rng.range_u64(1, 1500) as u32).collect();
+
         let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
         let mut seq = 0u64;
         let mut last_ack = 0u64;
@@ -82,8 +98,8 @@ proptest! {
             let t = SimTime::from_micros(i as u64 * 10);
             match r.on_data(t, seq, len) {
                 AckDecision::AckNow { ack } => {
-                    prop_assert!(ack >= last_ack, "ACK went backwards");
-                    prop_assert!(ack <= seq + len as u64, "ACKed unseen data");
+                    assert!(ack >= last_ack, "ACK went backwards (case {case})");
+                    assert!(ack <= seq + len as u64, "ACKed unseen data (case {case})");
                     last_ack = ack;
                 }
                 AckDecision::Delay => {}
@@ -93,32 +109,39 @@ proptest! {
         // The delack timer flushes whatever is owed; afterwards the
         // cumulative ACK covers the whole stream.
         if let Some(ack) = r.on_timer(SimTime::from_secs(1)) {
-            prop_assert!(ack >= last_ack);
+            assert!(ack >= last_ack, "case {case}");
             last_ack = ack;
         }
-        prop_assert_eq!(last_ack, seq, "stream fully acknowledged");
-        prop_assert_eq!(r.segments_received(), lens.len() as u64);
+        assert_eq!(last_ack, seq, "stream fully acknowledged (case {case})");
+        assert_eq!(r.segments_received(), lens.len() as u64, "case {case}");
     }
+}
 
-    /// End-to-end: every transfer completes, delivers each segment once,
-    /// and rate-based is never slower than regular TCP on this lossless
-    /// high-BDP path.
-    #[test]
-    fn transfers_complete_and_pacing_wins(segments in 1u64..400) {
+/// End-to-end: every transfer completes, delivers each segment once, and
+/// rate-based is never slower than regular TCP on this lossless high-BDP
+/// path.
+#[test]
+fn transfers_complete_and_pacing_wins() {
+    let mut rng = SimRng::seed(0x7ab1e6);
+    for case in 0..24 {
+        let segments = rng.range_u64(1, 400);
         let reg = TransferSim::run(TransferConfig::table6(segments, false));
         let rbc = TransferSim::run(TransferConfig::table6(segments, true));
-        prop_assert_eq!(reg.segments, segments);
-        prop_assert_eq!(rbc.segments, segments);
+        assert_eq!(reg.segments, segments, "case {case}");
+        assert_eq!(rbc.segments, segments, "case {case}");
         // For a 1-segment transfer both modes are one RTT; pacing adds
         // only its microsecond trigger latency. Allow that as a tie.
         let tolerance = st_sim::SimDuration::from_millis(1);
-        prop_assert!(
+        assert!(
             rbc.response_time <= reg.response_time + tolerance,
-            "pacing lost: {} vs {}",
+            "pacing lost (case {case}): {} vs {}",
             rbc.response_time,
             reg.response_time
         );
         // Both response times include at least one WAN crossing each way.
-        prop_assert!(reg.response_time >= st_sim::SimDuration::from_millis(100));
+        assert!(
+            reg.response_time >= st_sim::SimDuration::from_millis(100),
+            "case {case}"
+        );
     }
 }

@@ -148,7 +148,11 @@ impl<P> TimerQueue<P> for CalendarQueue<P> {
     }
 
     fn advance(&mut self, now: u64, out: &mut Vec<(u64, P)>) {
-        assert!(now >= self.now, "time went backwards: {} -> {now}", self.now);
+        assert!(
+            now >= self.now,
+            "time went backwards: {} -> {now}",
+            self.now
+        );
         let old = self.now;
         self.now = now;
 
@@ -252,11 +256,7 @@ mod tests {
             let h = q.schedule(1_000_000 + i, i);
             q.cancel(h);
         }
-        assert!(
-            q.bucket_count() < 256,
-            "shrunk back: {}",
-            q.bucket_count()
-        );
+        assert!(q.bucket_count() < 256, "shrunk back: {}", q.bucket_count());
     }
 
     #[test]

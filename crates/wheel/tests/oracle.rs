@@ -1,7 +1,12 @@
-//! Property tests: every wheel must agree with the binary-heap oracle on
-//! arbitrary schedule / cancel / advance sequences.
+//! Randomized oracle tests: every wheel must agree with the binary-heap
+//! oracle on arbitrary schedule / cancel / advance sequences.
+//!
+//! Op sequences are drawn from the in-repo deterministic [`SimRng`]
+//! (fixed seed per test, so failures replay exactly) instead of an
+//! external property-testing framework — the workspace builds with no
+//! network access.
 
-use proptest::prelude::*;
+use st_sim::SimRng;
 use st_wheel::{CalendarQueue, HashedWheel, HeapQueue, HierarchicalWheel, SimpleWheel, TimerQueue};
 
 /// An operation in a random timer workload.
@@ -15,12 +20,24 @@ enum Op {
     Advance { delta: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u64..5000).prop_map(|delta| Op::Schedule { delta }),
-        1 => any::<usize>().prop_map(|nth| Op::Cancel { nth }),
-        2 => (0u64..2000).prop_map(|delta| Op::Advance { delta }),
-    ]
+/// Weighted draw matching the old strategy: schedule 4, cancel 1,
+/// advance 2.
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.range_u64(0, 7) {
+        0..=3 => Op::Schedule {
+            delta: rng.range_u64(0, 5000),
+        },
+        4 => Op::Cancel {
+            nth: rng.next_u64() as usize,
+        },
+        _ => Op::Advance {
+            delta: rng.range_u64(0, 2000),
+        },
+    }
+}
+
+fn random_ops(rng: &mut SimRng) -> Vec<Op> {
+    (0..rng.range_u64(1, 120)).map(|_| random_op(rng)).collect()
 }
 
 /// Runs the op sequence against `queue` and the oracle simultaneously,
@@ -79,48 +96,60 @@ fn check_against_oracle<Q: TimerQueue<u64>>(mut queue: Q, ops: &[Op]) {
     assert!(queue.is_empty());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn simple_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        check_against_oracle(SimpleWheel::new(512), &ops);
+fn run_cases<Q: TimerQueue<u64>>(seed: u64, make: impl Fn() -> Q) {
+    let mut rng = SimRng::seed(seed);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng);
+        check_against_oracle(make(), &ops);
     }
+}
 
-    #[test]
-    fn small_simple_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        // A tiny horizon exercises the overflow path constantly.
-        check_against_oracle(SimpleWheel::new(7), &ops);
-    }
+#[test]
+fn simple_wheel_matches_heap() {
+    run_cases(0x51, || SimpleWheel::new(512));
+}
 
-    #[test]
-    fn hashed_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        check_against_oracle(HashedWheel::with_slots(64), &ops);
-    }
+#[test]
+fn small_simple_wheel_matches_heap() {
+    // A tiny horizon exercises the overflow path constantly.
+    run_cases(0x52, || SimpleWheel::new(7));
+}
 
-    #[test]
-    fn tiny_hashed_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        // One-slot wheel degenerates to a single unsorted list; still must
-        // behave identically.
-        check_against_oracle(HashedWheel::with_slots(1), &ops);
-    }
+#[test]
+fn hashed_wheel_matches_heap() {
+    run_cases(0x53, || HashedWheel::with_slots(64));
+}
 
-    #[test]
-    fn hierarchical_wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        check_against_oracle(HierarchicalWheel::new(), &ops);
-    }
+#[test]
+fn tiny_hashed_wheel_matches_heap() {
+    // One-slot wheel degenerates to a single unsorted list; still must
+    // behave identically.
+    run_cases(0x54, || HashedWheel::with_slots(1));
+}
 
-    #[test]
-    fn calendar_queue_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        check_against_oracle(CalendarQueue::new(), &ops);
-    }
+#[test]
+fn hierarchical_wheel_matches_heap() {
+    run_cases(0x55, HierarchicalWheel::new);
+}
 
-    #[test]
-    fn hierarchical_wheel_long_jumps(
-        deltas in proptest::collection::vec(0u64..100_000_000, 1..40),
-        deadlines in proptest::collection::vec(0u64..200_000_000, 1..40),
-    ) {
-        // Long jumps stress cascading and the overflow list.
+#[test]
+fn calendar_queue_matches_heap() {
+    run_cases(0x56, CalendarQueue::new);
+}
+
+#[test]
+fn hierarchical_wheel_long_jumps() {
+    // Long jumps stress cascading and the overflow list.
+    let mut rng = SimRng::seed(0x57);
+    for _ in 0..CASES {
+        let deadlines: Vec<u64> = (0..rng.range_u64(1, 40))
+            .map(|_| rng.range_u64(0, 200_000_000))
+            .collect();
+        let deltas: Vec<u64> = (0..rng.range_u64(1, 40))
+            .map(|_| rng.range_u64(0, 100_000_000))
+            .collect();
         let mut w = HierarchicalWheel::new();
         let mut oracle = HeapQueue::new();
         for (i, &d) in deadlines.iter().enumerate() {
@@ -134,7 +163,7 @@ proptest! {
             let mut o2 = Vec::new();
             w.advance(now, &mut o1);
             oracle.advance(now, &mut o2);
-            prop_assert_eq!(o1, o2, "diverged at t={}", now);
+            assert_eq!(o1, o2, "diverged at t={now}");
         }
     }
 }

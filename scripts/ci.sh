@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, and the tier-1 build+test cycle,
+# all fully offline (the workspace has no registry dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+echo "== workspace tests =="
+cargo test -q --workspace --offline
+
+echo "ci: all green"
