@@ -167,6 +167,16 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
             None => deadline,
         });
         self.stats.scheduled += 1;
+        if st_trace::active() {
+            st_trace::count("facility.scheduled", 1);
+            st_trace::emit(
+                st_trace::Category::Facility,
+                "facility.schedule",
+                now,
+                deadline,
+                delta,
+            );
+        }
         handle
     }
 
@@ -175,6 +185,7 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
         let p = self.wheel.cancel(handle);
         if p.is_some() {
             self.stats.canceled += 1;
+            st_trace::count("facility.canceled", 1);
             // `earliest` may now be stale-early; leave it — the next check
             // at that tick performs one wheel advance that finds nothing
             // and refreshes the cache.
@@ -196,6 +207,7 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
     /// events to [`FireOrigin::BackupInterrupt`].
     pub fn interrupt_sweep(&mut self, now: u64, out: &mut Vec<Expired<P>>) -> usize {
         self.stats.backup_sweeps += 1;
+        st_trace::count("facility.backup_sweeps", 1);
         self.fire(now, FireOrigin::BackupInterrupt, out)
     }
 
@@ -219,6 +231,16 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
         // wheel a time regression; count it so embeddings can alarm.
         let now = if now < self.last_seen {
             self.stats.clock_regressions += 1;
+            if st_trace::active() {
+                st_trace::count("facility.clock_regressions", 1);
+                st_trace::emit(
+                    st_trace::Category::Facility,
+                    "facility.clock_clamp",
+                    self.last_seen,
+                    now,
+                    self.last_seen,
+                );
+            }
             self.last_seen
         } else {
             now
@@ -232,9 +254,27 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
         let mut due: Vec<(u64, P)> = Vec::new();
         self.wheel.advance(now, &mut due);
         let fired = due.len();
+        let tracing = st_trace::active();
         for (deadline, payload) in due {
             if self.config.record_stats {
                 self.stats.record_fire(origin, now - deadline);
+            }
+            if tracing {
+                let (name, counter) = match origin {
+                    FireOrigin::TriggerState => ("facility.fire.trigger", "facility.fired.trigger"),
+                    FireOrigin::BackupInterrupt => {
+                        ("facility.fire.backup", "facility.fired.backup")
+                    }
+                };
+                st_trace::count(counter, 1);
+                st_trace::emit(
+                    st_trace::Category::Facility,
+                    name,
+                    now,
+                    deadline,
+                    now - deadline,
+                );
+                st_trace::observe("facility.delay_ticks", (now - deadline) as f64);
             }
             out.push(Expired {
                 payload,

@@ -152,6 +152,18 @@ impl RtSoftTimers {
         if catch_unwind(AssertUnwindSafe(|| (ev.payload)(self))).is_err() {
             self.panics.fetch_add(1, Ordering::Relaxed);
             lock_recover(&self.core).note_handler_panic();
+            // Trace sessions are per-thread; this is visible only to a
+            // session on the dispatching thread (caller or backup).
+            if st_trace::active() {
+                st_trace::count("rt.handler_panics", 1);
+                st_trace::emit(
+                    st_trace::Category::Rt,
+                    "rt.handler_panic",
+                    ev.fired_at,
+                    ev.due,
+                    0,
+                );
+            }
         }
     }
 

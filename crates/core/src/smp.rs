@@ -175,18 +175,37 @@ impl<P> SmpFacility<P> {
             if c != cpu {
                 self.cpus[cpu] = CpuState::IdleHalted;
                 self.halted_wakeups_saved += 1;
+                self.trace_idle(cpu, now, IdleDirective::HaltOtherChecker);
                 return IdleDirective::HaltOtherChecker;
             }
         }
         if !self.has_event_before_backup(now) {
             self.cpus[cpu] = CpuState::IdleHalted;
             self.halted_wakeups_saved += 1;
+            self.trace_idle(cpu, now, IdleDirective::HaltNoNearEvents);
             return IdleDirective::HaltNoNearEvents;
         }
         self.cpus[cpu] = CpuState::IdleChecking;
         self.checker = Some(cpu);
         self.checker_last_check = Some(now);
+        self.trace_idle(cpu, now, IdleDirective::SpinChecking);
         IdleDirective::SpinChecking
+    }
+
+    fn trace_idle(&self, cpu: usize, now: u64, directive: IdleDirective) {
+        if st_trace::active() {
+            let (name, counter) = match directive {
+                IdleDirective::SpinChecking => ("smp.idle.spin_checking", "smp.idle.spin_checking"),
+                IdleDirective::HaltNoNearEvents => {
+                    ("smp.idle.halt_no_near", "smp.idle.halt_no_near")
+                }
+                IdleDirective::HaltOtherChecker => {
+                    ("smp.idle.halt_other_checker", "smp.idle.halt_other_checker")
+                }
+            };
+            st_trace::count(counter, 1);
+            st_trace::emit(st_trace::Category::Smp, name, now, cpu as u64, 0);
+        }
     }
 
     /// `cpu` leaves the idle loop (work arrived / interrupt woke it).
@@ -255,6 +274,16 @@ impl<P> SmpFacility<P> {
             match self.checker_last_check {
                 Some(last) if now.saturating_sub(last) >= self.core.config().x_ticks() => {
                     self.checker_recoveries += 1;
+                    if st_trace::active() {
+                        st_trace::count("smp.checker_recoveries", 1);
+                        st_trace::emit(
+                            st_trace::Category::Smp,
+                            "smp.checker_recovery",
+                            now,
+                            c as u64,
+                            last,
+                        );
+                    }
                     self.cpus[c] = CpuState::Busy;
                     self.checker = None;
                     self.checker_last_check = None;

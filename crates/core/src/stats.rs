@@ -67,6 +67,28 @@ impl FacilityStats {
         }
     }
 
+    /// Fires whose delay exceeded the histogram range (2048 ticks).
+    ///
+    /// Such delays still contribute to [`FacilityStats::delay_ticks`]
+    /// exactly, but only land in the histogram's overflow bucket; this
+    /// accessor makes that truncation explicit instead of silent. A
+    /// non-zero value means the facility went more than two backup
+    /// periods (at the default 1 kHz backup clock) without any check —
+    /// a stall worth alarming on.
+    pub fn delay_overflow(&self) -> u64 {
+        self.delay_hist.overflow()
+    }
+
+    /// Fraction of fires whose delay overflowed the histogram range.
+    pub fn delay_overflow_fraction(&self) -> f64 {
+        let total = self.fired();
+        if total == 0 {
+            0.0
+        } else {
+            self.delay_overflow() as f64 / total as f64
+        }
+    }
+
     pub(crate) fn record_fire(&mut self, origin: crate::facility::FireOrigin, delay: u64) {
         match origin {
             crate::facility::FireOrigin::TriggerState => self.fired_trigger += 1,
@@ -99,5 +121,27 @@ mod tests {
         assert!((s.backup_fraction() - 1.0 / 3.0).abs() < 1e-12);
         assert!((s.delay_ticks.mean() - (5.0 + 15.0 + 900.0) / 3.0).abs() < 1e-9);
         assert_eq!(s.delay_hist.count(), 3);
+    }
+
+    #[test]
+    fn delays_past_histogram_cap_are_visible_not_silent() {
+        let mut s = FacilityStats::new();
+        s.record_fire(FireOrigin::TriggerState, 100);
+        s.record_fire(FireOrigin::BackupInterrupt, 2047); // last in-range bucket
+        s.record_fire(FireOrigin::BackupInterrupt, 2048); // first overflowing delay
+        s.record_fire(FireOrigin::BackupInterrupt, 1_000_000);
+        assert_eq!(s.delay_overflow(), 2);
+        assert!((s.delay_overflow_fraction() - 0.5).abs() < 1e-12);
+        // Nothing vanished: the histogram still counts every fire, and
+        // the exact summary still sees the full delay.
+        assert_eq!(s.delay_hist.count(), s.fired());
+        assert_eq!(s.delay_ticks.max(), Some(1_000_000.0));
+    }
+
+    #[test]
+    fn overflow_fraction_is_zero_when_nothing_fired() {
+        let s = FacilityStats::new();
+        assert_eq!(s.delay_overflow(), 0);
+        assert_eq!(s.delay_overflow_fraction(), 0.0);
     }
 }

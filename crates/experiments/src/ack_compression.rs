@@ -105,6 +105,23 @@ pub fn run(scale: Scale, seed: u64) -> AckCompression {
     }
 }
 
+impl AckCompression {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for (label, mode) in [
+            ("clean_self_clocked", &self.clean_self_clocked),
+            ("compressed_self_clocked", &self.compressed_self_clocked),
+            ("compressed_rate_based", &self.compressed_rate_based),
+        ] {
+            m.push((format!("{label}_compressed_frac"), mode.compressed_frac));
+            m.push((format!("{label}_max_backlog_ms"), mode.max_backlog_ms));
+            m.push((format!("{label}_response_ms"), mode.response_ms));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

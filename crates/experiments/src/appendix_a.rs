@@ -93,6 +93,26 @@ pub fn run(scale: Scale, seed: u64) -> AppendixA {
     }
 }
 
+impl AppendixA {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for (label, mode) in [
+            ("delack_self_clocked", &self.delack_self_clocked),
+            ("slow_self_clocked", &self.slow_self_clocked),
+            ("slow_rate_based", &self.slow_rate_based),
+        ] {
+            m.push((
+                format!("{label}_max_ack_coverage"),
+                mode.max_ack_coverage as f64,
+            ));
+            m.push((format!("{label}_max_backlog_ms"), mode.max_backlog_ms));
+            m.push((format!("{label}_response_ms"), mode.response_ms));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

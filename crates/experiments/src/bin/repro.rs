@@ -1,23 +1,34 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR]
+//! repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR] [--json PATH] [--trace DIR]
 //!
 //! EXPERIMENT: all (default), fig2, sec52, fig4, table1, fig5, fig6,
 //!             table2, table3, table45, table67, table8, scaling,
-//!             appendix_a, livelock, latency, ack_compression, fault_matrix
+//!             appendix_a, livelock, latency, ack_compression,
+//!             fault_matrix, trace_overhead
 //! ```
+//!
+//! `--json PATH` writes one JSON object per experiment (`-` = stdout,
+//! suppressing the text report); `--trace DIR` records the run with
+//! `st-trace` and exports `chrome_trace.json` (load it in Perfetto),
+//! `metrics.jsonl` and `summary.txt`. See EXPERIMENTS.md for both
+//! schemas.
 
 use st_experiments::{
     ack_compression, appendix_a, fault_matrix, fig2_fig3, fig4_table1, fig5, fig6_table2, latency,
-    livelock, scaling, sec52, table3, table45, table67, table8, Scale,
+    livelock, scaling, sec52, table3, table45, table67, table8, trace_overhead, Scale,
 };
+use st_trace::json::ObjectBuilder;
+use st_trace::{json, TraceConfig, TraceSession};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut seed = 1u64;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut json_path: Option<String> = None;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -33,10 +44,24 @@ fn main() {
                 let dir = it.next().unwrap_or_else(|| die("--csv needs a directory"));
                 csv_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--json" => {
+                let path = it
+                    .next()
+                    .unwrap_or_else(|| die("--json needs a path ('-' for stdout)"));
+                json_path = Some(path.clone());
+            }
+            "--trace" => {
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| die("--trace needs a directory"));
+                trace_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR]\n\
-                     experiments: all fig2 sec52 fig4 table1 fig5 fig6 table2 table3 table45 table67 table8 scaling appendix_a ack_compression livelock latency fault_matrix"
+                    "usage: repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR] [--json PATH] [--trace DIR]\n\
+                     experiments: all fig2 sec52 fig4 table1 fig5 fig6 table2 table3 table45 table67 table8 scaling appendix_a ack_compression livelock latency fault_matrix trace_overhead\n\
+                     --json PATH  one JSON object per experiment; '-' writes to stdout and suppresses the text report\n\
+                     --trace DIR  record with st-trace; writes chrome_trace.json, metrics.jsonl, summary.txt"
                 );
                 return;
             }
@@ -46,7 +71,7 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 23] = [
+    const KNOWN: [&str; 25] = [
         "all",
         "fig2",
         "fig3",
@@ -70,6 +95,8 @@ fn main() {
         "latency",
         "fault_matrix",
         "faultmatrix",
+        "trace_overhead",
+        "traceoverhead",
     ];
     for w in &wanted {
         if !KNOWN.contains(&w.as_str())
@@ -86,10 +113,22 @@ fn main() {
     let all = wanted.iter().any(|w| w == "all");
     let want = |names: &[&str]| all || wanted.iter().any(|w| names.contains(&w.as_str()));
 
-    println!(
-        "# soft-timers paper reproduction ({:?} scale, seed {seed})\n",
-        scale
-    );
+    // With `--json -` the machine-readable stream owns stdout.
+    let json_to_stdout = json_path.as_deref() == Some("-");
+    let mut json_lines: Vec<String> = Vec::new();
+    let collect_json = json_path.is_some();
+
+    let trace_session = trace_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("trace dir: {e}")));
+        TraceSession::start(TraceConfig { capacity: 1 << 20 })
+    });
+
+    if !json_to_stdout {
+        println!(
+            "# soft-timers paper reproduction ({:?} scale, seed {seed})\n",
+            scale
+        );
+    }
     let write_csv = |name: &str, series: &st_stats::Series| {
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("csv dir: {e}")));
@@ -99,19 +138,48 @@ fn main() {
             eprintln!("wrote {}", path.display());
         }
     };
+    // One report: print the text rendering (unless JSON owns stdout) and
+    // collect the experiment's key metrics as a JSON line.
+    let mut emit = |name: &str, rendered: String, metrics: Vec<(String, f64)>| {
+        if !json_to_stdout {
+            println!("{rendered}");
+        }
+        if collect_json {
+            let mut m = ObjectBuilder::new();
+            for (k, v) in &metrics {
+                m = m.f64(k, *v);
+            }
+            json_lines.push(
+                ObjectBuilder::new()
+                    .str("experiment", name)
+                    .u64("seed", seed)
+                    .str(
+                        "scale",
+                        if scale == Scale::Quick {
+                            "quick"
+                        } else {
+                            "full"
+                        },
+                    )
+                    .raw("metrics", &m.build())
+                    .build(),
+            );
+        }
+    };
 
     if want(&["fig2", "fig3"]) {
         let r = fig2_fig3::run(scale, seed);
-        println!("{}", r.render());
+        emit("fig2_fig3", r.render(), r.key_metrics());
         write_csv("fig2_throughput", &r.fig2_series());
         write_csv("fig3_overhead", &r.fig3_series());
     }
     if want(&["sec52"]) {
-        println!("{}", sec52::run(scale, seed).render());
+        let r = sec52::run(scale, seed);
+        emit("sec52", r.render(), r.key_metrics());
     }
     if want(&["fig4", "table1"]) {
         let r = fig4_table1::run(scale, seed);
-        println!("{}", r.render());
+        emit("fig4_table1", r.render(), r.key_metrics());
         for id in st_workloads::WorkloadId::ALL {
             if let Some(s) = r.cdf_series(id) {
                 write_csv(
@@ -126,13 +194,13 @@ fn main() {
     }
     if want(&["fig5"]) {
         let r = fig5::run(scale, seed);
-        println!("{}", r.render());
+        emit("fig5", r.render(), r.key_metrics());
         write_csv("fig5_medians_1ms", &r.series_1ms());
         write_csv("fig5_medians_10ms", &r.series_10ms());
     }
     if want(&["fig6", "table2"]) {
         let r = fig6_table2::run(scale, seed);
-        println!("{}", r.render());
+        emit("fig6_table2", r.render(), r.key_metrics());
         for src in [
             st_kernel::TriggerSource::Syscall,
             st_kernel::TriggerSource::IpOutput,
@@ -146,31 +214,40 @@ fn main() {
         }
     }
     if want(&["table3"]) {
-        println!("{}", table3::run(scale, seed).render());
+        let r = table3::run(scale, seed);
+        emit("table3", r.render(), r.key_metrics());
     }
     if want(&["table45", "table4", "table5"]) {
-        println!("{}", table45::run(scale, seed).render());
+        let r = table45::run(scale, seed);
+        emit("table45", r.render(), r.key_metrics());
     }
     if want(&["table67", "table6", "table7"]) {
-        println!("{}", table67::run(scale, seed).render());
+        let r = table67::run(scale, seed);
+        emit("table67", r.render(), r.key_metrics());
     }
     if want(&["table8"]) {
-        println!("{}", table8::run(scale, seed).render());
+        let r = table8::run(scale, seed);
+        emit("table8", r.render(), r.key_metrics());
     }
     if want(&["scaling"]) {
-        println!("{}", scaling::run(scale, seed).render());
+        let r = scaling::run(scale, seed);
+        emit("scaling", r.render(), r.key_metrics());
     }
     if want(&["appendix_a", "appendixa"]) {
-        println!("{}", appendix_a::run(scale, seed).render());
+        let r = appendix_a::run(scale, seed);
+        emit("appendix_a", r.render(), r.key_metrics());
     }
     if want(&["livelock"]) {
-        println!("{}", livelock::run(scale, seed).render());
+        let r = livelock::run(scale, seed);
+        emit("livelock", r.render(), r.key_metrics());
     }
     if want(&["latency"]) {
-        println!("{}", latency::run(scale, seed).render());
+        let r = latency::run(scale, seed);
+        emit("latency", r.render(), r.key_metrics());
     }
     if want(&["ack_compression", "ackcompression"]) {
-        println!("{}", ack_compression::run(scale, seed).render());
+        let r = ack_compression::run(scale, seed);
+        emit("ack_compression", r.render(), r.key_metrics());
     }
     if want(&["fault_matrix", "faultmatrix"]) {
         // The hostile-callback rows inject panics that the harness
@@ -180,7 +257,50 @@ fn main() {
         std::panic::set_hook(Box::new(|_| {}));
         let matrix = fault_matrix::run(scale, seed);
         std::panic::set_hook(hook);
-        println!("{}", matrix.render());
+        emit("fault_matrix", matrix.render(), matrix.key_metrics());
+    }
+    if want(&["trace_overhead", "traceoverhead"]) {
+        // Suspends (and later restores) this binary's own --trace
+        // session while it runs its self-measuring sessions.
+        let r = trace_overhead::run(scale, seed);
+        emit("trace_overhead", r.render(), r.key_metrics());
+    }
+
+    if let Some(path) = &json_path {
+        let mut out = String::new();
+        for line in &json_lines {
+            json::validate(line)
+                .unwrap_or_else(|e| die(&format!("internal error: invalid JSON line: {e}")));
+            out.push_str(line);
+            out.push('\n');
+        }
+        if path == "-" {
+            print!("{out}");
+        } else {
+            std::fs::write(path, out).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+            eprintln!("wrote {path} ({} experiments)", json_lines.len());
+        }
+    }
+
+    if let (Some(session), Some(dir)) = (trace_session, trace_dir.as_ref()) {
+        let snap = session.finish();
+        let chrome = snap.chrome_trace_json();
+        json::validate(&chrome)
+            .unwrap_or_else(|e| die(&format!("internal error: invalid chrome trace: {e}")));
+        let jsonl = snap.metrics_jsonl();
+        for line in jsonl.lines() {
+            json::validate(line)
+                .unwrap_or_else(|e| die(&format!("internal error: invalid metrics line: {e}")));
+        }
+        let write = |name: &str, body: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, body)
+                .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+            eprintln!("wrote {}", path.display());
+        };
+        write("chrome_trace.json", &chrome);
+        write("metrics.jsonl", &jsonl);
+        write("summary.txt", &snap.summary());
     }
 }
 

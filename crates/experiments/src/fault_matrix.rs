@@ -119,6 +119,31 @@ pub fn run(scale: Scale, seed: u64) -> FaultMatrix {
     FaultMatrix { seed, rows }
 }
 
+impl FaultMatrix {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = vec![("all_clean".to_string(), self.all_clean() as u64 as f64)];
+        for row in &self.rows {
+            let key = crate::metric_key(row.name);
+            m.push((format!("{key}_fired"), row.report.fired as f64));
+            m.push((
+                format!("{key}_backup_fraction"),
+                if row.report.fired == 0 {
+                    0.0
+                } else {
+                    row.report.fired_backup as f64 / row.report.fired as f64
+                },
+            ));
+            m.push((
+                format!("{key}_bound_violations"),
+                row.report.bound_violations as f64,
+            ));
+            m.push((format!("{key}_replayed"), row.replayed as u64 as f64));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -135,6 +135,18 @@ pub fn run(scale: Scale, seed: u64) -> Fig2Fig3 {
     }
 }
 
+impl Fig2Fig3 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = vec![("us_per_interrupt".to_string(), self.us_per_interrupt)];
+        for p in &self.points {
+            m.push((format!("throughput_{}khz", p.freq_khz), p.throughput));
+            m.push((format!("overhead_{}khz", p.freq_khz), p.overhead));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

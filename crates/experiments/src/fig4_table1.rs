@@ -114,6 +114,21 @@ pub fn run(scale: Scale, seed: u64) -> Fig4Table1 {
     Fig4Table1 { rows }
 }
 
+impl Fig4Table1 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for row in &self.rows {
+            let key = crate::metric_key(row.id.label());
+            m.push((format!("{key}_median_us"), row.median));
+            m.push((format!("{key}_mean_us"), row.mean));
+            m.push((format!("{key}_over_100us"), row.over_100));
+            m.push((format!("{key}_over_150us"), row.over_150));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

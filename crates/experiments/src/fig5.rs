@@ -101,6 +101,24 @@ pub fn run(scale: Scale, seed: u64) -> Fig5 {
     }
 }
 
+impl Fig5 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("windows_1ms".to_string(), self.medians_1ms.len() as f64),
+            ("windows_10ms".to_string(), self.medians_10ms.len() as f64),
+            (
+                "frac_1ms_above_100us".to_string(),
+                self.frac_1ms_above(100.0),
+            ),
+            (
+                "frac_1ms_in_20_60us".to_string(),
+                Fig5::frac_in_band(&self.medians_1ms, 20.0, 60.0),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -144,6 +144,23 @@ pub fn run(scale: Scale, seed: u64) -> Fig6Table2 {
     }
 }
 
+impl Fig6Table2 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = vec![("all_median_us".to_string(), self.all_median_us)];
+        for &(src, got, _) in &self.fractions {
+            m.push((format!("frac_{}", crate::metric_key(src.label())), got));
+        }
+        for k in &self.knockouts {
+            m.push((
+                format!("median_without_{}_us", crate::metric_key(k.removed.label())),
+                k.median_us,
+            ));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,20 @@ pub fn run(scale: Scale, seed: u64) -> Latency {
     }
 }
 
+impl Latency {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = vec![("offered_pps".to_string(), self.offered_pps)];
+        for row in &self.rows {
+            let key = crate::metric_key(row.name);
+            m.push((format!("{key}_mean_us"), row.mean));
+            m.push((format!("{key}_max_us"), row.max));
+            m.push((format!("{key}_delivered_pps"), row.delivered_pps));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,11 @@
 //! | [`livelock`] | receive livelock across dispatch policies (extension) |
 //! | [`fault_matrix`] | fault injection: firing bound under clock/interrupt/NIC/callback faults (extension) |
 //! | [`latency`] | packet latency on an idle machine across policies (extension) |
+//! | [`trace_overhead`] | st-trace self-measurement: tracer cost + Table-1 shares re-derived from the trace (extension) |
+//!
+//! Every report additionally exposes `key_metrics()` — a flat list of
+//! `(name, value)` pairs — which the `repro --json` flag serializes as
+//! one JSON object per experiment (see EXPERIMENTS.md for the schema).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +51,7 @@ pub mod table3;
 pub mod table45;
 pub mod table67;
 pub mod table8;
+pub mod trace_overhead;
 
 /// How much work to spend on an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,4 +84,37 @@ impl Scale {
 /// Formats a ratio as the paper's "(1.23)" speedup annotation.
 pub fn speedup(base: f64, x: f64) -> String {
     format!("({:.2})", x / base)
+}
+
+/// Normalizes a label into a `key_metrics` / JSON metric key:
+/// lowercase, with runs of non-alphanumerics collapsed to `_`.
+pub fn metric_key(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut last_sep = true;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            last_sep = false;
+        } else if !last_sep {
+            out.push('_');
+            last_sep = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::metric_key;
+
+    #[test]
+    fn metric_keys_are_flat_identifiers() {
+        assert_eq!(metric_key("ST-Apache (compute)"), "st_apache_compute");
+        assert_eq!(metric_key("ip-output"), "ip_output");
+        assert_eq!(metric_key("P-HTTP"), "p_http");
+        assert_eq!(metric_key("__x__"), "x");
+    }
 }

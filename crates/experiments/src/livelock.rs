@@ -120,6 +120,19 @@ pub fn run(scale: Scale, seed: u64) -> Livelock {
     Livelock { curves }
 }
 
+impl Livelock {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for curve in &self.curves {
+            let key = crate::metric_key(curve.name);
+            m.push((format!("{key}_peak_pps"), curve.peak()));
+            m.push((format!("{key}_at_max_load_pps"), curve.at_max_load()));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

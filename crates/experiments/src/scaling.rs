@@ -90,6 +90,23 @@ pub fn run(scale: Scale, seed: u64) -> Scaling {
     Scaling { rows }
 }
 
+impl Scaling {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for row in &self.rows {
+            let key = crate::metric_key(&format!("{:?}", row.kind));
+            m.push((format!("{key}_interrupt_us"), row.interrupt_us));
+            m.push((format!("{key}_trigger_mean_us"), row.trigger_mean_us));
+            m.push((
+                format!("{key}_granularity_per_cost"),
+                row.granularity_per_cost,
+            ));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -89,6 +89,26 @@ pub fn run(scale: Scale, seed: u64) -> Sec52 {
     }
 }
 
+impl Sec52 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("base_throughput".to_string(), self.base_throughput),
+            ("soft_throughput".to_string(), self.soft_throughput),
+            ("soft_overhead".to_string(), self.soft_overhead()),
+            (
+                "soft_fire_interval_us".to_string(),
+                self.soft_fire_interval_us,
+            ),
+            (
+                "hw_equivalent_throughput".to_string(),
+                self.hw_equivalent_throughput,
+            ),
+            ("hw_overhead".to_string(), self.hw_overhead()),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

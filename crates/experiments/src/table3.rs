@@ -139,6 +139,24 @@ pub fn run(scale: Scale, seed: u64) -> Table3 {
     }
 }
 
+impl Table3 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for col in &self.columns {
+            let key = crate::metric_key(&format!("{:?}", col.server));
+            m.push((format!("{key}_base_throughput"), col.base));
+            m.push((format!("{key}_hw_overhead"), col.hw_overhead()));
+            m.push((format!("{key}_soft_overhead"), col.soft_overhead()));
+            m.push((
+                format!("{key}_soft_xmit_interval_us"),
+                col.soft_xmit_interval,
+            ));
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -153,6 +153,26 @@ pub fn run(scale: Scale, seed: u64) -> Table45 {
     }
 }
 
+impl Table45 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for (label, table) in [("t4", &self.table4), ("t5", &self.table5)] {
+            m.push((format!("{label}_target_ticks"), table.target as f64));
+            m.push((format!("{label}_hw_avg"), table.hw_avg));
+            m.push((format!("{label}_hw_std"), table.hw_std));
+            for row in &table.rows {
+                m.push((
+                    format!("{label}_min{}_avg", row.min_interval),
+                    row.avg_interval,
+                ));
+                m.push((format!("{label}_min{}_std", row.min_interval), row.std_dev));
+            }
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -152,6 +152,27 @@ pub fn run(scale: Scale, seed: u64) -> Table67 {
     }
 }
 
+impl Table67 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for (label, table) in [("t6", &self.table6), ("t7", &self.table7)] {
+            m.push((
+                format!("{label}_bottleneck_mbps"),
+                table.bottleneck_mbps as f64,
+            ));
+            for row in &table.rows {
+                let p = row.packets;
+                m.push((format!("{label}_p{p}_reg_xput"), row.reg_xput));
+                m.push((format!("{label}_p{p}_rbc_xput"), row.rbc_xput));
+                m.push((format!("{label}_p{p}_reg_resp_ms"), row.reg_resp_ms));
+                m.push((format!("{label}_p{p}_rbc_resp_ms"), row.rbc_resp_ms));
+            }
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

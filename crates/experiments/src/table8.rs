@@ -159,6 +159,22 @@ pub fn run(scale: Scale, seed: u64) -> Table8 {
     }
 }
 
+impl Table8 {
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = Vec::new();
+        for row in &self.rows {
+            let key = crate::metric_key(&format!("{:?}_{:?}", row.server, row.mode));
+            m.push((format!("{key}_interrupt"), row.interrupt));
+            m.push((format!("{key}_hybrid"), row.hybrid));
+            for &(period, xput) in &row.soft_poll {
+                m.push((format!("{key}_soft{period}us"), xput));
+            }
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

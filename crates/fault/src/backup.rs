@@ -50,10 +50,12 @@ impl BackupFaultStream {
         };
         if self.rng.chance(f.drop_chance) {
             self.dropped += 1;
+            st_trace::count("fault.backup.dropped", 1);
             return BackupFate::Drop;
         }
         if self.rng.chance(f.delay_chance) && f.max_delay > 0 {
             self.delayed += 1;
+            st_trace::count("fault.backup.delayed", 1);
             return BackupFate::Delay(self.rng.range_u64(1, f.max_delay + 1));
         }
         self.delivered += 1;

@@ -106,6 +106,16 @@ impl FaultyClock {
                 };
                 self.jump_offset.set(self.jump_offset.get() + jump);
                 self.jumps.set(self.jumps.get() + 1);
+                if st_trace::active() {
+                    st_trace::count("fault.clock.jumps", 1);
+                    st_trace::emit(
+                        st_trace::Category::Fault,
+                        "fault.clock.jump",
+                        ticks,
+                        jump,
+                        0,
+                    );
+                }
             }
             if rng.chance(f.regression_chance) {
                 let g = if f.max_regression > 0 {
@@ -115,6 +125,16 @@ impl FaultyClock {
                 };
                 self.glitch.set(g);
                 self.regressions.set(self.regressions.get() + 1);
+                if st_trace::active() {
+                    st_trace::count("fault.clock.regressions", 1);
+                    st_trace::emit(
+                        st_trace::Category::Fault,
+                        "fault.clock.regression",
+                        ticks,
+                        g,
+                        0,
+                    );
+                }
             }
         }
     }

@@ -97,6 +97,16 @@ impl<P> SoftClock<P> {
     /// this method only sweeps overdue events.
     pub fn backup_tick(&mut self, now: SimTime, out: &mut Vec<Expired<P>>) -> usize {
         let t = self.ticks(now);
+        if st_trace::active() {
+            st_trace::count("kernel.backup_ticks", 1);
+            st_trace::emit(
+                st_trace::Category::Kernel,
+                "kernel.backup_tick",
+                now.as_micros(),
+                self.core.pending() as u64,
+                0,
+            );
+        }
         self.core.interrupt_sweep(t, out)
     }
 }

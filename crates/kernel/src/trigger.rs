@@ -57,6 +57,19 @@ impl TriggerSource {
         }
     }
 
+    /// Metric key used by the trace registry for per-source counts.
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            TriggerSource::Syscall => "kernel.trigger.syscalls",
+            TriggerSource::Trap => "kernel.trigger.traps",
+            TriggerSource::IpOutput => "kernel.trigger.ip-output",
+            TriggerSource::IpIntr => "kernel.trigger.ip-intr",
+            TriggerSource::TcpipOther => "kernel.trigger.tcpip-others",
+            TriggerSource::Idle => "kernel.trigger.idle",
+            TriggerSource::OtherIntr => "kernel.trigger.other-intr",
+        }
+    }
+
     /// Index into dense per-source arrays.
     pub fn index(self) -> usize {
         match self {
@@ -116,6 +129,7 @@ impl TriggerRecorder {
 
     /// Records a trigger state at `now` from `source`.
     pub fn record(&mut self, now: SimTime, source: TriggerSource) {
+        let tracing = st_trace::active();
         if let Some(last) = self.last {
             let interval = now.since(last).as_micros_f64();
             self.all.record(interval);
@@ -124,6 +138,19 @@ impl TriggerRecorder {
             if interval > self.max_us {
                 self.max_us = interval;
             }
+            if tracing {
+                st_trace::observe("kernel.trigger.interval_us", interval);
+            }
+        }
+        if tracing {
+            st_trace::count(source.counter_key(), 1);
+            st_trace::emit(
+                st_trace::Category::Kernel,
+                source.label(),
+                now.as_micros(),
+                source.index() as u64,
+                0,
+            );
         }
         self.counts[source.index()] += 1;
         self.last = Some(now);

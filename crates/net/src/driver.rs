@@ -118,7 +118,7 @@ impl DriverPolicy {
         if self.idle_mode {
             return None;
         }
-        match self.strategy {
+        let interval = match self.strategy {
             DriverStrategy::PurePolling { period } => Some(period),
             DriverStrategy::SoftTimerPolling { .. } => {
                 let c = self
@@ -128,7 +128,17 @@ impl DriverPolicy {
                 Some(c.on_poll(found))
             }
             _ => None,
+        };
+        // No clock reaches the policy, so the decision is traced as
+        // metrics only (the poll itself shows up via the NIC events).
+        if let Some(iv) = interval {
+            if st_trace::active() {
+                st_trace::count("net.poll.decisions", 1);
+                st_trace::observe("net.poll.interval_ticks", iv as f64);
+                st_trace::observe("net.poll.found", found as f64);
+            }
         }
+        interval
     }
 
     /// Hybrid policy: decide what to do after a processing batch.
@@ -149,6 +159,7 @@ impl DriverPolicy {
     pub fn on_idle_enter(&mut self) -> bool {
         if matches!(self.strategy, DriverStrategy::SoftTimerPolling { .. }) {
             self.idle_mode = true;
+            st_trace::count("net.poll.idle_enter", 1);
             true
         } else {
             false
@@ -161,6 +172,7 @@ impl DriverPolicy {
     pub fn on_idle_exit(&mut self) -> bool {
         if matches!(self.strategy, DriverStrategy::SoftTimerPolling { .. }) && self.idle_mode {
             self.idle_mode = false;
+            st_trace::count("net.poll.idle_exit", 1);
             true
         } else {
             false

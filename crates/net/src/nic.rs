@@ -74,11 +74,31 @@ impl Nic {
     pub fn deliver_rx(&mut self, now: SimTime, packet: Packet) -> bool {
         if self.rx_ring.len() >= self.rx_capacity {
             self.rx_dropped += 1;
+            if st_trace::active() {
+                st_trace::count("net.rx.dropped", 1);
+                st_trace::emit(
+                    st_trace::Category::Net,
+                    "net.rx_drop",
+                    now.as_micros(),
+                    self.rx_ring.len() as u64,
+                    0,
+                );
+            }
             return false;
         }
         self.rx_ring.push_back(packet);
         self.rx_delivered += 1;
         self.last_rx_at = Some(now);
+        if st_trace::active() {
+            st_trace::count("net.rx.delivered", 1);
+            st_trace::emit(
+                st_trace::Category::Net,
+                "net.rx",
+                now.as_micros(),
+                self.rx_ring.len() as u64,
+                self.rx_intr_enabled as u64,
+            );
+        }
         self.rx_intr_enabled
     }
 
@@ -92,6 +112,9 @@ impl Nic {
     pub fn poll_rx(&mut self, max: usize) -> Vec<Packet> {
         let n = max.min(self.rx_ring.len());
         self.rx_polled += n as u64;
+        if n > 0 {
+            st_trace::count("net.rx.polled", n as u64);
+        }
         self.rx_ring.drain(..n).collect()
     }
 

@@ -1,0 +1,179 @@
+//! Edge-case coverage for the streaming estimators: the P² quantile
+//! tracker below its seeding threshold and under degenerate streams, and
+//! the linear histogram's boundary/overflow bucketing.
+
+use st_stats::{Histogram, P2Quantile};
+
+#[test]
+fn p2_below_five_samples_returns_exact_order_statistics() {
+    let mut median = P2Quantile::new(0.5);
+    let mut p25 = P2Quantile::new(0.25);
+    let mut p90 = P2Quantile::new(0.9);
+    assert_eq!(median.estimate(), None, "no samples, no estimate");
+    // Unsorted on purpose: the exact path must sort internally.
+    for v in [30.0, 10.0, 40.0, 20.0] {
+        median.record(v);
+        p25.record(v);
+        p90.record(v);
+    }
+    assert_eq!(median.count(), 4);
+    // ceil(q * 4) as a 1-based rank over {10, 20, 30, 40}.
+    assert_eq!(median.estimate(), Some(20.0));
+    assert_eq!(p25.estimate(), Some(10.0));
+    assert_eq!(p90.estimate(), Some(40.0));
+}
+
+#[test]
+fn p2_single_sample_is_every_quantile() {
+    for q in [0.01, 0.5, 0.99] {
+        let mut p = P2Quantile::new(q);
+        p.record(7.5);
+        assert_eq!(p.estimate(), Some(7.5), "q = {q}");
+    }
+}
+
+#[test]
+fn p2_constant_stream_stays_exact() {
+    // All markers collapse to the same height; the parabolic update must
+    // not produce NaN or drift.
+    let mut p = P2Quantile::new(0.5);
+    for _ in 0..10_000 {
+        p.record(42.0);
+    }
+    assert_eq!(p.estimate(), Some(42.0));
+    assert_eq!(p.count(), 10_000);
+}
+
+#[test]
+fn p2_heavy_duplicates_with_rare_outliers() {
+    // Trigger-interval-like stream: almost everything identical, a few
+    // large stragglers. The median must stay on the mode.
+    let mut p = P2Quantile::new(0.5);
+    for i in 0..50_000u64 {
+        p.record(if i % 1000 == 0 { 900.0 } else { 10.0 });
+    }
+    let est = p.estimate().unwrap();
+    assert!((est - 10.0).abs() < 1.0, "median {est} left the mode");
+}
+
+#[test]
+fn p2_monotonic_ascending_input() {
+    // Sorted input is the classic adversary for marker-based estimators:
+    // every observation lands in the top cell.
+    let mut p = P2Quantile::new(0.5);
+    for i in 0..100_000u64 {
+        p.record(i as f64);
+    }
+    let est = p.estimate().unwrap();
+    assert!(
+        (est - 50_000.0).abs() < 5_000.0,
+        "ascending median estimate {est}"
+    );
+}
+
+#[test]
+fn p2_monotonic_descending_input() {
+    let mut p = P2Quantile::new(0.9);
+    for i in (0..100_000u64).rev() {
+        p.record(i as f64);
+    }
+    let est = p.estimate().unwrap();
+    assert!(
+        (est - 90_000.0).abs() < 9_000.0,
+        "descending p90 estimate {est}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "quantile must be in (0, 1)")]
+fn p2_rejects_zero_quantile() {
+    let _ = P2Quantile::new(0.0);
+}
+
+#[test]
+#[should_panic(expected = "quantile must be in (0, 1)")]
+fn p2_rejects_negative_quantile() {
+    let _ = P2Quantile::new(-0.5);
+}
+
+#[test]
+fn histogram_boundary_values_land_in_the_upper_bucket() {
+    // Buckets are half-open [lo, hi): a value exactly on an edge belongs
+    // to the bucket it opens.
+    let mut h = Histogram::new(10.0, 4);
+    h.record(0.0);
+    h.record(10.0);
+    h.record(9.999_999);
+    let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+    assert_eq!(counts, vec![2, 1, 0, 0]);
+}
+
+#[test]
+fn histogram_top_edge_is_overflow_not_last_bucket() {
+    let mut h = Histogram::new(10.0, 4);
+    h.record(39.999);
+    h.record(40.0); // exactly the upper edge of the range
+    h.record(1e12);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.overflow(), 2);
+    let last = h.buckets().last().unwrap();
+    assert_eq!(last, (30.0, 1));
+}
+
+#[test]
+fn histogram_overflow_keeps_tail_accounting_honest() {
+    let mut h = Histogram::new(1.0, 100);
+    for _ in 0..90 {
+        h.record(50.0);
+    }
+    for _ in 0..10 {
+        h.record(5_000.0); // far past the range
+    }
+    // The overflow samples still count as "above" any in-range threshold
+    // and still participate in quantiles (clamped to the upper edge).
+    assert!((h.fraction_above(60.0) - 0.1).abs() < 1e-12);
+    assert_eq!(h.quantile(0.99), Some(100.0));
+    assert_eq!(h.quantile(0.5), Some(50.0 + 50.0 / 90.0));
+}
+
+#[test]
+fn histogram_negative_values_underflow_without_poisoning_quantiles() {
+    let mut h = Histogram::new(1.0, 10);
+    h.record(-3.0);
+    h.record(2.5);
+    h.record(2.5);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.overflow(), 0);
+    // The underflow sample clamps to the bottom of the range.
+    assert_eq!(h.quantile(0.0), Some(0.0));
+    let median = h.median().unwrap();
+    assert!((2.0..3.0).contains(&median), "median {median}");
+}
+
+#[test]
+fn histogram_merge_sums_overflow_and_underflow() {
+    let mut a = Histogram::new(1.0, 4);
+    a.record(-1.0);
+    a.record(2.0);
+    a.record(100.0);
+    let mut b = Histogram::new(1.0, 4);
+    b.record(200.0);
+    b.record(3.0);
+    a.merge(&b);
+    assert_eq!(a.count(), 5);
+    assert_eq!(a.overflow(), 2);
+    assert!((a.fraction_above(3.5) - 0.4).abs() < 1e-12);
+}
+
+#[test]
+fn histogram_empty_and_single_bucket() {
+    let h = Histogram::new(1.0, 1);
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.median(), None);
+    assert_eq!(h.fraction_above(0.0), 0.0);
+    let mut h = Histogram::new(1.0, 1);
+    h.record(0.5);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.overflow(), 0);
+    assert!(h.median().unwrap() <= 1.0);
+}

@@ -89,12 +89,28 @@ impl TransmissionProcess {
                 next_trigger = now + trigger_gap().max(1);
             }
             for ev in &due {
-                if ev.origin == st_core::facility::FireOrigin::BackupInterrupt {
+                let from_backup = ev.origin == st_core::facility::FireOrigin::BackupInterrupt;
+                if from_backup {
                     backup_fires += 1;
                 }
                 // Transmit one packet and schedule the next event.
                 if let Some(prev) = last_tx {
                     intervals.record((now - prev) as f64);
+                }
+                if st_trace::active() {
+                    st_trace::count("tcp.pace.released", 1);
+                    if from_backup {
+                        st_trace::count("tcp.pace.released_by_backup", 1);
+                    }
+                    let gap = last_tx.map_or(0, |prev| now - prev);
+                    st_trace::emit(
+                        st_trace::Category::Tcp,
+                        "tcp.pace.release",
+                        now,
+                        gap,
+                        from_backup as u64,
+                    );
+                    st_trace::observe("tcp.pace.interval_ticks", gap as f64);
                 }
                 last_tx = Some(now);
                 sent += 1;

@@ -1,0 +1,211 @@
+//! Exporters: Chrome `trace_event` JSON, JSON-lines metrics, and a
+//! human summary.
+
+use std::fmt::Write as _;
+
+use crate::event::Category;
+use crate::json::{number, ObjectBuilder};
+use crate::snapshot::Snapshot;
+
+/// Renders the snapshot as Chrome `trace_event` JSON.
+///
+/// Load the result in [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`.  Every event becomes an instant event (`"ph":
+/// "i"`), timestamps are interpreted as microseconds, and each
+/// [`Category`] maps to its own `tid` so layers render as separate
+/// tracks.  Thread-name metadata rows label the tracks.
+pub fn chrome_trace_json(snap: &Snapshot) -> String {
+    let mut rows: Vec<String> = Vec::with_capacity(snap.events.len() + Category::ALL.len());
+    for cat in Category::ALL {
+        rows.push(
+            ObjectBuilder::new()
+                .str("name", "thread_name")
+                .str("ph", "M")
+                .u64("pid", 1)
+                .u64("tid", cat.index() as u64 + 1)
+                .raw(
+                    "args",
+                    &ObjectBuilder::new().str("name", cat.label()).build(),
+                )
+                .build(),
+        );
+    }
+    for ev in &snap.events {
+        rows.push(
+            ObjectBuilder::new()
+                .str("name", ev.name)
+                .str("cat", ev.cat.label())
+                .str("ph", "i")
+                .str("s", "t")
+                .u64("ts", ev.ts)
+                .u64("pid", 1)
+                .u64("tid", ev.cat.index() as u64 + 1)
+                .raw(
+                    "args",
+                    &ObjectBuilder::new().u64("a", ev.a).u64("b", ev.b).build(),
+                )
+                .build(),
+        );
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{}}}",
+        rows.join(",\n"),
+        ObjectBuilder::new()
+            .u64("dropped_events", snap.dropped)
+            .build()
+    )
+}
+
+/// Renders the metrics registry as JSON lines.
+///
+/// One object per line: a `trace` header (event/drop totals), then one
+/// `counter` object per counter and one `histogram` object per
+/// histogram (count, quantiles, overflow).
+pub fn metrics_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &ObjectBuilder::new()
+            .str("type", "trace")
+            .u64("events", snap.events.len() as u64)
+            .u64("dropped", snap.dropped)
+            .build(),
+    );
+    out.push('\n');
+    for (name, value) in snap.registry.counters() {
+        out.push_str(
+            &ObjectBuilder::new()
+                .str("type", "counter")
+                .str("name", name)
+                .u64("value", value)
+                .build(),
+        );
+        out.push('\n');
+    }
+    for (name, hist) in snap.registry.histograms() {
+        out.push_str(
+            &ObjectBuilder::new()
+                .str("type", "histogram")
+                .str("name", name)
+                .u64("count", hist.count())
+                .f64("p50", hist.quantile(0.5).unwrap_or(f64::NAN))
+                .f64("p90", hist.quantile(0.9).unwrap_or(f64::NAN))
+                .f64("p99", hist.quantile(0.99).unwrap_or(f64::NAN))
+                .u64("overflow", hist.overflow())
+                .build(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a short human-readable summary of the recording.
+pub fn summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events retained, {} dropped",
+        snap.events.len(),
+        snap.dropped
+    );
+    let mut per_cat = [0usize; Category::ALL.len()];
+    for ev in &snap.events {
+        per_cat[ev.cat.index()] += 1;
+    }
+    for cat in Category::ALL {
+        if per_cat[cat.index()] > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<11} {:>8} events",
+                cat.label(),
+                per_cat[cat.index()]
+            );
+        }
+    }
+    let mut counters = snap.registry.counters().peekable();
+    if counters.peek().is_some() {
+        let _ = writeln!(out, "counters:");
+        for (name, value) in counters {
+            let _ = writeln!(out, "  {name:<32} {value:>12}");
+        }
+    }
+    let mut hists = snap.registry.histograms().peekable();
+    if hists.peek().is_some() {
+        let _ = writeln!(out, "histograms (count / p50 / p99 / overflow):");
+        for (name, hist) in hists {
+            let _ = writeln!(
+                out,
+                "  {name:<32} {:>8} / {} / {} / {}",
+                hist.count(),
+                number(hist.quantile(0.5).unwrap_or(f64::NAN)),
+                number(hist.quantile(0.99).unwrap_or(f64::NAN)),
+                hist.overflow()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::json::validate;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let mut registry = Registry::new();
+        registry.count("facility.fired.trigger", 41);
+        registry.observe("facility.delay_ticks", 3.0);
+        registry.observe("facility.delay_ticks", 1e9);
+        Snapshot {
+            events: vec![
+                Event {
+                    ts: 5,
+                    cat: Category::Kernel,
+                    name: "syscalls",
+                    a: 0,
+                    b: 12,
+                },
+                Event {
+                    ts: 9,
+                    cat: Category::Facility,
+                    name: "facility.fire.trigger",
+                    a: 8,
+                    b: 1,
+                },
+            ],
+            dropped: 2,
+            registry,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_rows() {
+        let json = chrome_trace_json(&sample());
+        validate(&json).expect("chrome trace must be valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"facility.fire.trigger\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"dropped_events\":2"));
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_each_validate() {
+        let dump = metrics_jsonl(&sample());
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3); // trace header + 1 counter + 1 histogram
+        for line in &lines {
+            validate(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(lines[1].contains("\"facility.fired.trigger\""));
+        assert!(lines[2].contains("\"overflow\":1"));
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let text = summary(&sample());
+        assert!(text.contains("2 events retained"));
+        assert!(text.contains("facility.fired.trigger"));
+        assert!(text.contains("kernel"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Minimal JSON writing and validation.
+//!
+//! The workspace is hermetic (no registry dependencies), so exports are
+//! built with a small hand-rolled writer and checked with an equally
+//! small recursive-descent validator.  The validator exists so tests,
+//! the `trace_overhead` experiment, and the `repro` CLI can prove that
+//! every export round-trips as syntactically valid JSON without
+//! shelling out to an external parser.
+
+/// Escapes a string for embedding inside a JSON string literal
+/// (without the surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number token.
+///
+/// JSON has no NaN/Infinity, so non-finite values render as `null`;
+/// integral values render without a fraction part.
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        // `{}` on f64 always yields a valid JSON number token.
+        format!("{v}")
+    }
+}
+
+/// Incremental `{...}` object writer.
+#[derive(Debug, Default)]
+pub struct ObjectBuilder {
+    body: String,
+}
+
+impl ObjectBuilder {
+    /// Starts an empty object.
+    pub fn new() -> ObjectBuilder {
+        ObjectBuilder::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        self.body.push_str(&escape(key));
+        self.body.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.body.push('"');
+        self.body.push_str(&escape(value));
+        self.body.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a floating-point field (`null` when non-finite).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.body.push_str(&number(value));
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.body.push_str(json);
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Validates that `s` is exactly one well-formed JSON value.
+///
+/// Returns the byte offset and a message on the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => num(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {pos}", *c as char)),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, word: &str) -> Result<usize, String> {
+    if b[pos..].starts_with(word.as_bytes()) {
+        Ok(pos + word.len())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn num(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| -> (usize, bool) {
+        let s = p;
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        (p, p > s)
+    };
+    let (p, ok) = digits(b, pos);
+    if !ok {
+        return Err(format!("bad number at byte {start}"));
+    }
+    pos = p;
+    if b.get(pos) == Some(&b'.') {
+        let (p, ok) = digits(b, pos + 1);
+        if !ok {
+            return Err(format!("bad fraction at byte {pos}"));
+        }
+        pos = p;
+    }
+    if matches!(b.get(pos), Some(b'e') | Some(b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+') | Some(b'-')) {
+            pos += 1;
+        }
+        let (p, ok) = digits(b, pos);
+        if !ok {
+            return Err(format!("bad exponent at byte {pos}"));
+        }
+        pos = p;
+    }
+    Ok(pos)
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    debug_assert_eq!(b[pos], b'"');
+    pos += 1;
+    while pos < b.len() {
+        match b[pos] {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b
+                        .get(pos + 2..pos + 6)
+                        .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at byte {pos}"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err(format!("bad escape at byte {pos}")),
+            },
+            c if c < 0x20 => return Err(format!("raw control byte in string at {pos}")),
+            _ => pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    debug_assert_eq!(b[pos], b'{');
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    debug_assert_eq!(b[pos], b'[');
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(-2.5), "-2.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn builder_produces_valid_json() {
+        let s = ObjectBuilder::new()
+            .str("name", "fig\"2\"")
+            .u64("seed", 7)
+            .f64("value", 0.25)
+            .f64("nan", f64::NAN)
+            .raw("list", "[1,2,3]")
+            .build();
+        validate(&s).expect("builder output must validate");
+        assert!(s.contains("\"seed\":7"));
+        assert!(s.contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn validator_accepts_good_json() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-3",
+            "\"a\\u00e9b\"",
+            "{\"a\":[1,{\"b\":null}],\"c\":\"x\"}",
+            "  [ 1 , 2 ]  ",
+        ] {
+            validate(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_bad_json() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "{} {}",
+            "{\"a\":1,}",
+            "\"bad\\q\"",
+        ] {
+            assert!(validate(s).is_err(), "{s} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Cross-layer tracing and metrics for the soft-timers reproduction.
+//!
+//! The paper's evidence is measurement: every check and fire must be
+//! attributable to its trigger source with microsecond provenance
+//! (Figures 2/3, Table 1) and the facility's own cost must be known
+//! (Table 2). This crate is the observability substrate that makes
+//! those measurements first-class instead of buried in aggregates:
+//!
+//! - [`TraceSession`] — a thread-local flight recorder; while active,
+//!   instrumented code records structured [`Event`]s into a bounded
+//!   drop-oldest [`ring::Ring`] and metrics into a [`Registry`].
+//! - [`emit`] / [`count`] / [`observe`] — the emit-side API used by
+//!   `st-kernel`, `st-core`, `st-net`, `st-tcp` and `st-fault`.  With
+//!   no active session these are a sealed no-op (one thread-local load
+//!   and a branch), so always-on instrumentation costs hot paths
+//!   nearly nothing.
+//! - [`Snapshot`] — the captured stream plus registry, exportable as
+//!   Chrome `trace_event` JSON (Perfetto-loadable), JSON-lines metric
+//!   dumps, or a human summary.
+//! - [`json`] — the hand-rolled JSON writer/validator the exporters
+//!   (and the `repro --json` flag) are built on; the workspace is
+//!   hermetic, so no serde.
+//!
+//! Sessions are per-thread by design: concurrent tests in one binary
+//! cannot pollute each other's recordings, and the emit path needs no
+//! synchronization.  The flip side is that activity on *other*
+//! threads (e.g. the `rt` backup thread) is invisible to a session;
+//! callers that need it must start a session on that thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod ring;
+pub mod snapshot;
+pub mod tracer;
+
+pub use event::{Category, Event};
+pub use registry::Registry;
+pub use snapshot::Snapshot;
+pub use tracer::{
+    active, count, emit, observe, resume, suspend, Suspended, TraceConfig, TraceSession,
+};

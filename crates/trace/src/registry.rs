@@ -1,0 +1,95 @@
+//! Named metrics registry: monotonic counters and value histograms.
+//!
+//! Metric names are `&'static str` so instrumentation sites pay a
+//! `BTreeMap` lookup, never an allocation.  Histograms use the
+//! `st-stats` linear [`Histogram`] (1-unit buckets, explicit overflow
+//! bucket) so quantiles survive into snapshots without keeping raw
+//! samples.
+
+use std::collections::BTreeMap;
+
+use st_stats::Histogram;
+
+/// Number of 1-unit buckets in registry histograms; values at or above
+/// this land in the histogram's explicit overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 4096;
+
+/// Counters plus histograms, keyed by static metric name.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero first.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Records one observation into the named histogram, creating it
+    /// with the default geometry first.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(1.0, HISTOGRAM_BUCKETS))
+            .record(value);
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, when at least one value was observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("a"), 0);
+        r.count("a", 2);
+        r.count("a", 3);
+        r.count("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        let names: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn observations_feed_quantiles_and_overflow() {
+        let mut r = Registry::new();
+        for i in 0..100 {
+            r.observe("lat", i as f64);
+        }
+        r.observe("lat", 1e9); // beyond the bucket range
+        let h = r.histogram("lat").expect("histogram exists");
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.overflow(), 1);
+        assert!(h.median().unwrap() < 100.0);
+        assert!(r.histogram("missing").is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! The immutable result of a finished [`crate::TraceSession`].
+
+use crate::event::Event;
+use crate::registry::Registry;
+
+/// Everything a session captured: the retained event stream, the loss
+/// counter, and the metrics registry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted because the ring buffer was full; non-zero means
+    /// `events` is the *tail* of the run, not the whole run.
+    pub dropped: u64,
+    /// Counters and histograms accumulated during the session.
+    pub registry: Registry,
+}
+
+impl Snapshot {
+    /// Current value of a named counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.registry.counter(name)
+    }
+
+    /// Iterates over retained events with the given name.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Number of retained events with the given name.
+    pub fn event_count(&self, name: &str) -> usize {
+        self.events_named(name).count()
+    }
+
+    /// Chrome `trace_event` JSON (Perfetto / `chrome://tracing`).
+    pub fn chrome_trace_json(&self) -> String {
+        crate::export::chrome_trace_json(self)
+    }
+
+    /// JSON-lines metric dump: one object per counter/histogram.
+    pub fn metrics_jsonl(&self) -> String {
+        crate::export::metrics_jsonl(self)
+    }
+
+    /// Human-readable summary of the recording.
+    pub fn summary(&self) -> String {
+        crate::export::summary(self)
+    }
+}

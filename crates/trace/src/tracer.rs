@@ -1,0 +1,255 @@
+//! The thread-local trace session and the emit-side API.
+//!
+//! Instrumentation sites call the free functions [`emit`], [`count`]
+//! and [`observe`]; with no active session they are a sealed no-op —
+//! one thread-local load and a branch, no locks, no allocation.  A
+//! [`TraceSession`] installs the recording state for *its* thread
+//! only, which keeps concurrently running tests (and the `rt` backup
+//! thread) from polluting each other's recordings; cross-thread
+//! activity is intentionally invisible to a session.
+
+use std::cell::RefCell;
+
+use crate::event::{Category, Event};
+use crate::registry::Registry;
+use crate::ring::Ring;
+use crate::snapshot::Snapshot;
+
+/// Configuration for a [`TraceSession`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Maximum number of events retained in the ring buffer; older
+    /// events are evicted (and counted as dropped) beyond this.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: 1 << 16 }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: Ring,
+    registry: Registry,
+}
+
+thread_local! {
+    static TRACER: RefCell<Option<Inner>> = const { RefCell::new(None) };
+}
+
+/// An active recording on the current thread.
+///
+/// Dropping the session (or calling [`TraceSession::finish`]) uninstalls
+/// it; instrumentation reverts to the no-op path.
+#[derive(Debug)]
+pub struct TraceSession {
+    finished: bool,
+    // !Send: the session must be finished on the thread that started it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl TraceSession {
+    /// Starts recording on the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active on this thread; use
+    /// [`suspend`]/[`resume`] to nest recordings.
+    pub fn start(config: TraceConfig) -> TraceSession {
+        TRACER.with(|t| {
+            let mut slot = t.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "a TraceSession is already active on this thread"
+            );
+            *slot = Some(Inner {
+                ring: Ring::new(config.capacity),
+                registry: Registry::new(),
+            });
+        });
+        TraceSession {
+            finished: false,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Stops recording and returns everything captured.
+    pub fn finish(mut self) -> Snapshot {
+        self.finished = true;
+        TRACER.with(|t| {
+            let inner = t
+                .borrow_mut()
+                .take()
+                .expect("session state missing at finish");
+            Snapshot {
+                events: inner.ring.to_vec(),
+                dropped: inner.ring.dropped(),
+                registry: inner.registry,
+            }
+        })
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            TRACER.with(|t| {
+                t.borrow_mut().take();
+            });
+        }
+    }
+}
+
+/// A recording lifted off the current thread by [`suspend`].
+#[derive(Debug, Default)]
+pub struct Suspended(Option<Inner>);
+
+/// Detaches any active recording from the current thread.
+///
+/// While suspended, instrumentation is a no-op again.  This is how the
+/// self-measuring `trace_overhead` experiment runs its own sessions
+/// even when the caller (e.g. `repro --trace`) already has one open.
+pub fn suspend() -> Suspended {
+    TRACER.with(|t| Suspended(t.borrow_mut().take()))
+}
+
+/// Re-attaches a recording previously lifted by [`suspend`].
+///
+/// # Panics
+///
+/// Panics if another session became active in the meantime and `s`
+/// carries a recording (nothing would be lost silently).
+pub fn resume(s: Suspended) {
+    if let Suspended(Some(inner)) = s {
+        TRACER.with(|t| {
+            let mut slot = t.borrow_mut();
+            assert!(slot.is_none(), "cannot resume over an active TraceSession");
+            *slot = Some(inner);
+        });
+    }
+}
+
+/// True when a session is recording on the current thread.
+///
+/// Instrumentation sites may use this to skip argument computation
+/// that is only needed for tracing.
+pub fn active() -> bool {
+    TRACER.with(|t| t.borrow().is_some())
+}
+
+/// Records a structured event (no-op without an active session).
+pub fn emit(cat: Category, name: &'static str, ts: u64, a: u64, b: u64) {
+    TRACER.with(|t| {
+        if let Some(inner) = t.borrow_mut().as_mut() {
+            inner.ring.push(Event {
+                ts,
+                cat,
+                name,
+                a,
+                b,
+            });
+        }
+    });
+}
+
+/// Adds `n` to a named counter (no-op without an active session).
+pub fn count(name: &'static str, n: u64) {
+    TRACER.with(|t| {
+        if let Some(inner) = t.borrow_mut().as_mut() {
+            inner.registry.count(name, n);
+        }
+    });
+}
+
+/// Records a histogram observation (no-op without an active session).
+pub fn observe(name: &'static str, value: f64) {
+    TRACER.with(|t| {
+        if let Some(inner) = t.borrow_mut().as_mut() {
+            inner.registry.observe(name, value);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_session_means_no_recording() {
+        assert!(!active());
+        emit(Category::Experiment, "ignored", 1, 2, 3);
+        count("ignored", 1);
+        observe("ignored", 1.0);
+        let s = TraceSession::start(TraceConfig::default());
+        let snap = s.finish();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.counter("ignored"), 0);
+    }
+
+    #[test]
+    fn session_records_events_counters_and_histograms() {
+        let s = TraceSession::start(TraceConfig { capacity: 8 });
+        assert!(active());
+        emit(Category::Facility, "facility.fire.trigger", 10, 9, 1);
+        count("facility.fired.trigger", 1);
+        count("facility.fired.trigger", 2);
+        observe("facility.delay_ticks", 1.0);
+        let snap = s.finish();
+        assert!(!active());
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].name, "facility.fire.trigger");
+        assert_eq!(snap.counter("facility.fired.trigger"), 3);
+        assert_eq!(
+            snap.registry
+                .histogram("facility.delay_ticks")
+                .unwrap()
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn drop_uninstalls_without_finish() {
+        {
+            let _s = TraceSession::start(TraceConfig::default());
+            assert!(active());
+        }
+        assert!(!active());
+    }
+
+    #[test]
+    fn suspend_and_resume_nest_sessions() {
+        let outer = TraceSession::start(TraceConfig::default());
+        count("outer", 1);
+        let held = suspend();
+        assert!(!active());
+        {
+            let inner = TraceSession::start(TraceConfig::default());
+            count("inner", 5);
+            let snap = inner.finish();
+            assert_eq!(snap.counter("inner"), 5);
+            assert_eq!(snap.counter("outer"), 0);
+        }
+        resume(held);
+        assert!(active());
+        count("outer", 1);
+        let snap = outer.finish();
+        assert_eq!(snap.counter("outer"), 2);
+        assert_eq!(snap.counter("inner"), 0);
+    }
+
+    #[test]
+    fn resume_of_empty_suspension_is_noop() {
+        resume(suspend());
+        assert!(!active());
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn nested_start_panics() {
+        let _outer = TraceSession::start(TraceConfig::default());
+        let _inner = TraceSession::start(TraceConfig::default());
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end: record a session, export it in every format, and check
+//! that the exports are valid and internally consistent.
+
+use st_trace::{json, Category, TraceConfig, TraceSession};
+
+#[test]
+fn record_export_roundtrip() {
+    let session = TraceSession::start(TraceConfig { capacity: 1024 });
+    for t in 0..200u64 {
+        let (cat, name) = match t % 4 {
+            0 => (Category::Kernel, "syscalls"),
+            1 => (Category::Facility, "facility.fire.trigger"),
+            2 => (Category::Net, "net.rx"),
+            _ => (Category::Tcp, "tcp.pace.release"),
+        };
+        st_trace::emit(cat, name, t, t / 4, t % 2);
+        st_trace::count("events.total", 1);
+        st_trace::observe("interval_us", (t % 50) as f64);
+    }
+    st_trace::observe("interval_us", 1e12); // force histogram overflow
+    let snap = session.finish();
+
+    assert_eq!(snap.events.len(), 200);
+    assert_eq!(snap.dropped, 0);
+    assert_eq!(snap.counter("events.total"), 200);
+    assert_eq!(snap.event_count("facility.fire.trigger"), 50);
+
+    let chrome = snap.chrome_trace_json();
+    json::validate(&chrome).expect("chrome trace export must be valid JSON");
+    assert!(chrome.contains("\"tcp.pace.release\""));
+
+    let jsonl = snap.metrics_jsonl();
+    for line in jsonl.lines() {
+        json::validate(line).expect("each metrics line must be valid JSON");
+    }
+    assert!(jsonl.contains("\"events.total\""));
+    assert!(jsonl.contains("\"overflow\":1"));
+
+    let text = snap.summary();
+    assert!(text.contains("200 events retained"));
+}
+
+#[test]
+fn bounded_session_reports_losses_in_exports() {
+    let session = TraceSession::start(TraceConfig { capacity: 16 });
+    for t in 0..64u64 {
+        st_trace::emit(Category::Experiment, "tick", t, 0, 0);
+    }
+    let snap = session.finish();
+    assert_eq!(snap.events.len(), 16);
+    assert_eq!(snap.dropped, 48);
+    // The newest events survive; the trace admits the loss.
+    assert_eq!(snap.events.first().unwrap().ts, 48);
+    assert!(snap.chrome_trace_json().contains("\"dropped_events\":48"));
+    assert!(snap.metrics_jsonl().contains("\"dropped\":48"));
+}

@@ -19,4 +19,19 @@ cargo test -q --offline
 echo "== workspace tests =="
 cargo test -q --workspace --offline
 
+echo "== observability smoke: repro --json / --trace =="
+# repro validates every JSON artifact with st-trace's own parser before
+# writing and exits non-zero otherwise, so this doubles as a round-trip
+# check of the exporters.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run --release --offline -p st-experiments --bin repro -- \
+    sec52 trace_overhead --quick --seed 3 \
+    --json "$SMOKE_DIR/metrics.json" --trace "$SMOKE_DIR/trace" >/dev/null
+for f in metrics.json trace/chrome_trace.json trace/metrics.jsonl trace/summary.txt; do
+    [ -s "$SMOKE_DIR/$f" ] || { echo "smoke: missing or empty $f" >&2; exit 1; }
+done
+[ "$(wc -l < "$SMOKE_DIR/metrics.json")" -eq 2 ] \
+    || { echo "smoke: expected one JSON line per experiment" >&2; exit 1; }
+
 echo "ci: all green"
