@@ -47,6 +47,7 @@ impl Bencher {
     /// Times `f`, collecting `sample_size` samples of a batch each.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
         // Warm-up and calibration: how many iterations fit in one sample?
+        // st-lint: allow(no-wall-clock) -- a benchmark harness times real code
         let start = Instant::now();
         std::hint::black_box(f());
         let once = start.elapsed().max(Duration::from_nanos(1));
@@ -54,6 +55,7 @@ impl Bencher {
 
         self.samples.clear();
         for _ in 0..self.sample_size {
+            // st-lint: allow(no-wall-clock) -- the measured sample itself
             let start = Instant::now();
             for _ in 0..batch {
                 std::hint::black_box(f());
@@ -133,6 +135,8 @@ fn run_one(sample_size: usize, name: &str, mut f: impl FnMut(&mut Bencher)) {
     };
     f(&mut b);
     if b.samples.is_empty() {
+        // st-lint: allow(sealed-trace-only) -- stdout is the shim's report,
+        // exactly like the real criterion harness
         println!("{name:<50} (no samples: bench body never called iter)");
         return;
     }
@@ -140,6 +144,7 @@ fn run_one(sample_size: usize, name: &str, mut f: impl FnMut(&mut Bencher)) {
     let min = b.samples[0];
     let median = b.samples[b.samples.len() / 2];
     let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    // st-lint: allow(sealed-trace-only) -- the per-benchmark summary line
     println!(
         "{name:<50} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
         fmt_ns(min),

@@ -5,8 +5,6 @@
 //! (section 3). The facility itself is clock-agnostic; anything that can
 //! produce monotone ticks works.
 
-use std::time::Instant;
-
 /// A monotonic measurement clock.
 ///
 /// `measure_time` must never decrease between calls. The facility treats
@@ -82,39 +80,10 @@ impl Clock for ManualClock {
     }
 }
 
-/// Wall-clock measurement via [`Instant`], in microsecond ticks (1 MHz) —
-/// the paper's "typical" measurement resolution.
-///
-/// Used by the real-time runtime ([`crate::rt`]).
-#[derive(Debug, Clone)]
-pub struct MonotonicClock {
-    start: Instant,
-}
-
-impl MonotonicClock {
-    /// Creates a clock whose tick 0 is "now".
-    pub fn new() -> Self {
-        MonotonicClock {
-            start: Instant::now(),
-        }
-    }
-}
-
-impl Default for MonotonicClock {
-    fn default() -> Self {
-        MonotonicClock::new()
-    }
-}
-
-impl Clock for MonotonicClock {
-    fn measure_time(&self) -> u64 {
-        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
-    }
-
-    fn measure_resolution(&self) -> u64 {
-        1_000_000
-    }
-}
+// The wall-clock implementation lives with the rest of the real-time code
+// in `rt` — the only module the `no-wall-clock` lint permits to read host
+// time — and is re-exported here so the clock abstraction stays one-stop.
+pub use crate::rt::MonotonicClock;
 
 #[cfg(test)]
 mod tests {
@@ -138,14 +107,5 @@ mod tests {
         let c = ManualClock::new(1_000);
         c.set(5);
         c.set(4);
-    }
-
-    #[test]
-    fn monotonic_clock_is_monotone() {
-        let c = MonotonicClock::new();
-        let a = c.measure_time();
-        let b = c.measure_time();
-        assert!(b >= a);
-        assert_eq!(c.measure_resolution(), 1_000_000);
     }
 }

@@ -274,6 +274,8 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
                     deadline,
                     now - deadline,
                 );
+                // st-lint: allow(no-float-in-bounds) -- observability export;
+                // the firing-bound comparison above stays in u64 ticks
                 st_trace::observe("facility.delay_ticks", (now - deadline) as f64);
             }
             out.push(Expired {

@@ -8,7 +8,7 @@
 //! scheduled at the *maximal allowable burst rate* until the train catches
 //! up.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Pacer parameters, in measurement-clock ticks per packet.
 #[derive(Debug, Clone, Copy)]
@@ -145,16 +145,20 @@ impl Pacer {
 /// different connections simultaneously, even at different rates" — a
 /// single hardware interval timer cannot. This helper just owns one
 /// [`Pacer`] per key; all of them feed events into one facility.
+///
+/// Keys are ordered (`BTreeMap`), not hashed: anything that iterates the
+/// set — a sweep rescheduling all trains, a stats dump — sees the same
+/// order in every run, so a seeded simulation replays byte-identically.
 #[derive(Debug, Default)]
-pub struct MultiPacer<K: std::hash::Hash + Eq + Copy> {
-    pacers: HashMap<K, Pacer>,
+pub struct MultiPacer<K: Ord + Copy> {
+    pacers: BTreeMap<K, Pacer>,
 }
 
-impl<K: std::hash::Hash + Eq + Copy> MultiPacer<K> {
+impl<K: Ord + Copy> MultiPacer<K> {
     /// Creates an empty set.
     pub fn new() -> Self {
         MultiPacer {
-            pacers: HashMap::new(),
+            pacers: BTreeMap::new(),
         }
     }
 
@@ -188,7 +192,7 @@ impl<K: std::hash::Hash + Eq + Copy> MultiPacer<K> {
         self.pacers.is_empty()
     }
 
-    /// Iterates over `(key, pacer)` pairs.
+    /// Iterates over `(key, pacer)` pairs in ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &Pacer)> {
         self.pacers.iter()
     }

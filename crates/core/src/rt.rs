@@ -33,12 +33,48 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use st_wheel::TimerHandle;
 
-use crate::clock::{Clock, MonotonicClock};
+use crate::clock::Clock;
 use crate::facility::{Config, Expired, SoftTimerCore};
+
+/// Wall-clock measurement via [`Instant`], in microsecond ticks (1 MHz) —
+/// the paper's "typical" measurement resolution.
+///
+/// Lives in this module because `rt` is the single place the workspace
+/// reads host time (the `no-wall-clock` lint pins it here); everything
+/// else runs on [`crate::clock::ManualClock`] or simulated ticks.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose tick 0 is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn measure_time(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn measure_resolution(&self) -> u64 {
+        1_000_000
+    }
+}
 
 /// A one-shot soft-timer handler. Receives the runtime so it can schedule
 /// follow-up events (e.g. a pacer rescheduling itself).
@@ -112,7 +148,9 @@ impl RtSoftTimers {
     pub fn start(config: RtConfig) -> Arc<Self> {
         let clock = MonotonicClock::new();
         let measure_hz = clock.measure_resolution();
-        let backup_us = config.backup_period.as_micros().max(1) as u64;
+        let backup_us = u64::try_from(config.backup_period.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
         let core_config = Config {
             measure_hz,
             // Express the backup period as a frequency for `X` reporting.
@@ -136,6 +174,8 @@ impl RtSoftTimers {
                     for_thread.backup_sweep();
                 }
             })
+            // st-lint: allow(no-panicking-arith) -- one-time startup; a host
+            // that cannot spawn the backup thread cannot run the facility
             .expect("failed to spawn backup thread");
         *lock_recover(&rt.backup) = Some(handle);
         rt
@@ -192,7 +232,7 @@ impl RtSoftTimers {
         handler: impl FnOnce(&RtSoftTimers) + Send + 'static,
     ) -> TimerHandle {
         let now = self.clock.measure_time();
-        let ticks = delay.as_micros() as u64;
+        let ticks = u64::try_from(delay.as_micros()).unwrap_or(u64::MAX);
         lock_recover(&self.core).schedule(now, ticks, Box::new(handler))
     }
 
@@ -214,7 +254,7 @@ impl RtSoftTimers {
         let state = Arc::new(PeriodicState {
             cancelled: AtomicBool::new(false),
         });
-        let period_ticks = period.as_micros().max(1) as u64;
+        let period_ticks = u64::try_from(period.as_micros()).unwrap_or(u64::MAX).max(1);
         let first_due = self.measure_time() + period_ticks;
         Self::arm_periodic(self, first_due, period_ticks, handler, Arc::clone(&state));
         RtPeriodic { state }
@@ -542,6 +582,15 @@ mod tests {
         // idempotent.
         rt.shutdown();
         rt.shutdown();
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let a = c.measure_time();
+        let b = c.measure_time();
+        assert!(b >= a);
+        assert_eq!(c.measure_resolution(), 1_000_000);
     }
 
     #[test]

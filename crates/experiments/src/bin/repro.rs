@@ -15,6 +15,8 @@
 //! `metrics.jsonl` and `summary.txt`. See EXPERIMENTS.md for both
 //! schemas.
 
+#![forbid(unsafe_code)]
+
 use st_experiments::{
     ack_compression, appendix_a, fault_matrix, fig2_fig3, fig4_table1, fig5, fig6_table2, latency,
     livelock, scaling, sec52, table3, table45, table67, table8, trace_overhead, Scale,

@@ -1,0 +1,487 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The linter does not need a full parser: every invariant it enforces is
+//! expressible over a token stream plus a little brace matching. The lexer
+//! therefore produces four things the rule engine consumes: the token
+//! stream (with string/char/comment *contents removed*, so rules can never
+//! false-positive on a literal), the comments (for suppression parsing),
+//! per-token line numbers, and nothing else. It understands the parts of
+//! the Rust grammar that matter for not mis-tokenizing real code: nested
+//! block comments, raw strings with `#` fences, byte strings, char
+//! literals vs. lifetimes, and numeric literals with suffixes.
+
+/// One lexed token. String-like literals carry no content on purpose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A lifetime such as `'a` (without the quote).
+    Lifetime(String),
+    /// Integer literal (including suffixed forms such as `1u64`).
+    Int,
+    /// Floating literal: has a fraction part, an exponent, or an
+    /// `f32`/`f64` suffix.
+    Float,
+    /// String, raw-string, byte-string, or raw-byte-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment (line or block) with its starting line and full text,
+/// including the `//` / `/*` markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Raw comment text.
+    pub text: String,
+    /// Whether the comment has only whitespace before it on its line.
+    pub owns_line: bool,
+}
+
+/// The lexer's output.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Spanned>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Invalid input never panics: unrecognized bytes are
+/// skipped (the real compiler is the authority on well-formedness; the
+/// linter only needs to agree with it on well-formed files).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        line_has_tokens: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    /// Whether a non-comment token has been emitted on the current line.
+    line_has_tokens: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.b.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.b.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+                self.line_has_tokens = false;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.tokens.push(Spanned {
+            tok,
+            line: self.line,
+        });
+        self.line_has_tokens = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c if c.is_ascii() => {
+                    self.bump();
+                    self.push(Tok::Punct(c as char));
+                }
+                _ => {
+                    // Multi-byte UTF-8 outside strings/comments: only legal
+                    // in identifiers; treat as one.
+                    self.ident();
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let owns_line = !self.line_has_tokens;
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text: self.src[start..self.pos].to_string(),
+            owns_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let owns_line = !self.line_has_tokens;
+        self.bump();
+        self.bump(); // consume "/*"
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text: self.src[start..self.pos].to_string(),
+            owns_line,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'…'`. Returns
+    /// whether a literal was consumed (otherwise the caller lexes an
+    /// identifier starting with `r`/`b`).
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut off = 1; // past the leading r or b
+        let first = self.peek(0).unwrap_or(0);
+        if first == b'b' && self.peek(off) == Some(b'r') {
+            off += 1;
+        }
+        let raw = first == b'r' || off == 2;
+        let mut fences = 0usize;
+        if raw {
+            while self.peek(off) == Some(b'#') {
+                fences += 1;
+                off += 1;
+            }
+        }
+        match self.peek(off) {
+            Some(b'"') => {
+                for _ in 0..=off {
+                    self.bump();
+                }
+                if raw {
+                    self.raw_string_body(fences);
+                } else {
+                    self.string_body();
+                }
+                self.push(Tok::Str);
+                true
+            }
+            Some(b'\'') if first == b'b' && off == 1 => {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_body();
+                self.push(Tok::Char);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn string(&mut self) {
+        self.bump(); // opening quote
+        self.string_body();
+        self.push(Tok::Str);
+    }
+
+    /// Consumes up to and including the closing `"`, honoring escapes.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                b'"' => return,
+                b'\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body up to `"` followed by `fences` hashes.
+    fn raw_string_body(&mut self, fences: usize) {
+        while let Some(c) = self.bump() {
+            if c == b'"' {
+                let mut n = 0;
+                while n < fences && self.peek(n) == Some(b'#') {
+                    n += 1;
+                }
+                if n == fences {
+                    for _ in 0..fences {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes a char-literal body after the opening quote.
+    fn char_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                b'\'' => return,
+                b'\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // Disambiguate 'a' (char) from 'a (lifetime): a lifetime is a
+        // quote, an identifier, and *no* closing quote right after.
+        let mut off = 1;
+        if self.peek(off).is_some_and(|c| c == b'\\') {
+            // Escaped char literal, e.g. '\n'.
+            self.bump();
+            self.char_body();
+            self.push(Tok::Char);
+            return;
+        }
+        while self
+            .peek(off)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+        {
+            off += 1;
+        }
+        if off > 1 && self.peek(off) != Some(b'\'') {
+            let start = self.pos + 1;
+            for _ in 0..off {
+                self.bump();
+            }
+            let name = self.src[start..self.pos].to_string();
+            self.push(Tok::Lifetime(name));
+        } else {
+            self.bump(); // opening quote
+            self.char_body();
+            self.push(Tok::Char);
+        }
+    }
+
+    fn number(&mut self) {
+        let mut is_float = false;
+        let radix_prefix = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+        if radix_prefix {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+            self.push(Tok::Int);
+            return;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+        {
+            self.bump();
+        }
+        // A fraction part only if the dot is followed by a digit or ends
+        // the literal (so `1.max(2)` and `0..n` stay integers).
+        if self.peek(0) == Some(b'.')
+            && self.peek(1).is_none_or(|c| {
+                c.is_ascii_digit() || !(c == b'.' || c == b'_' || c.is_ascii_alphabetic())
+            })
+        {
+            is_float = true;
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && self
+                .peek(1)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
+        {
+            is_float = true;
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Suffix (u64, f64, usize, …).
+        let sfx_start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+        let suffix = &self.src[sfx_start..self.pos];
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        self.push(if is_float { Tok::Float } else { Tok::Int });
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.push(Tok::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "Instant::now() inside a string";
+            // Instant::now() inside a comment
+            /* HashMap in /* a nested */ block */
+            let b = r#"HashMap "quoted" raw"#;
+            let c = b"bytes";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|s| matches!(s.tok, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = lexed.tokens.iter().filter(|s| s.tok == Tok::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let lexed = lex("let a = 1; let b = 1.5; let c = 1e3; let d = 0x2F; let e = 1.max(2); let f = 2f64; let g = 0..9;");
+        let kinds: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|s| matches!(s.tok, Tok::Int | Tok::Float))
+            .map(|s| s.tok.clone())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Int,   // 1
+                Tok::Float, // 1.5
+                Tok::Float, // 1e3
+                Tok::Int,   // 0x2F
+                Tok::Int,   // 1 (in 1.max)
+                Tok::Int,   // 2 (arg)
+                Tok::Float, // 2f64
+                Tok::Int,   // 0
+                Tok::Int,   // 9
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_and_owns_line() {
+        let lexed = lex("let a = 1;\n  // own-line comment\nlet b = 2; // trailing\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].owns_line);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(!lexed.comments[1].owns_line);
+        assert_eq!(lexed.comments[1].line, 3);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|s| s.tok == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn raw_string_fences() {
+        let src = "let x = r##\"end\"# not yet\"##; let y = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+}

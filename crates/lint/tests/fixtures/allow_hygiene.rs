@@ -1,0 +1,14 @@
+//! Fixture: linted under the pretend path `crates/core/src/fixture.rs`.
+//! Every annotation below is bad in a different way.
+
+// st-lint: allow(no-wall-clock)
+fn missing_reason() {}
+
+// st-lint: allow(not-a-rule) -- the rule does not exist
+fn unknown_rule() {}
+
+// st-lint: allow(allow-hygiene) -- hygiene itself is not suppressible
+fn unsuppressible() {}
+
+// st-lint: allow(no-wall-clock) -- well-formed but matches nothing
+fn stale() {}

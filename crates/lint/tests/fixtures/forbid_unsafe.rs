@@ -1,0 +1,6 @@
+//! Fixture: linted under the pretend path `crates/fixture/src/lib.rs`,
+//! a crate root with no `#![forbid(unsafe_code)]` attribute.
+
+pub fn danger(p: *const u64) -> u64 {
+    unsafe { *p }
+}

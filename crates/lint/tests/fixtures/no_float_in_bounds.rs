@@ -1,0 +1,17 @@
+//! Fixture: linted under the pretend path `crates/wheel/src/fixture.rs`
+//! (bound-math territory: no floats).
+
+fn positive(due: u64) -> u64 {
+    let scaled = due * 3 / 2;
+    let _bad = scaled as f64;
+    scaled
+}
+
+fn suppressed(due: u64) -> u64 {
+    // st-lint: allow(no-float-in-bounds) -- fixture: reporting only
+    let _shown = due as f64;
+    due
+}
+
+// st-lint: allow(no-float-in-bounds) -- fixture: stale annotation
+fn stale() {}

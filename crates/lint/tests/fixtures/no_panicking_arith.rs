@@ -1,0 +1,20 @@
+//! Fixture: linted under the pretend path `crates/kernel/src/hwtimer.rs`
+//! (on the unwrap watchlist via `crates/kernel/src/` and on the index
+//! watchlist by name).
+
+fn positive(v: &[u64], o: Option<u64>) -> u64 {
+    let x = v[0];
+    o.unwrap() + x
+}
+
+fn suppressed(o: Option<u64>) -> u64 {
+    // st-lint: allow(no-panicking-arith) -- fixture: invariant holds
+    o.expect("fixture invariant")
+}
+
+// st-lint: allow(no-panicking-arith) -- fixture: stale annotation
+fn stale() {}
+
+fn checked_is_fine(v: &[u64]) -> Option<u64> {
+    v.get(0).copied()
+}

@@ -1,0 +1,21 @@
+//! Fixture: linted under the pretend path `crates/core/src/fixture.rs`.
+
+fn positive(deadline: u64) -> u32 {
+    deadline as u32
+}
+
+fn positive_micros(delay: std::time::Duration) -> u64 {
+    delay.as_micros() as u64
+}
+
+fn suppressed(period: u64) -> usize {
+    // st-lint: allow(no-silent-cast) -- fixture: reduced modulo a small n
+    (period % 8) as usize
+}
+
+// st-lint: allow(no-silent-cast) -- fixture: stale annotation
+fn stale() {}
+
+fn widening_is_fine(deadline: u32) -> u64 {
+    u64::from(deadline)
+}

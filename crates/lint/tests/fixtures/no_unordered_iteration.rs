@@ -1,0 +1,14 @@
+//! Fixture: linted under the pretend path `crates/sim/src/fixture.rs`.
+use std::collections::HashMap;
+
+fn positive(m: &HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+// st-lint: allow(no-unordered-iteration) -- fixture: membership only
+fn suppressed(s: &std::collections::HashSet<u32>) -> usize {
+    s.len()
+}
+
+// st-lint: allow(no-unordered-iteration) -- fixture: stale annotation
+fn stale() {}

@@ -1,0 +1,20 @@
+//! Fixture: linted under the pretend path `crates/net/src/fixture.rs`.
+use std::time::Instant;
+
+fn positive() {
+    let _ = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn suppressed() {
+    // st-lint: allow(no-wall-clock) -- fixture: a justified real-time read
+    let _ = Instant::now();
+}
+
+// st-lint: allow(no-wall-clock) -- fixture: nothing left to allow here
+fn stale() {}
+
+#[test]
+fn wall_clock_is_fine_in_tests() {
+    let _ = Instant::now();
+}

@@ -1,0 +1,15 @@
+//! Fixture: linted under the pretend path `crates/net/src/fixture.rs`
+//! (a library crate, where ad-hoc prints are sealed off).
+
+pub fn positive() {
+    println!("chatty library");
+    dbg!(42);
+}
+
+pub fn suppressed() {
+    // st-lint: allow(sealed-trace-only) -- fixture: user-facing report
+    eprintln!("deliberate");
+}
+
+// st-lint: allow(sealed-trace-only) -- fixture: stale annotation
+pub fn stale() {}

@@ -1,0 +1,93 @@
+//! The CI contract: the workspace itself lints clean (zero unsuppressed
+//! findings, no stale allows), and the `st-lint` binary's exit codes make
+//! deleting any single suppression fail the build.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels below the root")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let report = st_lint::lint_workspace(workspace_root()).expect("walk workspace");
+    let loud: Vec<String> = report
+        .unsuppressed()
+        .map(|f| format!("{}:{}: {}", f.file, f.line, f.message))
+        .collect();
+    assert!(
+        loud.is_empty(),
+        "unsuppressed findings in the workspace:\n{}",
+        loud.join("\n")
+    );
+    // Every suppression in the tree carries a reason by construction
+    // (reasonless allows surface as allow-hygiene findings above); spot
+    // the count so a mass deletion of annotations can't pass silently.
+    assert!(
+        report.findings.iter().any(|f| f.suppressed.is_some()),
+        "the tree is expected to carry reasoned suppressions"
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_the_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_st-lint"))
+        .arg(workspace_root())
+        .arg("--quiet")
+        .output()
+        .expect("run st-lint");
+    assert!(
+        out.status.success(),
+        "st-lint failed on the workspace:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_when_a_finding_is_unsuppressed() {
+    // A throwaway tree with one wall-clock read and no allow: exactly what
+    // deleting a suppression from the real tree produces.
+    let dir = std::env::temp_dir().join(format!("st-lint-gate-{}", std::process::id()));
+    let src_dir = dir.join("crates/net/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "pub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    )
+    .expect("write bad source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_st-lint"))
+        .arg(&dir)
+        .output()
+        .expect("run st-lint");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(out.status.code(), Some(1), "expected the finding exit code");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no-wall-clock"), "{text}");
+}
+
+#[test]
+fn cli_json_output_validates() {
+    let dir = std::env::temp_dir().join(format!("st-lint-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let json_path = dir.join("report.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_st-lint"))
+        .arg(workspace_root())
+        .arg("--quiet")
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("run st-lint");
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&json_path).expect("report written");
+    std::fs::remove_dir_all(&dir).ok();
+    st_trace::json::validate(&json).expect("CLI JSON must validate");
+    assert!(json.contains("\"tool\":\"st-lint\""));
+}

@@ -8,8 +8,8 @@
 //! plain binary-heap push/pop.
 
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -65,7 +65,10 @@ struct Queue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Ids of scheduled-but-not-yet-fired-or-canceled events. Heap entries
     /// whose id is absent are skipped at pop time (lazy cancelation).
-    live: HashSet<EventId>,
+    /// Ordered set, although only membership is used: the engine is the
+    /// root of every seeded simulation, so it carries no unordered
+    /// container at all (st-lint: no-unordered-iteration).
+    live: BTreeSet<EventId>,
     next_seq: u64,
     next_id: u64,
 }
@@ -74,7 +77,7 @@ impl<E> Queue<E> {
     fn new() -> Self {
         Queue {
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            live: BTreeSet::new(),
             next_seq: 0,
             next_id: 0,
         }

@@ -69,6 +69,8 @@ impl<P> CalendarQueue<P> {
     }
 
     fn bucket_of(&self, deadline: u64) -> usize {
+        // st-lint: allow(no-silent-cast) -- value reduced modulo the bucket
+        // count, so it always fits a usize index
         ((deadline / self.bucket_width) % self.buckets.len() as u64) as usize
     }
 

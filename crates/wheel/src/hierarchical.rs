@@ -10,7 +10,7 @@ const LEVELS: usize = 4;
 const SLOTS_PER_LEVEL: usize = 1 << LEVEL_BITS;
 const LEVEL_MASK: u64 = (SLOTS_PER_LEVEL as u64) - 1;
 /// Deadlines further than this from `now` park in the overflow list.
-const HORIZON: u64 = 1 << (LEVEL_BITS * LEVELS as u32);
+const HORIZON: u64 = 1 << (LEVEL_BITS as u64 * LEVELS as u64);
 
 /// Hierarchical timing wheel: four levels of 256 slots spanning 2^32 ticks
 /// (over an hour at 1 µs ticks), with an overflow list beyond that.
@@ -75,6 +75,8 @@ impl<P> HierarchicalWheel<P> {
         // Smallest level whose span contains delta.
         let level = ((64 - delta.leading_zeros() - 1) / LEVEL_BITS) as usize;
         let level = level.min(LEVELS - 1);
+        // st-lint: allow(no-silent-cast) -- level is clamped below LEVELS
+        // and the slot is masked to the per-level slot count
         let slot = ((deadline >> (LEVEL_BITS * level as u32)) & LEVEL_MASK) as usize;
         self.levels[level][slot].push(entry);
     }

@@ -73,6 +73,9 @@ impl<P> TimerSlab<P> {
                 }
             }
             None => {
+                // st-lint: allow(no-panicking-arith) -- handles carry u32
+                // indices by design; 2^32 live timers is a program bug, not
+                // a runtime condition to recover from
                 let idx = u32::try_from(self.slots.len()).expect("timer slab exceeds u32 slots");
                 self.slots.push(Slot {
                     generation: 0,

@@ -73,6 +73,8 @@ impl<P> SimpleWheel<P> {
         if deadline <= self.now {
             self.past_due.push(entry);
         } else if deadline - self.now < self.slots.len() as u64 {
+            // st-lint: allow(no-silent-cast) -- value reduced modulo the
+            // slot count, so it always fits a usize index
             let idx = (deadline % self.slots.len() as u64) as usize;
             self.slots[idx].push(entry);
         } else {
@@ -173,6 +175,8 @@ impl<P> TimerQueue<P> for SimpleWheel<P> {
             }
         } else {
             for tick in (old + 1)..=now {
+                // st-lint: allow(no-silent-cast) -- value reduced modulo
+                // the slot count, so it always fits a usize index
                 let idx = (tick % horizon) as usize;
                 let mut slot = std::mem::take(&mut self.slots[idx]);
                 Self::collect_slot(&mut slot, &mut self.slab, now, &mut due);
@@ -294,6 +298,8 @@ impl<P> TimerQueue<P> for HashedWheel<P> {
         if deadline <= self.now {
             self.past_due.push(entry);
         } else {
+            // st-lint: allow(no-silent-cast) -- masked to the power-of-two
+            // slot count, so it always fits a usize index
             let idx = (deadline & self.mask) as usize;
             self.slots[idx].push(entry);
         }
@@ -345,6 +351,8 @@ impl<P> TimerQueue<P> for HashedWheel<P> {
             }
         } else {
             for tick in (self.now + 1)..=now {
+                // st-lint: allow(no-silent-cast) -- masked to the
+                // power-of-two slot count, so it always fits a usize index
                 let idx = (tick & self.mask) as usize;
                 let mut slot = std::mem::take(&mut self.slots[idx]);
                 visit(&mut slot, &mut self.slab, &mut due);

@@ -484,7 +484,9 @@ mod tests {
     #[test]
     fn apache_source_mix_matches_table2() {
         let mut stream = TriggerStream::new(WorkloadId::StApache.spec(), 9);
-        let mut counts = std::collections::HashMap::new();
+        // Ordered map: even in tests, per-source tallies iterate (and thus
+        // fail) in the same order on every run.
+        let mut counts = std::collections::BTreeMap::new();
         let n = 200_000;
         for _ in 0..n {
             let (_, src) = stream.next_gap();

@@ -10,6 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== st-lint: determinism & timing-safety invariants =="
+# Exits 1 on any unsuppressed finding; stale or reasonless suppressions
+# are findings too (allow-hygiene), so the allow-list cannot rot.
+cargo run --release --offline -p st-lint
+
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline
 
