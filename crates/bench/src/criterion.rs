@@ -128,6 +128,24 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Runs `body` under the harness and returns the raw per-iteration
+/// samples in nanoseconds, sorted ascending (empty when the body never
+/// called [`Bencher::iter`]).
+///
+/// This is the programmatic entry the `bench-suite` binary uses to
+/// collect the `BENCH_*.json` perf trajectory; [`Criterion`] wraps it
+/// with printing for interactive `cargo bench` runs.
+pub fn measure(sample_size: usize, mut body: impl FnMut(&mut Bencher)) -> Vec<f64> {
+    assert!(sample_size > 0, "sample size must be positive");
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+    };
+    body(&mut b);
+    b.samples.sort_by(|a, b| a.total_cmp(b));
+    b.samples
+}
+
 fn run_one(sample_size: usize, name: &str, mut f: impl FnMut(&mut Bencher)) {
     let mut b = Bencher {
         sample_size,
@@ -213,6 +231,19 @@ mod tests {
             })
         });
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn measure_returns_sorted_samples() {
+        let s = measure(4, |b| b.iter(|| std::hint::black_box(2 + 2)));
+        assert_eq!(s.len(), 4);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert!(s[0] >= 0.0);
+    }
+
+    #[test]
+    fn measure_without_iter_is_empty() {
+        assert!(measure(3, |_| {}).is_empty());
     }
 
     #[test]

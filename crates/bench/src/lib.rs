@@ -12,11 +12,16 @@
 //!   table and figure of the evaluation at reduced (`Scale::Quick`)
 //!   sample counts, so `cargo bench` exercises the full reproduction
 //!   pipeline and tracks its run time.
+//! - **The perf trajectory** ([`suite`] + the `bench-suite` binary): a
+//!   fixed hot-path suite whose stats are frozen as `BENCH_*.json`
+//!   snapshots; `scripts/perf_gate.sh` compares consecutive snapshots
+//!   and fails CI on tolerance-exceeding regressions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod criterion;
+pub mod suite;
 
 use st_sim::SimRng;
 

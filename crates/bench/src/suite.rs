@@ -1,0 +1,417 @@
+//! The hot-path microbenchmark suite behind the `BENCH_*.json` perf
+//! trajectory.
+//!
+//! Each entry times one path whose cost the paper's argument depends
+//! on: the per-trigger check must stay near a clock read (section 4),
+//! the wheel operations bound facility overhead under churn (section
+//! 3), the pacer release is the per-packet cost of rate-based clocking
+//! (section 5.3), the sealed st-trace probe must vanish when no session
+//! records, and the st-prof sample must stay cheap enough to run from
+//! trigger states.
+//!
+//! [`run_suite`] collects the numbers through the shim's
+//! [`measure`](crate::criterion::measure) hook, [`to_json`] freezes
+//! them in the `st-bench-v1` schema (validated by `st-trace`'s JSON
+//! validator before writing), and [`compare`] parses two snapshots and
+//! flags tolerance-exceeding regressions — `scripts/perf_gate.sh`
+//! drives that from CI.
+
+use st_core::facility::{Config, Expired, SoftTimerCore};
+use st_core::pacer::{Pacer, PacerConfig};
+use st_kernel::softclock::SoftClock;
+use st_kernel::trigger::TriggerSource;
+use st_prof::Sampler;
+use st_sim::{SimDuration, SimTime};
+use st_trace::json::{self, ObjectBuilder, Value};
+use st_wheel::{CalendarQueue, HashedWheel, HeapQueue, HierarchicalWheel, TimerQueue};
+
+use crate::criterion::measure;
+
+/// Schema tag written into every snapshot; bump on breaking change.
+pub const SCHEMA: &str = "st-bench-v1";
+
+/// Summary statistics for one suite entry, nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchStat {
+    /// Stable entry name (`layer.path` style).
+    pub name: &'static str,
+    /// Fastest sample — the least-noise statistic; the gate compares it.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
+fn stat(name: &'static str, samples: Vec<f64>) -> BenchStat {
+    assert!(
+        !samples.is_empty(),
+        "suite entry {name} produced no samples"
+    );
+    BenchStat {
+        name,
+        min_ns: samples[0],
+        median_ns: samples[samples.len() / 2],
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        samples: samples.len(),
+    }
+}
+
+/// One schedule → fire → cancel cycle over a pre-built wheel variant:
+/// 256 timers in, advance until half fire, cancel whatever remains.
+/// The queue is constructed once outside the timed loop — constructing
+/// (and allocating) a wheel per iteration measures the allocator, which
+/// is bimodal under CI load; steady-state operation is what the
+/// facility actually pays.
+struct WheelCycle<Q> {
+    queue: Q,
+    now: u64,
+    handles: Vec<st_wheel::TimerHandle>,
+    fired: Vec<(u64, u64)>,
+}
+
+impl<Q: TimerQueue<u64>> WheelCycle<Q> {
+    fn new(queue: Q) -> Self {
+        WheelCycle {
+            queue,
+            now: 0,
+            handles: Vec::with_capacity(256),
+            fired: Vec::with_capacity(256),
+        }
+    }
+
+    fn cycle(&mut self) -> usize {
+        self.handles.clear();
+        for i in 0..256u64 {
+            self.handles
+                .push(self.queue.schedule(self.now + i * 7 + 1, i));
+        }
+        self.fired.clear();
+        self.now += 256 * 7 / 2;
+        self.queue.advance(self.now, &mut self.fired);
+        let mut cancelled = 0;
+        for h in self.handles.drain(..) {
+            if self.queue.cancel(h).is_some() {
+                cancelled += 1;
+            }
+        }
+        self.now += 256 * 7 / 2;
+        self.fired.len() + cancelled
+    }
+}
+
+/// Runs every suite entry and returns the stats in a fixed order.
+///
+/// `smoke` trades precision for speed (5 samples instead of 30) — CI's
+/// default; the perf trajectory snapshots use the full run.
+pub fn run_suite(smoke: bool) -> Vec<BenchStat> {
+    let n = if smoke { 5 } else { 30 };
+    let mut out = Vec::new();
+
+    // Wheel variants: the full schedule/fire/cancel lifecycle.
+    out.push(stat(
+        "wheel.hashed.schedule_fire_cancel",
+        measure(n, |b| {
+            let mut w = WheelCycle::new(HashedWheel::with_slots(4_096));
+            b.iter(|| w.cycle())
+        }),
+    ));
+    out.push(stat(
+        "wheel.hierarchical.schedule_fire_cancel",
+        measure(n, |b| {
+            let mut w = WheelCycle::new(HierarchicalWheel::new());
+            b.iter(|| w.cycle())
+        }),
+    ));
+    out.push(stat(
+        "wheel.heap.schedule_fire_cancel",
+        measure(n, |b| {
+            let mut w = WheelCycle::new(HeapQueue::new());
+            b.iter(|| w.cycle())
+        }),
+    ));
+    out.push(stat(
+        "wheel.calendar.schedule_fire_cancel",
+        measure(n, |b| {
+            let mut w = WheelCycle::new(CalendarQueue::new());
+            b.iter(|| w.cycle())
+        }),
+    ));
+
+    // Facility fast path: poll with nothing due — the cost the paper
+    // requires to be invisible at every syscall/trap/interrupt return.
+    out.push(stat(
+        "facility.poll_not_due",
+        measure(n, |b| {
+            let mut core: SoftTimerCore<u64> = SoftTimerCore::new(Config::default());
+            core.schedule(0, u32::MAX as u64, 1);
+            let mut due: Vec<Expired<u64>> = Vec::new();
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 1;
+                core.poll(std::hint::black_box(now), &mut due)
+            });
+        }),
+    ));
+
+    // Facility steady state: fire and rearm one event per two checks.
+    out.push(stat(
+        "facility.schedule_fire_cycle",
+        measure(n, |b| {
+            let mut core: SoftTimerCore<u64> = SoftTimerCore::new(Config::default());
+            let mut due = Vec::new();
+            let mut now = 0u64;
+            core.schedule(now, 40, 1);
+            b.iter(|| {
+                now += 20;
+                due.clear();
+                if core.poll(now, &mut due) > 0 {
+                    core.schedule(now, 40, 1);
+                }
+            });
+        }),
+    ));
+
+    // Kernel trigger check: interval recording plus the facility poll —
+    // the whole per-trigger-state cost.
+    out.push(stat(
+        "kernel.trigger_check",
+        measure(n, |b| {
+            let mut clock: SoftClock<u64> = SoftClock::new(false);
+            let mut now = SimTime::ZERO;
+            clock.schedule(now, u32::MAX as u64, 1);
+            let mut due = Vec::new();
+            b.iter(|| {
+                now += SimDuration::from_micros(30);
+                clock.trigger(now, TriggerSource::Syscall, &mut due)
+            });
+        }),
+    ));
+
+    // Sealed st-trace probe: no session active, so the emit must cost a
+    // thread-local read and a branch.
+    out.push(stat(
+        "trace.sealed_noop_emit",
+        measure(n, |b| {
+            assert!(
+                !st_trace::active(),
+                "sealed-probe bench needs no active trace session"
+            );
+            let mut ts = 0u64;
+            b.iter(|| {
+                ts += 1;
+                st_trace::emit(
+                    st_trace::Category::Kernel,
+                    "bench.probe",
+                    std::hint::black_box(ts),
+                    0,
+                    0,
+                );
+            });
+        }),
+    ));
+
+    // Pacer release decision: the per-packet cost of rate-based clocking.
+    out.push(stat(
+        "tcp.pacer_release",
+        measure(n, |b| {
+            let mut p = Pacer::new(PacerConfig::new(40, 12));
+            p.start_train(0);
+            let mut now = 0u64;
+            b.iter(|| {
+                let interval = p.on_transmit(std::hint::black_box(now));
+                now += interval + 3;
+                interval
+            });
+        }),
+    ));
+
+    // st-prof sample: record a borrowed folded stack plus grid rearm —
+    // must stay cheap enough to run from trigger states.
+    out.push(stat(
+        "prof.sample_record",
+        measure(n, |b| {
+            let mut sampler = Sampler::new(50);
+            let mut due = 50u64;
+            b.iter(|| {
+                let fired = due + 7;
+                let delta =
+                    sampler.on_fire(std::hint::black_box("request;app;syscall"), due, fired);
+                due = fired + delta;
+            });
+        }),
+    ));
+
+    out
+}
+
+/// Freezes suite stats as one `st-bench-v1` JSON snapshot.
+pub fn to_json(stats: &[BenchStat], smoke: bool) -> String {
+    let mut rows = String::from("[");
+    for (i, s) in stats.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(
+            &ObjectBuilder::new()
+                .str("name", s.name)
+                .f64("min_ns", s.min_ns)
+                .f64("median_ns", s.median_ns)
+                .f64("mean_ns", s.mean_ns)
+                .u64("samples", s.samples as u64)
+                .build(),
+        );
+    }
+    rows.push(']');
+    ObjectBuilder::new()
+        .str("schema", SCHEMA)
+        .str("mode", if smoke { "smoke" } else { "full" })
+        .raw("benches", &rows)
+        .build()
+}
+
+/// The outcome of comparing two snapshots.
+#[derive(Debug)]
+pub struct CompareReport {
+    /// One human-readable line per bench present in both snapshots.
+    pub lines: Vec<String>,
+    /// Benches whose `min_ns` regressed beyond tolerance.
+    pub regressions: Vec<String>,
+}
+
+fn snapshot_benches(v: &Value) -> Result<Vec<(String, f64)>, String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema field")?;
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let benches = v
+        .get("benches")
+        .and_then(Value::as_arr)
+        .ok_or("missing benches array")?;
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("bench without name")?;
+        let min = b
+            .get("min_ns")
+            .and_then(Value::as_f64)
+            .ok_or("bench without min_ns")?;
+        out.push((name.to_string(), min));
+    }
+    Ok(out)
+}
+
+/// Compares two snapshot files' contents.
+///
+/// A bench regresses when its new `min_ns` exceeds the old by more than
+/// `tolerance` (e.g. `0.30` = 30 %) AND by an absolute floor of 20 ns —
+/// sub-floor paths are clock-granularity noise, not regressions.
+/// Benches present in only one snapshot are reported but never gate.
+pub fn compare(old: &str, new: &str, tolerance: f64) -> Result<CompareReport, String> {
+    let old = snapshot_benches(&json::parse(old).map_err(|e| format!("old snapshot: {e}"))?)
+        .map_err(|e| format!("old snapshot: {e}"))?;
+    let new = snapshot_benches(&json::parse(new).map_err(|e| format!("new snapshot: {e}"))?)
+        .map_err(|e| format!("new snapshot: {e}"))?;
+
+    let mut report = CompareReport {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for (name, new_min) in &new {
+        let Some((_, old_min)) = old.iter().find(|(n, _)| n == name) else {
+            report
+                .lines
+                .push(format!("{name:<42} NEW ({new_min:.1} ns)"));
+            continue;
+        };
+        let ratio = if *old_min > 0.0 {
+            new_min / old_min
+        } else {
+            1.0
+        };
+        let regressed = ratio > 1.0 + tolerance && (new_min - old_min) > 20.0;
+        report.lines.push(format!(
+            "{name:<42} {old_min:>10.1} ns -> {new_min:>10.1} ns  ({:+.1}%){}",
+            (ratio - 1.0) * 100.0,
+            if regressed { "  REGRESSION" } else { "" }
+        ));
+        if regressed {
+            report.regressions.push(name.clone());
+        }
+    }
+    for (name, _) in &old {
+        if !new.iter().any(|(n, _)| n == name) {
+            report.lines.push(format!("{name:<42} REMOVED"));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_and_serializes_validly() {
+        let stats = run_suite(true);
+        assert!(stats.len() >= 8, "suite shrank to {} entries", stats.len());
+        let names: Vec<&str> = stats.iter().map(|s| s.name).collect();
+        for expect in [
+            "wheel.hashed.schedule_fire_cancel",
+            "facility.poll_not_due",
+            "kernel.trigger_check",
+            "trace.sealed_noop_emit",
+            "tcp.pacer_release",
+            "prof.sample_record",
+        ] {
+            assert!(names.contains(&expect), "missing suite entry {expect}");
+        }
+        let body = to_json(&stats, true);
+        json::validate(&body).expect("snapshot JSON must validate");
+        let v = json::parse(&body).expect("snapshot JSON must parse");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(
+            v.get("benches").and_then(Value::as_arr).map(|a| a.len()),
+            Some(stats.len())
+        );
+    }
+
+    #[test]
+    fn compare_flags_only_material_regressions() {
+        let old = r#"{"schema":"st-bench-v1","mode":"full","benches":[
+            {"name":"a","min_ns":100.0,"median_ns":1,"mean_ns":1,"samples":5},
+            {"name":"b","min_ns":5.0,"median_ns":1,"mean_ns":1,"samples":5},
+            {"name":"gone","min_ns":9.0,"median_ns":1,"mean_ns":1,"samples":5}]}"#;
+        let new = r#"{"schema":"st-bench-v1","mode":"full","benches":[
+            {"name":"a","min_ns":200.0,"median_ns":1,"mean_ns":1,"samples":5},
+            {"name":"b","min_ns":9.0,"median_ns":1,"mean_ns":1,"samples":5},
+            {"name":"fresh","min_ns":3.0,"median_ns":1,"mean_ns":1,"samples":5}]}"#;
+        let r = compare(old, new, 0.30).expect("well-formed snapshots");
+        // a doubled (past 30% and past the 20 ns floor); b's +80% is
+        // under the absolute floor so it is noise, not a regression.
+        assert_eq!(r.regressions, vec!["a".to_string()]);
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.contains("fresh") && l.contains("NEW")));
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.contains("gone") && l.contains("REMOVED")));
+    }
+
+    #[test]
+    fn compare_rejects_foreign_schema() {
+        let bad = r#"{"schema":"other","benches":[]}"#;
+        let good = r#"{"schema":"st-bench-v1","benches":[]}"#;
+        assert!(compare(bad, good, 0.3).is_err());
+        assert!(compare(good, good, 0.3).unwrap().regressions.is_empty());
+    }
+}

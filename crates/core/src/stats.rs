@@ -33,6 +33,10 @@ pub struct FacilityStats {
     pub delay_ticks: Summary,
     /// Delay histogram (1-tick buckets).
     pub delay_hist: Histogram,
+    /// Fires counted independently of the per-origin split, so
+    /// [`FacilityStats::fired`] can cross-check the parts in debug
+    /// builds.
+    fired_total: u64,
 }
 
 impl FacilityStats {
@@ -49,11 +53,22 @@ impl FacilityStats {
             handler_panics: 0,
             delay_ticks: Summary::new(),
             delay_hist: Histogram::new(1.0, 2048),
+            fired_total: 0,
         }
     }
 
     /// Total events fired.
+    ///
+    /// In debug builds this checks the independently maintained total
+    /// against the sum of the per-origin counters, so a future origin
+    /// added to [`crate::facility::FireOrigin`] cannot silently leak
+    /// out of the split.
     pub fn fired(&self) -> u64 {
+        debug_assert_eq!(
+            self.fired_total,
+            self.fired_trigger + self.fired_backup,
+            "per-origin fire counters disagree with the total"
+        );
         self.fired_trigger + self.fired_backup
     }
 
@@ -90,6 +105,7 @@ impl FacilityStats {
     }
 
     pub(crate) fn record_fire(&mut self, origin: crate::facility::FireOrigin, delay: u64) {
+        self.fired_total += 1;
         match origin {
             crate::facility::FireOrigin::TriggerState => self.fired_trigger += 1,
             crate::facility::FireOrigin::BackupInterrupt => self.fired_backup += 1,
@@ -118,6 +134,9 @@ mod tests {
         s.record_fire(FireOrigin::TriggerState, 15);
         s.record_fire(FireOrigin::BackupInterrupt, 900);
         assert_eq!(s.fired(), 3);
+        // fired() debug-asserts this; recompute so release builds
+        // exercise the cross-check too.
+        assert_eq!(s.fired(), s.fired_trigger + s.fired_backup);
         assert!((s.backup_fraction() - 1.0 / 3.0).abs() < 1e-12);
         assert!((s.delay_ticks.mean() - (5.0 + 15.0 + 900.0) / 3.0).abs() < 1e-9);
         assert_eq!(s.delay_hist.count(), 3);

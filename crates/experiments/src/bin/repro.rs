@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR] [--json PATH] [--trace DIR]
-//!
-//! EXPERIMENT: all (default), fig2, sec52, fig4, table1, fig5, fig6,
-//!             table2, table3, table45, table67, table8, scaling,
-//!             appendix_a, livelock, latency, ack_compression,
-//!             fault_matrix, trace_overhead
+//! repro --list
 //! ```
+//!
+//! `--list` prints the experiment catalog (names, aliases, and the
+//! `key_metrics` keys each emits) and exits. Unknown experiment names
+//! exit with status 2.
 //!
 //! `--json PATH` writes one JSON object per experiment (`-` = stdout,
 //! suppressing the text report); `--trace DIR` records the run with
@@ -19,7 +19,8 @@
 
 use st_experiments::{
     ack_compression, appendix_a, fault_matrix, fig2_fig3, fig4_table1, fig5, fig6_table2, latency,
-    livelock, scaling, sec52, table3, table45, table67, table8, trace_overhead, Scale,
+    livelock, profiler, profiler_overhead, scaling, sec52, table3, table45, table67, table8,
+    trace_overhead, Scale, CATALOG,
 };
 use st_trace::json::ObjectBuilder;
 use st_trace::{json, TraceConfig, TraceSession};
@@ -58,12 +59,19 @@ fn main() {
                     .unwrap_or_else(|| die("--trace needs a directory"));
                 trace_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--list" => {
+                print_list();
+                return;
+            }
             "--help" | "-h" => {
+                let names: Vec<&str> = CATALOG.iter().map(|e| e.name).collect();
                 println!(
                     "usage: repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR] [--json PATH] [--trace DIR]\n\
-                     experiments: all fig2 sec52 fig4 table1 fig5 fig6 table2 table3 table45 table67 table8 scaling appendix_a ack_compression livelock latency fault_matrix trace_overhead\n\
+                     experiments: all {}\n\
+                     --list       print the experiment catalog with metric keys and exit\n\
                      --json PATH  one JSON object per experiment; '-' writes to stdout and suppresses the text report\n\
-                     --trace DIR  record with st-trace; writes chrome_trace.json, metrics.jsonl, summary.txt"
+                     --trace DIR  record with st-trace; writes chrome_trace.json, metrics.jsonl, summary.txt",
+                    names.join(" ")
                 );
                 return;
             }
@@ -73,41 +81,10 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 25] = [
-        "all",
-        "fig2",
-        "fig3",
-        "sec52",
-        "fig4",
-        "table1",
-        "fig5",
-        "fig6",
-        "table2",
-        "table3",
-        "table45",
-        "table4",
-        "table5",
-        "table67",
-        "table6",
-        "table7",
-        "table8",
-        "scaling",
-        "appendix_a",
-        "livelock",
-        "latency",
-        "fault_matrix",
-        "faultmatrix",
-        "trace_overhead",
-        "traceoverhead",
-    ];
     for w in &wanted {
-        if !KNOWN.contains(&w.as_str())
-            && w != "appendixa"
-            && w != "ackcompression"
-            && w != "ack_compression"
-        {
+        if w != "all" && st_experiments::find_experiment(w).is_none() {
             die(&format!(
-                "unknown experiment '{w}' (run with --help for the list)"
+                "unknown experiment '{w}' (run with --list for the catalog)"
             ));
         }
     }
@@ -267,6 +244,24 @@ fn main() {
         let r = trace_overhead::run(scale, seed);
         emit("trace_overhead", r.render(), r.key_metrics());
     }
+    if want(&["profiler"]) {
+        let r = profiler::run(scale, seed);
+        emit("profiler", r.render(), r.key_metrics());
+        if let Some(dir) = &csv_dir {
+            // Collapsed-stack export alongside the CSVs: load it in
+            // speedscope or pipe through inferno-flamegraph.
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("csv dir: {e}")));
+            let path = dir.join("profiler.folded");
+            std::fs::write(&path, &r.folded)
+                .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    if want(&["profiler_overhead", "profileroverhead"]) {
+        let r = profiler_overhead::run(scale, seed);
+        emit("profiler_overhead", r.render(), r.key_metrics());
+        write_csv("profiler_overhead", &r.series());
+    }
 
     if let Some(path) = &json_path {
         let mut out = String::new();
@@ -309,4 +304,20 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// Prints the experiment catalog: names, aliases, description and the
+/// `key_metrics` keys each experiment emits (`<x>` marks a family of
+/// keys expanded at run time).
+fn print_list() {
+    println!("experiments ('all' runs every one):");
+    for e in CATALOG {
+        let aliases = if e.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", e.aliases.join(", "))
+        };
+        println!("  {}{aliases}\n      {}", e.name, e.what);
+        println!("      keys: {}", e.keys.join(", "));
+    }
 }

@@ -28,10 +28,14 @@
 //! | [`fault_matrix`] | fault injection: firing bound under clock/interrupt/NIC/callback faults (extension) |
 //! | [`latency`] | packet latency on an idle machine across policies (extension) |
 //! | [`trace_overhead`] | st-trace self-measurement: tracer cost + Table-1 shares re-derived from the trace (extension) |
+//! | [`profiler`] | st-prof sampled attribution vs exact context accounting (extension) |
+//! | [`profiler_overhead`] | hardware-interrupt vs soft-timer sampling cost sweep (extension) |
 //!
 //! Every report additionally exposes `key_metrics()` — a flat list of
 //! `(name, value)` pairs — which the `repro --json` flag serializes as
 //! one JSON object per experiment (see EXPERIMENTS.md for the schema).
+//! [`CATALOG`] is the machine-readable registry behind `repro --list`:
+//! every experiment's CLI names and metric keys, in dispatch order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +49,8 @@ pub mod fig5;
 pub mod fig6_table2;
 pub mod latency;
 pub mod livelock;
+pub mod profiler;
+pub mod profiler_overhead;
 pub mod scaling;
 pub mod sec52;
 pub mod table3;
@@ -81,6 +87,235 @@ impl Scale {
     }
 }
 
+/// One entry in the `repro` experiment catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentInfo {
+    /// Canonical CLI name.
+    pub name: &'static str,
+    /// Additional accepted CLI spellings.
+    pub aliases: &'static [&'static str],
+    /// One-line description.
+    pub what: &'static str,
+    /// `key_metrics` keys the experiment emits; `<x>` marks a per-row
+    /// or per-frequency family expanded at run time.
+    pub keys: &'static [&'static str],
+}
+
+/// The experiment registry: CLI names, descriptions and metric keys, in
+/// `repro`'s dispatch order. Drives `repro --list` and the unknown-name
+/// check (anything not named here exits with status 2).
+pub const CATALOG: &[ExperimentInfo] = &[
+    ExperimentInfo {
+        name: "fig2",
+        aliases: &["fig3"],
+        what: "Figures 2-3: throughput/overhead vs added hardware-timer frequency",
+        keys: &[
+            "us_per_interrupt",
+            "throughput_<khz>khz",
+            "overhead_<khz>khz",
+        ],
+    },
+    ExperimentInfo {
+        name: "sec52",
+        aliases: &[],
+        what: "sec. 5.2: base overhead of soft timers (null handler at max rate)",
+        keys: &[
+            "base_throughput",
+            "soft_throughput",
+            "soft_overhead",
+            "soft_fire_interval_us",
+            "hw_equivalent_throughput",
+            "hw_overhead",
+        ],
+    },
+    ExperimentInfo {
+        name: "fig4",
+        aliases: &["table1"],
+        what: "Figure 4 + Table 1: trigger interval CDFs and statistics",
+        keys: &[
+            "<workload>_median_us",
+            "<workload>_mean_us",
+            "<workload>_over_100us",
+            "<workload>_over_150us",
+        ],
+    },
+    ExperimentInfo {
+        name: "fig5",
+        aliases: &[],
+        what: "Figure 5: windowed medians over time (ST-Apache-compute)",
+        keys: &[
+            "windows_1ms",
+            "windows_10ms",
+            "frac_1ms_above_100us",
+            "frac_1ms_in_20_60us",
+        ],
+    },
+    ExperimentInfo {
+        name: "fig6",
+        aliases: &["table2"],
+        what: "Figure 6 + Table 2: trigger sources and knock-out CDFs",
+        keys: &[
+            "all_median_us",
+            "frac_<source>",
+            "median_without_<source>_us",
+        ],
+    },
+    ExperimentInfo {
+        name: "table3",
+        aliases: &[],
+        what: "Table 3: rate-based clocking overhead, hardware vs soft",
+        keys: &[
+            "<server>_base_throughput",
+            "<server>_hw_overhead",
+            "<server>_soft_overhead",
+            "<server>_soft_xmit_interval_us",
+        ],
+    },
+    ExperimentInfo {
+        name: "table45",
+        aliases: &["table4", "table5"],
+        what: "Tables 4-5: transmission process statistics",
+        keys: &[
+            "<machine>_target_ticks",
+            "<machine>_hw_avg",
+            "<machine>_hw_std",
+            "<machine>_min<t>_avg",
+            "<machine>_min<t>_std",
+        ],
+    },
+    ExperimentInfo {
+        name: "table67",
+        aliases: &["table6", "table7"],
+        what: "Tables 6-7: WAN transfer performance, paced vs regular",
+        keys: &[
+            "<link>_bottleneck_mbps",
+            "<link>_p<loss>_reg_xput",
+            "<link>_p<loss>_rbc_xput",
+            "<link>_p<loss>_reg_resp_ms",
+            "<link>_p<loss>_rbc_resp_ms",
+        ],
+    },
+    ExperimentInfo {
+        name: "table8",
+        aliases: &[],
+        what: "Table 8: network polling throughput across dispatch policies",
+        keys: &[
+            "<server>_interrupt",
+            "<server>_hybrid",
+            "<server>_soft<t>us",
+        ],
+    },
+    ExperimentInfo {
+        name: "scaling",
+        aliases: &[],
+        what: "sec. 5.10: interrupt cost vs trigger granularity across machines",
+        keys: &[
+            "<machine>_interrupt_us",
+            "<machine>_trigger_mean_us",
+            "<machine>_granularity_per_cost",
+        ],
+    },
+    ExperimentInfo {
+        name: "appendix_a",
+        aliases: &["appendixa"],
+        what: "Appendix A: big ACKs and burst smoothing (extension)",
+        keys: &[
+            "<mode>_max_ack_coverage",
+            "<mode>_max_backlog_ms",
+            "<mode>_response_ms",
+        ],
+    },
+    ExperimentInfo {
+        name: "livelock",
+        aliases: &[],
+        what: "receive livelock across dispatch policies (extension)",
+        keys: &["<policy>_peak_pps", "<policy>_at_max_load_pps"],
+    },
+    ExperimentInfo {
+        name: "latency",
+        aliases: &[],
+        what: "packet latency on an idle machine across policies (extension)",
+        keys: &[
+            "offered_pps",
+            "<policy>_mean_us",
+            "<policy>_max_us",
+            "<policy>_delivered_pps",
+        ],
+    },
+    ExperimentInfo {
+        name: "ack_compression",
+        aliases: &["ackcompression"],
+        what: "Appendix A.1: ACK compression vs pacing (extension)",
+        keys: &[
+            "<mode>_compressed_frac",
+            "<mode>_max_backlog_ms",
+            "<mode>_response_ms",
+        ],
+    },
+    ExperimentInfo {
+        name: "fault_matrix",
+        aliases: &["faultmatrix"],
+        what: "fault injection: firing bound under clock/interrupt/NIC/callback faults (extension)",
+        keys: &[
+            "all_clean",
+            "<fault>_fired",
+            "<fault>_backup_fraction",
+            "<fault>_bound_violations",
+            "<fault>_replayed",
+        ],
+    },
+    ExperimentInfo {
+        name: "trace_overhead",
+        aliases: &["traceoverhead"],
+        what: "st-trace self-measurement: tracer cost + share fidelity (extension)",
+        keys: &[
+            "ns_per_check_disabled",
+            "ns_per_check_enabled",
+            "overhead_ratio",
+            "triggers",
+            "events_captured",
+            "events_dropped",
+            "fired_trigger",
+            "fired_backup",
+            "exports_valid",
+            "share_<source>",
+        ],
+    },
+    ExperimentInfo {
+        name: "profiler",
+        aliases: &[],
+        what: "st-prof sampled attribution vs exact context accounting (extension)",
+        keys: &[
+            "samples",
+            "skipped",
+            "distinct_stacks",
+            "max_abs_error",
+            "json_valid",
+            "exact_<stack>",
+            "sampled_<stack>",
+        ],
+    },
+    ExperimentInfo {
+        name: "profiler_overhead",
+        aliases: &["profileroverhead"],
+        what: "hardware-interrupt vs soft-timer sampling cost sweep (extension)",
+        keys: &[
+            "prof_sample_ns",
+            "hw_interrupt_ns",
+            "hw_overhead_<khz>khz",
+            "soft_overhead_<khz>khz",
+            "soft_effective_<khz>khz",
+        ],
+    },
+];
+
+/// Looks up a CLI name (canonical or alias) in [`CATALOG`].
+pub fn find_experiment(name: &str) -> Option<&'static ExperimentInfo> {
+    CATALOG
+        .iter()
+        .find(|e| e.name == name || e.aliases.contains(&name))
+}
+
 /// Formats a ratio as the paper's "(1.23)" speedup annotation.
 pub fn speedup(base: f64, x: f64) -> String {
     format!("({:.2})", x / base)
@@ -108,7 +343,7 @@ pub fn metric_key(label: &str) -> String {
 
 #[cfg(test)]
 mod lib_tests {
-    use super::metric_key;
+    use super::{find_experiment, metric_key, CATALOG};
 
     #[test]
     fn metric_keys_are_flat_identifiers() {
@@ -116,5 +351,36 @@ mod lib_tests {
         assert_eq!(metric_key("ip-output"), "ip_output");
         assert_eq!(metric_key("P-HTTP"), "p_http");
         assert_eq!(metric_key("__x__"), "x");
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in CATALOG {
+            assert!(seen.insert(e.name), "duplicate name {}", e.name);
+            for a in e.aliases {
+                assert!(seen.insert(a), "duplicate alias {a}");
+            }
+            assert!(!e.what.is_empty());
+            assert!(!e.keys.is_empty(), "{} lists no keys", e.name);
+        }
+        assert_eq!(find_experiment("fig3").map(|e| e.name), Some("fig2"));
+        assert_eq!(
+            find_experiment("profiler").map(|e| e.name),
+            Some("profiler")
+        );
+        assert!(find_experiment("nope").is_none());
+    }
+
+    #[test]
+    fn catalog_keys_match_emitted_metrics() {
+        // Spot-check one cheap experiment: every static (non-family) key
+        // in the catalog appears in the experiment's actual key_metrics.
+        let e = find_experiment("profiler_overhead").unwrap();
+        let r = crate::profiler_overhead::run(crate::Scale::Quick, 1);
+        let emitted: Vec<String> = r.key_metrics().into_iter().map(|(k, _)| k).collect();
+        for key in e.keys.iter().filter(|k| !k.contains('<')) {
+            assert!(emitted.iter().any(|k| k == key), "missing key {key}");
+        }
     }
 }

@@ -54,6 +54,17 @@ pub struct TimerLoad {
     pub freq_hz: u64,
 }
 
+/// A soft-timer statistical-profiler load: a periodic sampling event that
+/// fires from trigger states (the `st-prof` application). Each fire costs
+/// [`CostModel::prof_sample`] and the event rearms on a fixed grid so the
+/// *effective* sampling rate matches `freq_hz` even when individual fires
+/// are delayed past one or more periods.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerLoad {
+    /// Target sampling frequency in Hz.
+    pub freq_hz: u64,
+}
+
 /// Saturation experiment configuration.
 #[derive(Debug, Clone)]
 pub struct SaturationConfig {
@@ -67,6 +78,8 @@ pub struct SaturationConfig {
     pub seed: u64,
     /// Added null-handler hardware timer (Figures 2-3).
     pub extra_timer: Option<TimerLoad>,
+    /// Soft-timer profiling sampler (the `profiler_overhead` experiment).
+    pub soft_sampler: Option<SamplerLoad>,
     /// Maximal-rate null soft event (§5.2).
     pub soft_null_event: bool,
     /// Rate-based clocking mode (Table 3).
@@ -86,6 +99,7 @@ impl SaturationConfig {
             duration: SimDuration::from_secs(5),
             seed,
             extra_timer: None,
+            soft_sampler: None,
             soft_null_event: false,
             rate_clocking: RateClocking::Off,
             driver: DriverStrategy::InterruptDriven,
@@ -111,6 +125,14 @@ pub struct SaturationResult {
     pub trigger_median_us: f64,
     /// Soft-timer events fired.
     pub soft_fires: u64,
+    /// Profiler samples taken (soft-timer sampler fires).
+    pub sampler_fires: u64,
+    /// Profiler grid points skipped because the fire lagged past them
+    /// (one sample per trigger state; missed grid points are lost, the
+    /// soft-timer profiler's inherent delay cost).
+    pub sampler_skipped: u64,
+    /// Added hardware-timer interrupts actually taken (Figures 2-3 load).
+    pub extra_timer_ticks: u64,
     /// Mean interval between soft-event fires, µs (§5.2's 31.5 µs).
     pub soft_fire_interval_us: f64,
     /// Within-train packet transmission intervals, µs (Table 3).
@@ -130,6 +152,8 @@ enum SoftEv {
     TxPace,
     /// Network poll (pure-polling and soft-timer polling).
     PollNic,
+    /// One statistical-profiler sample (the `st-prof` application).
+    Sample,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -201,6 +225,9 @@ struct SatWorld {
     completed: u64,
     expected_req: SimDuration,
     soft_fires: u64,
+    sampler_fires: u64,
+    sampler_skipped: u64,
+    extra_timer_ticks: u64,
     last_soft_fire: Option<SimTime>,
     soft_fire_gaps: Summary,
     fired: Vec<Expired<SoftEv>>,
@@ -232,6 +259,9 @@ impl SatWorld {
             completed: 0,
             expected_req: budget,
             soft_fires: 0,
+            sampler_fires: 0,
+            sampler_skipped: 0,
+            extra_timer_ticks: 0,
             last_soft_fire: None,
             soft_fire_gaps: Summary::new(),
             fired: Vec::new(),
@@ -354,7 +384,7 @@ impl SatWorld {
         // The check itself costs a clock read + compare.
         self.insert_cost(self.config.machine.soft_check, CpuCategory::SoftTimer, ctx);
         for ev in &fired {
-            self.run_soft_handler(now, ev.payload, ctx);
+            self.run_soft_handler(now, ev, ctx);
         }
         self.fired = fired;
     }
@@ -365,7 +395,7 @@ impl SatWorld {
         fired.clear();
         self.soft.backup_tick(now, &mut fired);
         for ev in &fired {
-            self.run_soft_handler(now, ev.payload, ctx);
+            self.run_soft_handler(now, ev, ctx);
         }
         self.fired = fired;
     }
@@ -378,9 +408,9 @@ impl SatWorld {
         self.last_soft_fire = Some(now);
     }
 
-    fn run_soft_handler(&mut self, now: SimTime, ev: SoftEv, ctx: &mut Ctx<'_, Ev>) {
+    fn run_soft_handler(&mut self, now: SimTime, ev: &Expired<SoftEv>, ctx: &mut Ctx<'_, Ev>) {
         self.note_soft_fire(now);
-        match ev {
+        match ev.payload {
             SoftEv::Null => {
                 self.insert_cost(
                     self.config.machine.soft_dispatch,
@@ -415,6 +445,22 @@ impl SatWorld {
                 self.insert_cost(cost, CpuCategory::Polling, ctx);
                 if let Some(interval) = self.policy.next_poll_interval(found as u64) {
                     self.soft.schedule(now, interval.max(1), SoftEv::PollNic);
+                }
+            }
+            SoftEv::Sample => {
+                self.sampler_fires += 1;
+                self.insert_cost(self.config.machine.prof_sample, CpuCategory::SoftTimer, ctx);
+                if let Some(load) = self.config.soft_sampler {
+                    // Grid-aligned rearm: the next due tick stays on the
+                    // original `period` grid regardless of how late this
+                    // fire was, so the effective rate does not drift down
+                    // under load. The facility fires at schedule + T + 1,
+                    // hence the -1.
+                    let period = (1_000_000 / load.freq_hz.max(1)).max(1);
+                    let lag = ev.fired_at.saturating_sub(ev.due);
+                    self.sampler_skipped += lag / period;
+                    let delta = (period - 1).saturating_sub(lag % period);
+                    self.soft.schedule(now, delta, SoftEv::Sample);
                 }
             }
         }
@@ -554,6 +600,7 @@ impl World for SatWorld {
                     return;
                 }
                 let load = self.config.extra_timer.expect("event implies config");
+                self.extra_timer_ticks += 1;
                 self.hardware_interrupt(
                     now,
                     self.config.machine.hw_interrupt,
@@ -672,6 +719,10 @@ impl SaturationSim {
                 let first = w.policy.next_poll_interval(0).expect("polling policy");
                 w.soft.schedule(now, first, SoftEv::PollNic);
             }
+            if let Some(load) = w.config.soft_sampler {
+                let period = (1_000_000 / load.freq_hz.max(1)).max(1);
+                w.soft.schedule(now, period - 1, SoftEv::Sample);
+            }
         }
         engine.schedule_at(SimTime::ZERO, Ev::Boot);
         engine.schedule_at(SimTime::from_millis(1), Ev::BackupTimer);
@@ -698,6 +749,9 @@ impl SaturationSim {
             trigger_mean_us: recorder.all.mean(),
             trigger_median_us: recorder.median_us(),
             soft_fires: world.soft_fires,
+            sampler_fires: world.sampler_fires,
+            sampler_skipped: world.sampler_skipped,
+            extra_timer_ticks: world.extra_timer_ticks,
             soft_fire_interval_us: world.soft_fire_gaps.mean(),
             avg_found_per_poll: world.policy.average_found(),
             raw_triggers: recorder.raw().map(|r| r.to_vec()),
@@ -872,6 +926,37 @@ mod tests {
         let r = SaturationSim::run(cfg);
         let found = r.avg_found_per_poll.unwrap();
         assert!(found > 2.0, "avg found {found}");
+    }
+
+    #[test]
+    fn soft_sampler_tracks_target_rate_and_stays_cheap() {
+        let base = SaturationSim::run(apache_cfg(10));
+        let mut cfg = apache_cfg(10);
+        cfg.soft_sampler = Some(SamplerLoad { freq_hz: 20_000 });
+        let sampled = SaturationSim::run(cfg);
+        // Grid-aligned rearm conserves grid points: every period either
+        // yields a sample or is counted as skipped (fires can lag past
+        // grid points but the grid itself never drifts).
+        let expected = 20_000.0 * sampled.elapsed.as_secs_f64();
+        let covered = (sampled.sampler_fires + sampled.sampler_skipped) as f64;
+        let ratio = covered / expected;
+        assert!((0.99..=1.005).contains(&ratio), "grid ratio {ratio}");
+        // Most grid points land on a trigger state in time.
+        let hit = sampled.sampler_fires as f64 / expected;
+        assert!(hit > 0.75, "hit fraction {hit}");
+        // And sampling costs well under 1 % of throughput.
+        let overhead = 1.0 - sampled.throughput / base.throughput;
+        assert!(overhead < 0.01, "sampler overhead {overhead}");
+    }
+
+    #[test]
+    fn extra_timer_tick_count_matches_frequency() {
+        let mut cfg = apache_cfg(11);
+        cfg.extra_timer = Some(TimerLoad { freq_hz: 10_000 });
+        let r = SaturationSim::run(cfg);
+        let expected = 10_000.0 * r.elapsed.as_secs_f64();
+        let ratio = r.extra_timer_ticks as f64 / expected;
+        assert!((0.99..=1.01).contains(&ratio), "tick ratio {ratio}");
     }
 
     #[test]

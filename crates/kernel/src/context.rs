@@ -1,0 +1,269 @@
+//! Execution-context tracking: what the simulated machine is running,
+//! as a stack of labeled frames with exact per-stack time accounting.
+//!
+//! This is the ground-truth side of the statistical profiler (`st-prof`,
+//! DESIGN.md section 10). Simulations push a frame whenever the machine
+//! changes what it executes — an experiment phase, user-mode work, a
+//! kernel subsystem, an interrupt handler, the idle loop — and the stack
+//! accrues *exact* simulated time to each distinct folded stack (the
+//! `outer;inner;leaf` rendering used by flame-graph tools). A sampling
+//! profiler driven from soft-timer events reads [`ContextStack::folded`]
+//! at each sample; comparing its sample shares against
+//! [`ContextTruth`]'s exact shares is what validates the profiler.
+//!
+//! The stack is deliberately lightweight: frames are static labels, the
+//! folded rendering is cached so sampling is a borrow (no allocation),
+//! and accounting only touches a `BTreeMap` when the stack actually
+//! changes — not per sample, not per trigger.
+
+use std::collections::BTreeMap;
+
+use st_sim::SimTime;
+
+/// What kind of code a context frame represents.
+///
+/// Kinds mirror the CPU accounting categories ([`crate::cpu::CpuCategory`])
+/// plus [`ContextKind::Phase`] for experiment-level grouping frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ContextKind {
+    /// An experiment phase (outermost grouping frame).
+    Phase,
+    /// User-mode application code.
+    User,
+    /// Kernel code on behalf of the application (syscalls, TCP/IP).
+    Kernel,
+    /// A hardware interrupt handler.
+    Interrupt,
+    /// Soft-timer checks and event handlers.
+    SoftTimer,
+    /// The idle loop.
+    Idle,
+}
+
+impl ContextKind {
+    /// Every kind, in presentation order.
+    pub const ALL: [ContextKind; 6] = [
+        ContextKind::Phase,
+        ContextKind::User,
+        ContextKind::Kernel,
+        ContextKind::Interrupt,
+        ContextKind::SoftTimer,
+        ContextKind::Idle,
+    ];
+
+    /// Short lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContextKind::Phase => "phase",
+            ContextKind::User => "user",
+            ContextKind::Kernel => "kernel",
+            ContextKind::Interrupt => "interrupt",
+            ContextKind::SoftTimer => "softtimer",
+            ContextKind::Idle => "idle",
+        }
+    }
+}
+
+/// One frame of the context stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextFrame {
+    /// The frame's kind.
+    pub kind: ContextKind,
+    /// The frame's label, as it appears in folded stacks.
+    pub label: &'static str,
+}
+
+/// Exact time-per-folded-stack accounting — the profiler's ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct ContextTruth {
+    /// Nanoseconds accrued per folded stack.
+    pub ns: BTreeMap<String, u64>,
+    /// Total attributed nanoseconds (sum of `ns` values).
+    pub total_ns: u64,
+}
+
+impl ContextTruth {
+    /// Exact share of attributed time spent in `folded`, in `[0, 1]`.
+    pub fn share(&self, folded: &str) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.ns.get(folded).copied().unwrap_or(0) as f64 / self.total_ns as f64
+        }
+    }
+
+    /// `(folded, share)` pairs in lexicographic folded order.
+    pub fn shares(&self) -> Vec<(String, f64)> {
+        self.ns.keys().map(|k| (k.clone(), self.share(k))).collect()
+    }
+}
+
+/// A stack of execution-context frames with exact time accounting.
+///
+/// Time accrues to the folded stack that is active between two stack
+/// mutations; time while the stack is *empty* is unattributed (keep a
+/// base [`ContextKind::Phase`] frame pushed for gap-free accounting).
+#[derive(Debug)]
+pub struct ContextStack {
+    frames: Vec<ContextFrame>,
+    /// Cached `a;b;c` rendering of `frames` (empty when no frames).
+    folded: String,
+    /// When the current folded stack became active.
+    since: SimTime,
+    truth: ContextTruth,
+}
+
+impl ContextStack {
+    /// Creates an empty stack; accounting starts at `start`.
+    pub fn new(start: SimTime) -> Self {
+        ContextStack {
+            frames: Vec::new(),
+            folded: String::new(),
+            since: start,
+            truth: ContextTruth::default(),
+        }
+    }
+
+    /// The current folded stack (`outer;inner;leaf`), or `""` when empty.
+    ///
+    /// This is the profiler's sampling hook: a borrow of a cached string,
+    /// no allocation, no map lookup.
+    pub fn folded(&self) -> &str {
+        &self.folded
+    }
+
+    /// The innermost frame, if any.
+    pub fn leaf(&self) -> Option<ContextFrame> {
+        self.frames.last().copied()
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Accrues elapsed time to the active folded stack.
+    fn accrue(&mut self, now: SimTime) {
+        if !self.frames.is_empty() {
+            let ns = now.since(self.since).as_nanos();
+            if ns > 0 {
+                *self.truth.ns.entry(self.folded.clone()).or_insert(0) += ns;
+                self.truth.total_ns += ns;
+            }
+        }
+        self.since = now;
+    }
+
+    /// Pushes a frame at `now`; time before the push accrues to the
+    /// previous stack.
+    pub fn enter(&mut self, now: SimTime, kind: ContextKind, label: &'static str) {
+        self.accrue(now);
+        self.frames.push(ContextFrame { kind, label });
+        if !self.folded.is_empty() {
+            self.folded.push(';');
+        }
+        self.folded.push_str(label);
+    }
+
+    /// Pops the innermost frame at `now`, returning it (or `None` when
+    /// the stack was already empty).
+    pub fn exit(&mut self, now: SimTime) -> Option<ContextFrame> {
+        self.accrue(now);
+        let popped = self.frames.pop();
+        if popped.is_some() {
+            self.folded.truncate(self.folded.rfind(';').unwrap_or(0));
+        }
+        popped
+    }
+
+    /// Replaces the innermost frame in one step (the common "context
+    /// switch at the same depth" case), at `now`.
+    pub fn switch(&mut self, now: SimTime, kind: ContextKind, label: &'static str) {
+        self.exit(now);
+        self.enter(now, kind, label);
+    }
+
+    /// Closes accounting at `now` and returns the exact ground truth.
+    ///
+    /// The stack remains usable; calling `finish` again later extends the
+    /// accounting (the returned truth is a snapshot by clone).
+    pub fn finish(&mut self, now: SimTime) -> ContextTruth {
+        self.accrue(now);
+        self.truth.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn exact_accounting_by_folded_stack() {
+        let mut cs = ContextStack::new(us(0));
+        cs.enter(us(0), ContextKind::Phase, "steady");
+        cs.enter(us(0), ContextKind::User, "user");
+        cs.enter(us(30), ContextKind::Kernel, "kernel");
+        cs.exit(us(50)); // back to steady;user
+        cs.exit(us(70)); // back to steady
+        let truth = cs.finish(us(100));
+        assert_eq!(truth.ns.get("steady;user").copied(), Some(50_000));
+        assert_eq!(truth.ns.get("steady;user;kernel").copied(), Some(20_000));
+        assert_eq!(truth.ns.get("steady").copied(), Some(30_000));
+        assert_eq!(truth.total_ns, 100_000);
+        assert!((truth.share("steady;user") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn folded_cache_matches_frames() {
+        let mut cs = ContextStack::new(us(0));
+        assert_eq!(cs.folded(), "");
+        cs.enter(us(0), ContextKind::Phase, "p");
+        cs.enter(us(1), ContextKind::User, "u");
+        assert_eq!(cs.folded(), "p;u");
+        cs.switch(us(2), ContextKind::Idle, "idle");
+        assert_eq!(cs.folded(), "p;idle");
+        assert_eq!(cs.leaf().map(|f| f.kind), Some(ContextKind::Idle));
+        cs.exit(us(3));
+        assert_eq!(cs.folded(), "p");
+        cs.exit(us(4));
+        assert_eq!(cs.folded(), "");
+        assert_eq!(cs.exit(us(5)), None);
+        assert_eq!(cs.depth(), 0);
+    }
+
+    #[test]
+    fn empty_stack_time_is_unattributed() {
+        let mut cs = ContextStack::new(us(0));
+        // 10 us with nothing pushed.
+        cs.enter(us(10), ContextKind::Phase, "p");
+        let truth = cs.finish(us(20));
+        assert_eq!(truth.total_ns, 10_000);
+        assert_eq!(truth.ns.len(), 1);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut cs = ContextStack::new(us(0));
+        cs.enter(us(0), ContextKind::Phase, "a");
+        cs.switch(us(13), ContextKind::Phase, "b");
+        cs.switch(us(40), ContextKind::Phase, "c");
+        let truth = cs.finish(us(100));
+        let sum: f64 = truth.shares().iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((truth.share("a") - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_is_a_resumable_snapshot() {
+        let mut cs = ContextStack::new(us(0));
+        cs.enter(us(0), ContextKind::User, "u");
+        let t1 = cs.finish(us(10));
+        let t2 = cs.finish(us(30));
+        assert_eq!(t1.total_ns, 10_000);
+        assert_eq!(t2.total_ns, 30_000);
+    }
+}

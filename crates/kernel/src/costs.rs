@@ -44,6 +44,14 @@ pub struct CostModel {
     /// difference" in server throughput at one event per 31.5 µs, which
     /// bounds this below ~0.3 µs).
     pub soft_dispatch: SimDuration,
+    /// Cost of one *profiling sample* taken from a trigger state: read
+    /// the interrupted context (already in registers at a trigger state),
+    /// bump one counter bucket, rearm. Derived, not directly measured:
+    /// the paper's §5.2 bound caps full event dispatch below ~0.3 µs, and
+    /// a sample handler does strictly less work than a general handler
+    /// (no payload, no cache-cold callback), so it sits between
+    /// `soft_check` and `soft_dispatch`.
+    pub prof_sample: SimDuration,
     /// A process context switch (save/restore + locality shift).
     pub context_switch: SimDuration,
     /// Kernel entry/exit for a system call (trap in, trap out).
@@ -81,6 +89,7 @@ impl CostModel {
             hw_handler_pollution: SimDuration::from_nanos(1_200),
             soft_check: SimDuration::from_nanos(20),
             soft_dispatch: SimDuration::from_nanos(250),
+            prof_sample: SimDuration::from_nanos(80),
             context_switch: SimDuration::from_nanos(6_000),
             syscall_entry_exit: SimDuration::from_nanos(2_000),
             nic_interrupt: SimDuration::from_nanos(7_000),
@@ -116,6 +125,7 @@ impl CostModel {
             hw_handler_pollution: SimDuration::from_nanos(1_100),
             soft_check: SimDuration::from_nanos(12),
             soft_dispatch: SimDuration::from_nanos(150),
+            prof_sample: SimDuration::from_nanos(50),
             context_switch: SimDuration::from_nanos(3_600),
             syscall_entry_exit: SimDuration::from_nanos(1_200),
             nic_interrupt: SimDuration::from_nanos(5_500),
@@ -135,6 +145,7 @@ impl CostModel {
             hw_handler_pollution: SimDuration::from_nanos(2_000),
             soft_check: SimDuration::from_nanos(12),
             soft_dispatch: SimDuration::from_nanos(180),
+            prof_sample: SimDuration::from_nanos(60),
             context_switch: SimDuration::from_nanos(4_000),
             syscall_entry_exit: SimDuration::from_nanos(1_400),
             nic_interrupt: SimDuration::from_nanos(6_000),
@@ -211,6 +222,22 @@ mod tests {
         let m = CostModel::pentium_ii_300();
         assert!(m.hw_interrupt.as_nanos() > 100 * m.soft_check.as_nanos());
         assert!(m.hw_interrupt.as_nanos() > 10 * m.soft_dispatch.as_nanos());
+    }
+
+    #[test]
+    fn prof_sample_sits_between_check_and_dispatch() {
+        for m in [
+            CostModel::pentium_ii_300(),
+            CostModel::pentium_ii_333(),
+            CostModel::pentium_iii_500(),
+            CostModel::alpha_21164_500(),
+        ] {
+            assert!(m.prof_sample.as_nanos() > m.soft_check.as_nanos());
+            assert!(m.prof_sample.as_nanos() < m.soft_dispatch.as_nanos());
+            // The acceptance contrast requires soft sampling to stay below
+            // 1 % of the CPU at 100 kHz: 100k * prof_sample < 0.01 s.
+            assert!(100_000 * m.prof_sample.as_nanos() < 10_000_000);
+        }
     }
 
     #[test]

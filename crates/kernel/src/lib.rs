@@ -23,10 +23,14 @@
 //! - [`machine`] — a mechanistic single-CPU machine (scheduler +
 //!   interrupts + trigger recorder) deriving the §5.3/§5.4 claims from
 //!   first principles.
+//! - [`context`] — the execution-context stack with exact per-stack time
+//!   accounting: the ground truth the `st-prof` statistical profiler is
+//!   validated against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod costs;
 pub mod cpu;
 pub mod hwtimer;
@@ -36,6 +40,7 @@ pub mod sched;
 pub mod softclock;
 pub mod trigger;
 
+pub use context::{ContextFrame, ContextKind, ContextStack, ContextTruth};
 pub use costs::{CostModel, MachineKind};
 pub use cpu::{CpuAccountant, CpuCategory};
 pub use hwtimer::HardwareTimer;

@@ -103,6 +103,10 @@ pub struct TriggerRecorder {
     pub hist: Histogram,
     /// Per-source trigger counts.
     counts: [u64; 7],
+    /// Triggers counted independently of the per-source split, so
+    /// [`TriggerRecorder::total`] can cross-check the parts in debug
+    /// builds.
+    total: u64,
     /// Per-source interval summaries.
     per_source: [Summary; 7],
     /// Raw tagged sequence, if enabled.
@@ -121,6 +125,7 @@ impl TriggerRecorder {
             all: Summary::new(),
             hist: Histogram::new(1.0, 1_001),
             counts: [0; 7],
+            total: 0,
             per_source: Default::default(),
             raw: if keep_raw { Some(Vec::new()) } else { None },
             max_us: 0.0,
@@ -153,6 +158,7 @@ impl TriggerRecorder {
             );
         }
         self.counts[source.index()] += 1;
+        self.total += 1;
         self.last = Some(now);
         if let Some(raw) = &mut self.raw {
             raw.push((now, source));
@@ -165,8 +171,18 @@ impl TriggerRecorder {
     }
 
     /// Total triggers recorded.
+    ///
+    /// In debug builds this checks the independently maintained total
+    /// against the sum of the per-source counts, so a new
+    /// [`TriggerSource`] that misses its slot in the split cannot leak
+    /// out of the accounting silently.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        debug_assert_eq!(
+            self.total,
+            self.counts.iter().sum::<u64>(),
+            "per-source trigger counts disagree with the total"
+        );
+        self.total
     }
 
     /// Fraction of all triggers contributed by `source` (Table 2).
@@ -263,6 +279,20 @@ mod tests {
         assert_eq!(r.source_summary(TriggerSource::IpOutput).mean(), 10.0);
         assert_eq!(r.source_summary(TriggerSource::Syscall).mean(), 30.0);
         assert_eq!(r.max_interval_us(), 30.0);
+    }
+
+    #[test]
+    fn total_matches_sum_of_per_source_counts() {
+        let mut r = TriggerRecorder::new(false);
+        for i in 0..50u64 {
+            let src = TriggerSource::ALL[(i % TriggerSource::ALL.len() as u64) as usize];
+            r.record(us(i * 7), src);
+        }
+        // total() itself debug-asserts the invariant; recompute it here
+        // so release builds exercise the check too.
+        let parts: u64 = TriggerSource::ALL.iter().map(|&s| r.count(s)).sum();
+        assert_eq!(r.total(), parts);
+        assert_eq!(r.total(), 50);
     }
 
     #[test]

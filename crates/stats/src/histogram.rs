@@ -315,6 +315,78 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new(1.0, 10);
+        for v in [2.5, 3.5, 7.5] {
+            a.record(v);
+        }
+        let before_median = a.median();
+        let empty = Histogram::new(1.0, 10);
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.median(), before_median);
+
+        let mut e = Histogram::new(1.0, 10);
+        e.merge(&a);
+        assert_eq!(e.count(), 3);
+        assert_eq!(e.median(), before_median);
+    }
+
+    #[test]
+    fn empty_histogram_queries_are_well_defined() {
+        let h = Histogram::new(1.0, 10);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.median(), None);
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.fraction_above(0.0), 0.0);
+        assert!(h.cdf_points().is_empty());
+    }
+
+    #[test]
+    fn single_bucket_histogram_clamps_quantiles_to_range() {
+        // Everything non-negative lands in one bucket or the overflow;
+        // every quantile must stay within [0, width].
+        let mut h = Histogram::new(5.0, 1);
+        for v in [0.0, 1.0, 4.9] {
+            h.record(v);
+        }
+        h.record(1_000.0); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.overflow(), 1);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let x = h.quantile(q).expect("non-empty");
+            assert!(
+                (0.0..=5.0).contains(&x),
+                "quantile({q}) = {x} escaped the single bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_high_percentiles_find_the_tail_bucket() {
+        // 999 fast observations and one slow outlier: p99 stays in the
+        // fast bucket, p999+ finds the outlier's bucket, and merging two
+        // such histograms leaves the percentiles unchanged.
+        let mut h = Histogram::new(1.0, 2_000);
+        for _ in 0..999 {
+            h.record(3.5);
+        }
+        h.record(1_500.5);
+        let p99 = h.quantile(0.99).expect("non-empty");
+        assert!((3.0..4.0).contains(&p99), "p99 = {p99}");
+        let p9995 = h.quantile(0.9995).expect("non-empty");
+        assert!((1_500.0..1_501.0).contains(&p9995), "p99.95 = {p9995}");
+
+        let mut merged = h.clone();
+        merged.merge(&h);
+        assert_eq!(merged.count(), 2 * h.count());
+        assert_eq!(merged.quantile(0.99), h.quantile(0.99));
+        assert_eq!(merged.quantile(0.9995), h.quantile(0.9995));
+        // The tail fraction is a count ratio, invariant under merge.
+        assert_eq!(merged.fraction_above(100.0), h.fraction_above(100.0));
+    }
+
+    #[test]
     fn log_histogram_buckets() {
         let mut h = LogHistogram::new();
         h.record(0);

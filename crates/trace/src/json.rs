@@ -1,11 +1,13 @@
-//! Minimal JSON writing and validation.
+//! Minimal JSON writing, validation, and parsing.
 //!
 //! The workspace is hermetic (no registry dependencies), so exports are
 //! built with a small hand-rolled writer and checked with an equally
 //! small recursive-descent validator.  The validator exists so tests,
 //! the `trace_overhead` experiment, and the `repro` CLI can prove that
 //! every export round-trips as syntactically valid JSON without
-//! shelling out to an external parser.
+//! shelling out to an external parser.  [`parse`] builds a [`Value`]
+//! tree for consumers that need to *read* exports back — the perf gate
+//! compares two `BENCH_*.json` files through it.
 
 /// Escapes a string for embedding inside a JSON string literal
 /// (without the surrounding quotes).
@@ -249,6 +251,189 @@ fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
     }
 }
 
+/// A parsed JSON value.
+///
+/// Objects keep their fields in document order as a `Vec` of pairs —
+/// deterministic, duplicate-preserving, and free of hash-order
+/// dependence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON numbers all fit f64 for our exports).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses exactly one JSON value from `s`.
+///
+/// Accepts the same grammar [`validate`] accepts; returns the first
+/// syntax error otherwise.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let pos = skip_ws(b, 0);
+    let (v, pos) = parse_value(b, pos)?;
+    let pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(b: &[u8], pos: usize) -> Result<(Value, usize), String> {
+    match b.get(pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => {
+            let (s, p) = parse_string(b, pos)?;
+            Ok((Value::Str(s), p))
+        }
+        Some(b't') => Ok((Value::Bool(true), literal(b, pos, "true")?)),
+        Some(b'f') => Ok((Value::Bool(false), literal(b, pos, "false")?)),
+        Some(b'n') => Ok((Value::Null, literal(b, pos, "null")?)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let end = num(b, pos)?;
+            let text = std::str::from_utf8(&b[pos..end])
+                .map_err(|_| format!("non-utf8 number at byte {pos}"))?;
+            let n: f64 = text
+                .parse()
+                .map_err(|_| format!("unparseable number at byte {pos}"))?;
+            Ok((Value::Num(n), end))
+        }
+        Some(c) => Err(format!("unexpected byte {:?} at {pos}", *c as char)),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: usize) -> Result<(String, usize), String> {
+    let end = string(b, pos)?;
+    // The span is validated; decode escapes between the quotes.
+    let body = std::str::from_utf8(&b[pos + 1..end - 1])
+        .map_err(|_| format!("non-utf8 string at byte {pos}"))?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape in string at byte {pos}"))?;
+                // Lone surrogates (and pairs, which our writer never
+                // emits) decode to the replacement character.
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            _ => return Err(format!("bad escape in string at byte {pos}")),
+        }
+    }
+    Ok((out, end))
+}
+
+fn parse_object(b: &[u8], mut pos: usize) -> Result<(Value, usize), String> {
+    pos = skip_ws(b, pos + 1);
+    let mut fields = Vec::new();
+    if b.get(pos) == Some(&b'}') {
+        return Ok((Value::Obj(fields), pos + 1));
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let (key, p) = parse_string(b, pos)?;
+        pos = skip_ws(b, p);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        let (v, p) = parse_value(b, pos)?;
+        fields.push((key, v));
+        pos = skip_ws(b, p);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok((Value::Obj(fields), pos + 1)),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], mut pos: usize) -> Result<(Value, usize), String> {
+    pos = skip_ws(b, pos + 1);
+    let mut items = Vec::new();
+    if b.get(pos) == Some(&b']') {
+        return Ok((Value::Arr(items), pos + 1));
+    }
+    loop {
+        let (v, p) = parse_value(b, pos)?;
+        items.push(v);
+        pos = skip_ws(b, p);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok((Value::Arr(items), pos + 1)),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +499,71 @@ mod tests {
         ] {
             assert!(validate(s).is_err(), "{s} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_round_trips_builder_output() {
+        let body = ObjectBuilder::new()
+            .str("name", "a \"quoted\"\nlabel")
+            .u64("count", 42)
+            .f64("share", 0.125)
+            .raw("rows", "[1,2.5,-3,true,false,null]")
+            .build();
+        let v = parse(&body).expect("builder output parses");
+        assert_eq!(
+            v.get("name").and_then(Value::as_str),
+            Some("a \"quoted\"\nlabel")
+        );
+        assert_eq!(v.get("count").and_then(Value::as_f64), Some(42.0));
+        assert_eq!(v.get("share").and_then(Value::as_f64), Some(0.125));
+        let rows = v.get("rows").and_then(Value::as_arr).expect("rows array");
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0], Value::Num(1.0));
+        assert_eq!(rows[1], Value::Num(2.5));
+        assert_eq!(rows[2], Value::Num(-3.0));
+        assert_eq!(rows[3], Value::Bool(true));
+        assert_eq!(rows[4], Value::Bool(false));
+        assert_eq!(rows[5], Value::Null);
+    }
+
+    #[test]
+    fn parse_preserves_object_field_order() {
+        let v = parse(r#"{"z":1,"a":2,"z":3}"#).expect("parses");
+        let fields = v.as_obj().expect("object");
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "z"]);
+        // get() returns the first match on duplicates.
+        assert_eq!(v.get("z").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn parse_decodes_unicode_escapes() {
+        let v = parse(r#""\u00e9\tA""#).expect("parses");
+        assert_eq!(v.as_str(), Some("\u{e9}\tA"));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "{} {}",
+            "\"bad\\q\"",
+            "1 2",
+        ] {
+            assert!(parse(s).is_err(), "{s} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn non_object_accessors_return_none() {
+        let v = parse("[1]").expect("parses");
+        assert!(v.get("x").is_none());
+        assert!(v.as_str().is_none());
+        assert!(v.as_obj().is_none());
+        assert_eq!(v.as_arr().map(|a| a.len()), Some(1));
     }
 }

@@ -39,4 +39,11 @@ done
 [ "$(wc -l < "$SMOKE_DIR/metrics.json")" -eq 2 ] \
     || { echo "smoke: expected one JSON line per experiment" >&2; exit 1; }
 
+echo "== bench suite (smoke) + perf gate =="
+# Measures the hot-path suite at smoke precision, then gates it against
+# the newest committed BENCH_*.json (a no-op until one is committed).
+cargo run --release --offline -p st-bench --bin bench-suite -- \
+    --smoke --out "$SMOKE_DIR/bench.json" >/dev/null
+scripts/perf_gate.sh "$SMOKE_DIR/bench.json"
+
 echo "ci: all green"

@@ -28,6 +28,8 @@
 //! - [`workloads`] (`st-workloads`) — the six trigger-state workloads of
 //!   Table 1.
 //! - [`stats`] (`st-stats`) — statistics support.
+//! - [`prof`] (`st-prof`) — the soft-timer statistical profiler (folded
+//!   stacks, ground-truth comparison).
 //! - [`experiments`] (`st-experiments`) — regeneration of every table and
 //!   figure in the paper's evaluation (`cargo run -p st-experiments --bin
 //!   repro -- all`).
@@ -62,6 +64,7 @@ pub use st_experiments as experiments;
 pub use st_http as http;
 pub use st_kernel as kernel;
 pub use st_net as net;
+pub use st_prof as prof;
 pub use st_sim as sim;
 pub use st_stats as stats;
 pub use st_tcp as tcp;
