@@ -228,6 +228,53 @@ pub fn run_suite(smoke: bool) -> Vec<BenchStat> {
         }),
     ));
 
+    // TCP loss-recovery cycle: what one lost segment costs the
+    // endpoints — the receiver buffers the out-of-order tail in its
+    // reassembly map and emits duplicate ACKs, the sender counts them
+    // into fast retransmit, requeues the hole, and the cumulative ACK
+    // that follows deflates recovery. This is the retransmit-queue hot
+    // path the congestion experiment leans on.
+    out.push(stat(
+        "tcp.retransmit_queue",
+        measure(n, |b| {
+            use st_net::packet::ConnId;
+            use st_tcp::{AckPolicy, SenderConfig, TcpReceiver, TcpSender};
+            let mut sender = TcpSender::new(SenderConfig::freebsd_defaults(), ConnId(1), u64::MAX);
+            let mut receiver = TcpReceiver::new(AckPolicy::DelayedEvery2);
+            let mut now = SimTime::ZERO;
+            let mut id = 0u64;
+            let mut segs = Vec::with_capacity(64);
+            b.iter(|| {
+                // Pump the window, then lose the first frame: the rest
+                // land out of order and draw duplicate ACKs.
+                segs.clear();
+                while segs.len() < 64 {
+                    id += 1;
+                    match sender.next_segment(id) {
+                        Some(p) => segs.push(p),
+                        None => break,
+                    }
+                }
+                now += SimDuration::from_micros(100);
+                for p in segs.iter().skip(1) {
+                    receiver.on_data(now, p.tcp.seq, p.payload_bytes);
+                }
+                // Dup ACKs until fast retransmit fires, then deliver the
+                // retransmitted hole and the cumulative ACK it unlocks.
+                let una = sender.snd_una();
+                for _ in 0..3 {
+                    if let Some(seq) = sender.on_ack(una).retransmit {
+                        id += 1;
+                        let p = sender.retransmit_segment(id, seq);
+                        receiver.on_data(now, p.tcp.seq, p.payload_bytes);
+                    }
+                }
+                sender.on_ack(receiver.rcv_nxt());
+                sender.retransmits()
+            });
+        }),
+    ));
+
     // st-prof sample: record a borrowed folded stack plus grid rearm —
     // must stay cheap enough to run from trigger states.
     out.push(stat(
@@ -361,7 +408,7 @@ mod tests {
     #[test]
     fn smoke_suite_runs_and_serializes_validly() {
         let stats = run_suite(true);
-        assert!(stats.len() >= 8, "suite shrank to {} entries", stats.len());
+        assert!(stats.len() >= 9, "suite shrank to {} entries", stats.len());
         let names: Vec<&str> = stats.iter().map(|s| s.name).collect();
         for expect in [
             "wheel.hashed.schedule_fire_cancel",
@@ -369,6 +416,7 @@ mod tests {
             "kernel.trigger_check",
             "trace.sealed_noop_emit",
             "tcp.pacer_release",
+            "tcp.retransmit_queue",
             "prof.sample_record",
         ] {
             assert!(names.contains(&expect), "missing suite entry {expect}");

@@ -1,7 +1,11 @@
 //! The soft-timer facility core: schedule, trigger-state check, backup
 //! sweep, and delay accounting.
 
-use st_wheel::{HashedWheel, TimerHandle, TimerQueue};
+use st_wheel::{HashedWheel, TimerQueue};
+
+// `schedule` returns one and `cancel` consumes one, so callers holding a
+// pending timer across calls need the type without depending on st-wheel.
+pub use st_wheel::TimerHandle;
 
 use crate::stats::FacilityStats;
 

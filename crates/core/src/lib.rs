@@ -67,7 +67,7 @@ pub mod stats;
 
 pub use api::SoftTimers;
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use facility::{Config, Expired, FireOrigin, SoftTimerCore};
+pub use facility::{Config, Expired, FireOrigin, SoftTimerCore, TimerHandle};
 pub use pacer::{Pacer, PacerConfig};
 pub use poller::{PollController, PollControllerConfig};
 pub use smp::{IdleDirective, SmpFacility};

@@ -18,9 +18,9 @@
 #![forbid(unsafe_code)]
 
 use st_experiments::{
-    ack_compression, appendix_a, fault_matrix, fig2_fig3, fig4_table1, fig5, fig6_table2, latency,
-    livelock, profiler, profiler_overhead, scaling, sec52, table3, table45, table67, table8,
-    trace_overhead, Scale, CATALOG,
+    ack_compression, appendix_a, congestion, fault_matrix, fig2_fig3, fig4_table1, fig5,
+    fig6_table2, latency, livelock, profiler, profiler_overhead, scaling, sec52, table3, table45,
+    table67, table8, trace_overhead, Scale, CATALOG,
 };
 use st_trace::json::ObjectBuilder;
 use st_trace::{json, TraceConfig, TraceSession};
@@ -227,6 +227,10 @@ fn main() {
     if want(&["ack_compression", "ackcompression"]) {
         let r = ack_compression::run(scale, seed);
         emit("ack_compression", r.render(), r.key_metrics());
+    }
+    if want(&["congestion", "loss"]) {
+        let r = congestion::run(scale, seed);
+        emit("congestion", r.render(), r.key_metrics());
     }
     if want(&["fault_matrix", "faultmatrix"]) {
         // The hostile-callback rows inject panics that the harness

@@ -1,0 +1,274 @@
+//! Congestion & loss recovery (robustness extension): the WAN transfer
+//! of §5.8 pushed off the paper's lossless testbed.
+//!
+//! Two adverse paths, each run with regular self-clocked TCP and with
+//! rate-based clocking:
+//!
+//! - **small-buffer bottleneck** — a finite drop-tail queue at the WAN
+//!   router (a handful of full frames of waiting room). Slow start's
+//!   window-per-RTT bursts overrun it and pay drop-tail losses; the
+//!   paced sender offers the same bytes at the bottleneck rate and keeps
+//!   the queue short. This is the burst cost §3.1 and Appendix A argue
+//!   rate-based clocking exists to avoid — here it shows up as *lost
+//!   packets and retransmissions*, not just queueing delay.
+//! - **faulty wire** — probabilistic loss, reordering, and duplication
+//!   on both directions of the path ([`WireFaults::mild`]). Every
+//!   transfer must still complete, through fast retransmit where
+//!   duplicate ACKs allow and through the RFC 6298 retransmission timer
+//!   (run as a soft-timer event) where they don't, with the RTO backoff
+//!   exponent staying within its bound.
+//!
+//! Completion itself is part of the result: `TransferSim::run` panics
+//! if the event loop drains before the last byte arrives, so every row
+//! in the report is a transfer that finished.
+
+use st_tcp::transfer::{TransferConfig, TransferOutcome, TransferSim};
+use st_tcp::{WireFaults, MAX_BACKOFF};
+
+use crate::Scale;
+
+/// Drop-tail waiting room at the bottleneck: 8 full-size frames.
+const BUFFER_BYTES: u64 = 8 * 1500;
+
+/// One (path, sender-mode) cell.
+#[derive(Debug)]
+pub struct ModeRow {
+    /// Sender mode label ("regular" or "rate-based").
+    pub mode: &'static str,
+    /// The transfer's outcome (the transfer completed, or this row
+    /// would not exist).
+    pub outcome: TransferOutcome,
+}
+
+/// The congestion report: both paths, both sender modes.
+#[derive(Debug)]
+pub struct Congestion {
+    /// Seed every transfer ran from.
+    pub seed: u64,
+    /// Segments per transfer.
+    pub segments: u64,
+    /// Small-buffer path: regular TCP.
+    pub buffer_reg: ModeRow,
+    /// Small-buffer path: rate-based clocking.
+    pub buffer_rbc: ModeRow,
+    /// Faulty-wire path: regular TCP.
+    pub wire_reg: ModeRow,
+    /// Faulty-wire path: rate-based clocking.
+    pub wire_rbc: ModeRow,
+}
+
+impl Congestion {
+    /// The headline claim: through the same small buffer, the paced
+    /// sender loses strictly fewer frames to drop-tail than slow start.
+    pub fn pacing_wins(&self) -> bool {
+        self.buffer_rbc.outcome.wan_drops < self.buffer_reg.outcome.wan_drops
+    }
+
+    /// Whether every transfer's worst RTO backoff stayed within the
+    /// recovery module's bound (no runaway exponential backoff).
+    pub fn backoff_bounded(&self) -> bool {
+        self.rows()
+            .iter()
+            .all(|r| r.outcome.max_rto_backoff <= MAX_BACKOFF)
+    }
+
+    fn rows(&self) -> [&ModeRow; 4] {
+        [
+            &self.buffer_reg,
+            &self.buffer_rbc,
+            &self.wire_reg,
+            &self.wire_rbc,
+        ]
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Congestion & loss recovery (robustness extension; seed {}, {} segments) ==\n",
+            self.seed, self.segments
+        ));
+        out.push_str(&format!(
+            "-- drop-tail bottleneck buffer = {BUFFER_BYTES} B --\n"
+        ));
+        let header = format!(
+            "{:<12} {:>8} {:>9} {:>7} {:>7} {:>8} {:>8} {:>9} {:>9}\n",
+            "mode", "drops", "wiredrop", "rexmit", "fast", "rto", "backoff", "srtt_ms", "resp_ms"
+        );
+        out.push_str(&header);
+        for r in [&self.buffer_reg, &self.buffer_rbc] {
+            out.push_str(&render_row(r));
+        }
+        out.push_str(&format!(
+            "paced sender loses fewer frames: {} ({} vs {})\n",
+            self.pacing_wins(),
+            self.buffer_rbc.outcome.wan_drops,
+            self.buffer_reg.outcome.wan_drops
+        ));
+        out.push_str("-- faulty wire (1% loss, 0.5% dup, 1% reorder, both directions) --\n");
+        out.push_str(&header);
+        for r in [&self.wire_reg, &self.wire_rbc] {
+            out.push_str(&render_row(r));
+        }
+        out.push_str(&format!(
+            "all transfers completed; RTO backoff bounded (<= {}): {}\n",
+            MAX_BACKOFF,
+            self.backoff_bounded()
+        ));
+        out
+    }
+
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m = vec![
+            ("pacing_wins".to_string(), self.pacing_wins() as u64 as f64),
+            (
+                "backoff_bounded".to_string(),
+                self.backoff_bounded() as u64 as f64,
+            ),
+        ];
+        for (path, row) in [
+            ("buffer_reg", &self.buffer_reg),
+            ("buffer_rbc", &self.buffer_rbc),
+            ("wire_reg", &self.wire_reg),
+            ("wire_rbc", &self.wire_rbc),
+        ] {
+            let o = &row.outcome;
+            m.push((format!("{path}_wan_drops"), o.wan_drops as f64));
+            m.push((format!("{path}_wire_drops"), o.wire_drops as f64));
+            m.push((format!("{path}_retransmits"), o.retransmits as f64));
+            m.push((
+                format!("{path}_fast_retransmits"),
+                o.fast_retransmits as f64,
+            ));
+            m.push((format!("{path}_timeouts"), o.timeouts as f64));
+            m.push((format!("{path}_max_rto_backoff"), o.max_rto_backoff as f64));
+            m.push((format!("{path}_srtt_us"), o.srtt_us as f64));
+            m.push((
+                format!("{path}_resp_ms"),
+                o.response_time.as_secs_f64() * 1e3,
+            ));
+            m.push((format!("{path}_fired_trigger"), o.fired_trigger as f64));
+            m.push((format!("{path}_fired_backup"), o.fired_backup as f64));
+        }
+        m
+    }
+}
+
+fn render_row(r: &ModeRow) -> String {
+    let o = &r.outcome;
+    format!(
+        "{:<12} {:>8} {:>9} {:>7} {:>7} {:>8} {:>8} {:>9.1} {:>9.0}\n",
+        r.mode,
+        o.wan_drops,
+        o.wire_drops,
+        o.retransmits,
+        o.fast_retransmits,
+        o.timeouts,
+        o.max_rto_backoff,
+        o.srtt_us as f64 / 1e3,
+        o.response_time.as_secs_f64() * 1e3,
+    )
+}
+
+fn transfer(segments: u64, rate_based: bool, seed: u64) -> TransferConfig {
+    let mut cfg = TransferConfig::table6(segments, rate_based);
+    cfg.seed = seed;
+    cfg
+}
+
+/// Runs the congestion experiment.
+pub fn run(scale: Scale, seed: u64) -> Congestion {
+    let segments = match scale {
+        Scale::Quick => 400,
+        Scale::Full => 2_000,
+    };
+    let mode = |rbc: bool| if rbc { "rate-based" } else { "regular" };
+    let buffered = |rbc: bool| ModeRow {
+        mode: mode(rbc),
+        outcome: TransferSim::run(transfer(segments, rbc, seed).with_buffer(BUFFER_BYTES)),
+    };
+    let lossy = |rbc: bool| ModeRow {
+        mode: mode(rbc),
+        outcome: TransferSim::run(
+            transfer(segments, rbc, seed).with_wire_faults(WireFaults::mild()),
+        ),
+    };
+    Congestion {
+        seed,
+        segments,
+        buffer_reg: buffered(false),
+        buffer_rbc: buffered(true),
+        wire_reg: lossy(false),
+        wire_rbc: lossy(true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacing_beats_slow_start_through_a_small_buffer() {
+        let c = run(Scale::Quick, 42);
+        assert!(
+            c.buffer_reg.outcome.wan_drops > 0,
+            "slow start must overrun an 8-frame buffer:\n{}",
+            c.render()
+        );
+        assert!(c.pacing_wins(), "\n{}", c.render());
+    }
+
+    #[test]
+    fn lossy_wire_transfers_complete_with_bounded_backoff() {
+        let c = run(Scale::Quick, 42);
+        assert!(c.backoff_bounded(), "\n{}", c.render());
+        for r in [&c.wire_reg, &c.wire_rbc] {
+            assert!(
+                r.outcome.wire_drops > 0,
+                "{}: a 1% wire should have lost something",
+                r.mode
+            );
+            assert!(
+                r.outcome.retransmits > 0,
+                "{}: losses imply retransmissions",
+                r.mode
+            );
+        }
+    }
+
+    #[test]
+    fn timers_run_through_the_soft_facility() {
+        let c = run(Scale::Quick, 7);
+        // Rate-based rows pace every segment through the facility, so
+        // they always fire; regular rows only fire when an RTO expires.
+        for r in [&c.buffer_rbc, &c.wire_rbc] {
+            assert!(
+                r.outcome.fired_trigger + r.outcome.fired_backup > 0,
+                "{}: no soft-timer events fired",
+                r.mode
+            );
+        }
+        for r in c.rows() {
+            assert!(
+                r.outcome.fired_trigger + r.outcome.fired_backup >= r.outcome.timeouts,
+                "{}: every timeout is a fired soft-timer event",
+                r.mode
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = run(Scale::Quick, 9);
+        let b = run(Scale::Quick, 9);
+        assert_eq!(a.render(), b.render());
+        let ka = a.key_metrics();
+        let kb = b.key_metrics();
+        assert_eq!(ka.len(), kb.len());
+        for ((na, va), (nb, vb)) in ka.iter().zip(kb.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "{na} diverged");
+        }
+    }
+}

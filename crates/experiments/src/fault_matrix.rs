@@ -9,9 +9,11 @@
 //!
 //! Bound semantics per row:
 //!
-//! - control / starvation / NIC rows assert the unrelaxed paper bound:
-//!   delay past the deadline never exceeds `X` (1000 ticks at the
-//!   default 1 MHz / 1 kHz);
+//! - control / starvation / NIC / wire rows assert the unrelaxed paper
+//!   bound: delay past the deadline never exceeds `X` (1000 ticks at
+//!   the default 1 MHz / 1 kHz) — losing, duplicating, or reordering
+//!   packets on the wire perturbs what the handlers *do*, never when
+//!   the facility runs them;
 //! - clock, backup-loss, callback, and everything rows assert the
 //!   relaxed bound (every event still fires at the first check the
 //!   faults allowed to happen, never early) — when the backup interrupt
@@ -93,13 +95,14 @@ pub fn run(scale: Scale, seed: u64) -> FaultMatrix {
         Scale::Quick => 200_000,  // 0.2 s of true time.
         Scale::Full => 2_000_000, // 2 s.
     };
-    let classes: [(&'static str, FaultPlan); 7] = [
+    let classes: [(&'static str, FaultPlan); 8] = [
         ("control (healthy)", FaultPlan::none()),
         ("clock anomalies", FaultPlan::clock_anomalies()),
         ("starvation", FaultPlan::starvation()),
         ("backup loss", FaultPlan::backup_loss()),
         ("nic storm", FaultPlan::nic_storm()),
         ("hostile callbacks", FaultPlan::hostile_callbacks()),
+        ("wire faults", FaultPlan::wire_faults()),
         ("everything", FaultPlan::everything()),
     ];
     let rows = classes
@@ -151,7 +154,7 @@ mod tests {
     #[test]
     fn matrix_is_clean_and_deterministic() {
         let m = run(Scale::Quick, 42);
-        assert_eq!(m.rows.len(), 7);
+        assert_eq!(m.rows.len(), 8);
         assert!(m.all_clean(), "\n{}", m.render());
         for r in &m.rows {
             assert!(r.report.fired > 0, "{} fired nothing", r.name);
@@ -184,6 +187,7 @@ mod tests {
             "backup",
             "nic",
             "callbacks",
+            "wire",
             "everything",
         ] {
             assert!(text.contains(name), "render missing {name}:\n{text}");

@@ -24,8 +24,9 @@
 //! | [`scaling`] | §5.10 scaling discussion (PII-300 / PIII-500 / Alpha) |
 //! | [`appendix_a`] | Appendix A: big ACKs & burst smoothing (extension) |
 //! | [`ack_compression`] | Appendix A.1: ACK compression vs pacing (extension) |
+//! | [`congestion`] | loss recovery: drop-tail bottleneck + faulty wire, paced vs regular (extension) |
 //! | [`livelock`] | receive livelock across dispatch policies (extension) |
-//! | [`fault_matrix`] | fault injection: firing bound under clock/interrupt/NIC/callback faults (extension) |
+//! | [`fault_matrix`] | fault injection: firing bound under clock/interrupt/NIC/callback/wire faults (extension) |
 //! | [`latency`] | packet latency on an idle machine across policies (extension) |
 //! | [`trace_overhead`] | st-trace self-measurement: tracer cost + Table-1 shares re-derived from the trace (extension) |
 //! | [`profiler`] | st-prof sampled attribution vs exact context accounting (extension) |
@@ -42,6 +43,7 @@
 
 pub mod ack_compression;
 pub mod appendix_a;
+pub mod congestion;
 pub mod fault_matrix;
 pub mod fig2_fig3;
 pub mod fig4_table1;
@@ -253,9 +255,28 @@ pub const CATALOG: &[ExperimentInfo] = &[
         ],
     },
     ExperimentInfo {
+        name: "congestion",
+        aliases: &["loss"],
+        what: "loss recovery: drop-tail bottleneck + faulty wire, paced vs regular (extension)",
+        keys: &[
+            "pacing_wins",
+            "backoff_bounded",
+            "<path>_wan_drops",
+            "<path>_wire_drops",
+            "<path>_retransmits",
+            "<path>_fast_retransmits",
+            "<path>_timeouts",
+            "<path>_max_rto_backoff",
+            "<path>_srtt_us",
+            "<path>_resp_ms",
+            "<path>_fired_trigger",
+            "<path>_fired_backup",
+        ],
+    },
+    ExperimentInfo {
         name: "fault_matrix",
         aliases: &["faultmatrix"],
-        what: "fault injection: firing bound under clock/interrupt/NIC/callback faults (extension)",
+        what: "fault injection: firing bound under clock/interrupt/NIC/callback/wire faults (extension)",
         keys: &[
             "all_clean",
             "<fault>_fired",

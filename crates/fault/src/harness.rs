@@ -45,6 +45,7 @@ use st_core::poller::{PollController, PollControllerConfig};
 use st_kernel::interrupts::{InterruptController, IrqLine};
 use st_net::nic::Nic;
 use st_net::packet::{ConnId, Packet};
+use st_net::{WireFate, WireFaultInjector};
 use st_sim::{SimRng, SimTime};
 
 use crate::backup::{BackupFate, BackupFaultStream};
@@ -153,6 +154,14 @@ pub struct FaultReport {
     pub nic_ring_drops: u64,
     /// Frames the poll chain retrieved.
     pub nic_polled: u64,
+    /// Packets offered to the wire-fault injector.
+    pub wire_offered: u64,
+    /// Packets the wire dropped in flight.
+    pub wire_dropped: u64,
+    /// Packets the wire delivered twice.
+    pub wire_duplicated: u64,
+    /// Packets the wire held back and delivered out of order.
+    pub wire_reordered: u64,
     /// Paced transmissions completed.
     pub transmits: u64,
     /// FNV-1a fingerprint of the fired-event sequence; byte-identical
@@ -182,6 +191,7 @@ struct Harness {
     backup_stream: BackupFaultStream,
     nic: Nic,
     nic_injector: NicFaultInjector,
+    wire_injector: WireFaultInjector,
     poll_ctl: PollController,
     pacer: Pacer,
 
@@ -212,6 +222,7 @@ impl Harness {
         let rng_workload = master.fork(5);
         let rng_callbacks = master.fork(6);
         let rng_arrivals = master.fork(7);
+        let rng_wire = master.fork(8);
 
         let config = Config {
             measure_hz: 1_000_000,
@@ -231,6 +242,7 @@ impl Harness {
             backup_stream: BackupFaultStream::new(plan.backup, rng_backup),
             nic: Nic::default_ring(),
             nic_injector: NicFaultInjector::new(plan.nic, rng_nic),
+            wire_injector: WireFaultInjector::new(plan.wire, rng_wire),
             poll_ctl: PollController::new(PollControllerConfig {
                 quota: 8.0,
                 min_interval: 10,
@@ -269,6 +281,10 @@ impl Harness {
                 nic_storm_extras: 0,
                 nic_ring_drops: 0,
                 nic_polled: 0,
+                wire_offered: 0,
+                wire_dropped: 0,
+                wire_duplicated: 0,
+                wire_reordered: 0,
                 transmits: 0,
                 fingerprint: FNV_OFFSET,
             },
@@ -435,16 +451,20 @@ impl Harness {
         // re-sort on insert).
         let mut next_slot = self.x;
         let mut pending_backups: Vec<u64> = Vec::new();
+        // Reordered packets held back by the wire: (delivery time, frame).
+        let mut pending_wire: Vec<(u64, Packet)> = Vec::new();
 
         loop {
             // Decide the fate of any grid slot we are about to reach.
             let next_backup = pending_backups.first().copied().unwrap_or(u64::MAX);
+            let next_wire = pending_wire.first().map_or(u64::MAX, |&(at, _)| at);
             let t = *[
                 next_trigger,
                 next_slot,
                 next_backup,
                 next_sched,
                 next_arrival,
+                next_wire,
             ]
             .iter()
             .min()
@@ -480,12 +500,40 @@ impl Harness {
                     pending_backups.sort_unstable();
                 }
             }
+            // Held-back (reordered) frames whose delivery time arrived:
+            // they rejoin the path in front of the NIC injector, behind
+            // any same-tick fresh arrival already delivered.
+            while pending_wire.first().map(|&(at, _)| at) == Some(t) {
+                let (_, pkt) = pending_wire.remove(0);
+                self.nic_injector
+                    .deliver(&mut self.nic, SimTime::from_micros(t), pkt);
+            }
             if t == next_arrival {
                 let id = self.next_packet_id;
                 self.next_packet_id += 1;
                 let pkt = Packet::data(id, ConnId(1), id * 1_000, 1_000, 0, 64_000);
-                self.nic_injector
-                    .deliver(&mut self.nic, SimTime::from_micros(t), pkt);
+                // The wire decides first; survivors reach the NIC-level
+                // injector (storms, ring drops) like any other frame.
+                match self.wire_injector.fate() {
+                    WireFate::Drop => {}
+                    WireFate::Deliver => {
+                        self.nic_injector
+                            .deliver(&mut self.nic, SimTime::from_micros(t), pkt);
+                    }
+                    WireFate::Duplicate => {
+                        self.nic_injector.deliver(
+                            &mut self.nic,
+                            SimTime::from_micros(t),
+                            pkt.clone(),
+                        );
+                        self.nic_injector
+                            .deliver(&mut self.nic, SimTime::from_micros(t), pkt);
+                    }
+                    WireFate::Reorder { extra } => {
+                        pending_wire.push((t + extra.as_micros(), pkt));
+                        pending_wire.sort_by_key(|e| (e.0, e.1.id));
+                    }
+                }
                 next_arrival = t + self.rng_arrivals.range_u64(10, 100);
             }
             if t == next_sched {
@@ -521,6 +569,10 @@ impl Harness {
         self.report.nic_injected_drops = self.nic_injector.injected_drops();
         self.report.nic_storm_extras = self.nic_injector.storm_extras();
         self.report.nic_ring_drops = self.nic.rx_dropped();
+        self.report.wire_offered = self.wire_injector.offered();
+        self.report.wire_dropped = self.wire_injector.dropped();
+        self.report.wire_duplicated = self.wire_injector.duplicated();
+        self.report.wire_reordered = self.wire_injector.reordered();
         fnv_mix(
             &mut self.report.fingerprint,
             self.report.backups_delivered
@@ -561,6 +613,7 @@ mod tests {
             FaultPlan::backup_loss(),
             FaultPlan::nic_storm(),
             FaultPlan::hostile_callbacks(),
+            FaultPlan::wire_faults(),
             FaultPlan::everything(),
         ];
         for (i, plan) in classes.iter().enumerate() {
@@ -589,6 +642,22 @@ mod tests {
 
         let cb = Scenario::new(FaultPlan::hostile_callbacks(), 7, DURATION).run();
         assert!(cb.handler_panics > 0 && cb.slow_handlers > 0);
+
+        let wire = Scenario::new(FaultPlan::wire_faults(), 7, DURATION).run();
+        assert!(wire.wire_offered > 0);
+        assert!(wire.wire_dropped > 0 && wire.wire_duplicated > 0 && wire.wire_reordered > 0);
+    }
+
+    #[test]
+    fn wire_faults_keep_the_paper_bound() {
+        // The wire sits in front of the NIC: losing, duplicating, or
+        // reordering frames must not perturb timer firing at all.
+        let r = Scenario::new(FaultPlan::wire_faults(), 23, DURATION).run();
+        assert!(r.max_delay <= 1_000, "delay {} > X", r.max_delay);
+        assert_eq!(r.bound_violations, 0);
+        // Duplicates and held-back frames still reach the ring: the poll
+        // chain sees at least the surviving offered load.
+        assert!(r.nic_polled > 0);
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! is easy to keep on a healthy machine. This crate checks that the
 //! implementation keeps (or gracefully relaxes) it on an unhealthy one:
 //!
-//! - [`plan`] — composable [`plan::FaultPlan`]s covering five classes:
+//! - [`plan`] — composable [`plan::FaultPlan`]s covering six classes:
 //!   clock anomalies, trigger-state starvation, backup-interrupt loss,
-//!   NIC storms, and hostile callbacks;
+//!   NIC storms, hostile callbacks, and per-packet wire faults (loss,
+//!   reordering, duplication — the injector itself lives in
+//!   [`st_net::wire`]);
 //! - [`clock`] — [`clock::FaultyClock`], a measurement clock with skew,
 //!   jumps, and transient regressions;
 //! - [`backup`] — [`backup::BackupFaultStream`], per-slot fates for the
@@ -33,3 +35,4 @@ pub mod plan;
 
 pub use harness::{FaultReport, Scenario};
 pub use plan::FaultPlan;
+pub use st_net::{WireFate, WireFaultInjector, WireFaults};

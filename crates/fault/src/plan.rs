@@ -5,6 +5,8 @@
 //! forked per fault class, so one `(plan, seed)` pair replays an entire
 //! run byte-for-byte.
 
+use st_net::WireFaults;
+
 /// Clock anomalies: rate skew, forward jumps, transient regressions.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockFaults {
@@ -147,6 +149,9 @@ pub struct FaultPlan {
     pub nic: Option<NicFaults>,
     /// Panicking / slow callbacks.
     pub callbacks: Option<CallbackFaults>,
+    /// Per-packet wire faults in front of the NIC: loss, reordering,
+    /// duplication (see [`st_net::WireFaults`]).
+    pub wire: Option<WireFaults>,
 }
 
 impl FaultPlan {
@@ -180,6 +185,11 @@ impl FaultPlan {
         FaultPlan::none().with_callbacks(CallbackFaults::nasty())
     }
 
+    /// Only wire faults: packet loss, reordering, duplication.
+    pub fn wire_faults() -> Self {
+        FaultPlan::none().with_wire(WireFaults::nasty())
+    }
+
     /// Every fault class at once.
     pub fn everything() -> Self {
         FaultPlan {
@@ -188,6 +198,7 @@ impl FaultPlan {
             backup: Some(BackupFaults::nasty()),
             nic: Some(NicFaults::nasty()),
             callbacks: Some(CallbackFaults::nasty()),
+            wire: Some(WireFaults::nasty()),
         }
     }
 
@@ -221,11 +232,18 @@ impl FaultPlan {
         self
     }
 
+    /// Adds wire faults.
+    pub fn with_wire(mut self, f: WireFaults) -> Self {
+        self.wire = Some(f);
+        self
+    }
+
     /// Whether the paper's `(S+T, S+T+X+1)` firing bound can be asserted
     /// unrelaxed: it requires every backup sweep delivered on the grid
-    /// and a trustworthy clock. Starvation, NIC and callback faults do
-    /// not break the bound — the backup interrupt exists precisely to
-    /// cover them.
+    /// and a trustworthy clock. Starvation, NIC, wire, and callback
+    /// faults do not break the bound — the backup interrupt exists
+    /// precisely to cover the first, and the last three live in front
+    /// of or around the facility, not inside it.
     pub fn paper_bound_holds(&self) -> bool {
         self.backup.is_none() && self.clock.is_none() && self.callbacks.is_none()
     }
@@ -243,6 +261,9 @@ mod tests {
         assert!(FaultPlan::none().paper_bound_holds());
         assert!(FaultPlan::starvation().paper_bound_holds());
         assert!(FaultPlan::nic_storm().paper_bound_holds());
+        assert!(FaultPlan::wire_faults().paper_bound_holds());
+        assert!(FaultPlan::wire_faults().wire.is_some());
+        assert_eq!(FaultPlan::wire_faults().nic, None);
         assert!(!FaultPlan::backup_loss().paper_bound_holds());
         assert!(!FaultPlan::clock_anomalies().paper_bound_holds());
         assert!(!FaultPlan::everything().paper_bound_holds());

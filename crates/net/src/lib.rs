@@ -14,7 +14,10 @@
 //! - [`driver`] — packet dispatch policies: interrupt-driven,
 //!   pure-polling, the Mogul-Ramakrishnan hybrid, and soft-timer polling
 //!   with an aggregation quota (section 4.2).
-//! - [`wan`] — the store-and-forward WAN emulator router of section 5.8.
+//! - [`wan`] — the store-and-forward WAN emulator router of section 5.8,
+//!   with an optional finite drop-tail bottleneck buffer.
+//! - [`wire`] — deterministic per-packet wire faults: loss, reordering,
+//!   duplication, replayable from a `(faults, seed)` pair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,9 +27,11 @@ pub mod link;
 pub mod nic;
 pub mod packet;
 pub mod wan;
+pub mod wire;
 
 pub use driver::{DriverPolicy, DriverStrategy};
 pub use link::Link;
 pub use nic::Nic;
 pub use packet::{ConnId, Packet, TcpFlags, TcpHeader};
-pub use wan::WanEmulator;
+pub use wan::{WanDirStats, WanEmulator};
+pub use wire::{WireFate, WireFaultInjector, WireFaults};

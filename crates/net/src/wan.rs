@@ -11,49 +11,136 @@
 //! delay. With the paper's parameters (50 ms one-way, 50 or 100 Mbps
 //! bottleneck) a client-server connection sees a 100 ms RTT and a 5 or
 //! 10 Mbit pipe.
+//!
+//! Real bottleneck routers do not queue infinitely: they have a finite
+//! drop-tail buffer, and the bursts that rate-based clocking exists to
+//! smooth (§3.1, Appendix A) hurt precisely because they overflow it.
+//! [`WanEmulator::with_buffer`] bounds the per-direction waiting room in
+//! bytes (the frame in service does not count against it, like a real
+//! output queue); [`WanEmulator::try_forward`] / [`try_reverse`] return
+//! `None` for packets that arrive to a full buffer, and per-direction
+//! [`WanDirStats`] surface drop and backlog accounting.
+//!
+//! [`try_reverse`]: WanEmulator::try_reverse
+
+use std::collections::VecDeque;
 
 use st_sim::{Bandwidth, SimDuration, SimTime};
 use st_stats::Summary;
+
+/// Snapshot of one direction's forwarding statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WanDirStats {
+    /// Frames forwarded (accepted and delivered).
+    pub forwarded: u64,
+    /// Bytes forwarded.
+    pub bytes: u64,
+    /// Frames dropped at the full drop-tail buffer.
+    pub drops: u64,
+    /// Bytes dropped at the full drop-tail buffer.
+    pub dropped_bytes: u64,
+    /// Worst instantaneous backlog (time to drain the queue) observed
+    /// at any arrival.
+    pub max_backlog: SimDuration,
+    /// Mean queueing delay of accepted frames, µs.
+    pub mean_queue_delay_us: f64,
+}
 
 /// One direction of the emulated WAN path.
 #[derive(Debug, Clone)]
 struct WanDirection {
     busy_until: SimTime,
+    /// Waiting room in bytes; `None` = unlimited (the seed behaviour).
+    /// The frame in service is not counted against it.
+    capacity: Option<u64>,
+    /// Frames waiting for service: (service-start time, bytes). Entries
+    /// whose service has started no longer occupy the buffer.
+    waiting: VecDeque<(SimTime, u32)>,
+    waiting_bytes: u64,
     forwarded: u64,
     bytes: u64,
+    drops: u64,
+    dropped_bytes: u64,
     queue_delay: Summary,
     max_backlog: SimDuration,
 }
 
 impl WanDirection {
-    fn new() -> Self {
+    fn new(capacity: Option<u64>) -> Self {
         WanDirection {
             busy_until: SimTime::ZERO,
+            capacity,
+            waiting: VecDeque::new(),
+            waiting_bytes: 0,
             forwarded: 0,
             bytes: 0,
+            drops: 0,
+            dropped_bytes: 0,
             queue_delay: Summary::new(),
             max_backlog: SimDuration::ZERO,
         }
     }
 
-    fn forward(&mut self, bw: Bandwidth, delay: SimDuration, now: SimTime, bytes: u32) -> SimTime {
-        let start = now.max(self.busy_until);
-        let queued = start.since(now);
-        self.queue_delay.record(queued.as_micros_f64());
+    /// Retires waiting-room entries whose service began by `now`.
+    fn drain_started(&mut self, now: SimTime) {
+        while let Some(&(start, b)) = self.waiting.front() {
+            if start > now {
+                break;
+            }
+            self.waiting_bytes = self.waiting_bytes.saturating_sub(b as u64);
+            self.waiting.pop_front();
+        }
+    }
+
+    fn forward(
+        &mut self,
+        bw: Bandwidth,
+        delay: SimDuration,
+        now: SimTime,
+        bytes: u32,
+    ) -> Option<SimTime> {
+        self.drain_started(now);
         let backlog = self.busy_until.since(now);
         if backlog > self.max_backlog {
             self.max_backlog = backlog;
         }
+        let start = now.max(self.busy_until);
+        // A frame arriving while the link is busy needs waiting room; the
+        // one in service occupies the transmitter, not the buffer.
+        if start > now {
+            if let Some(cap) = self.capacity {
+                if self.waiting_bytes + bytes as u64 > cap {
+                    self.drops += 1;
+                    self.dropped_bytes += bytes as u64;
+                    return None;
+                }
+            }
+            self.waiting.push_back((start, bytes));
+            self.waiting_bytes += bytes as u64;
+        }
+        self.queue_delay.record(start.since(now).as_micros_f64());
         let done = start + bw.serialization_time(bytes as u64);
         self.busy_until = done;
         self.forwarded += 1;
         self.bytes += bytes as u64;
-        done + delay
+        Some(done + delay)
+    }
+
+    fn stats(&self) -> WanDirStats {
+        WanDirStats {
+            forwarded: self.forwarded,
+            bytes: self.bytes,
+            drops: self.drops,
+            dropped_bytes: self.dropped_bytes,
+            max_backlog: self.max_backlog,
+            mean_queue_delay_us: self.queue_delay.mean(),
+        }
     }
 }
 
-/// Store-and-forward WAN emulator with a bottleneck and fixed one-way
-/// delay, symmetric in both directions.
+/// Store-and-forward WAN emulator with a bottleneck, a fixed one-way
+/// delay, and (optionally) a finite per-direction drop-tail buffer,
+/// symmetric in both directions.
 ///
 /// # Examples
 ///
@@ -76,13 +163,31 @@ pub struct WanEmulator {
 
 impl WanEmulator {
     /// Creates an emulator with the given bottleneck bandwidth and
-    /// one-way propagation delay.
+    /// one-way propagation delay, and an unlimited buffer (the original
+    /// lossless testbed router).
     pub fn new(bottleneck: Bandwidth, one_way_delay: SimDuration) -> Self {
         WanEmulator {
             bottleneck,
             one_way_delay,
-            forward: WanDirection::new(),
-            reverse: WanDirection::new(),
+            forward: WanDirection::new(None),
+            reverse: WanDirection::new(None),
+        }
+    }
+
+    /// Creates an emulator whose router has `buffer_bytes` of drop-tail
+    /// waiting room per direction (the frame in service is not counted).
+    /// Zero means no waiting room at all: any frame arriving while the
+    /// link is busy is dropped.
+    pub fn with_buffer(
+        bottleneck: Bandwidth,
+        one_way_delay: SimDuration,
+        buffer_bytes: u64,
+    ) -> Self {
+        WanEmulator {
+            bottleneck,
+            one_way_delay,
+            forward: WanDirection::new(Some(buffer_bytes)),
+            reverse: WanDirection::new(Some(buffer_bytes)),
         }
     }
 
@@ -116,16 +221,40 @@ impl WanEmulator {
         self.bottleneck.bdp_bytes(self.rtt())
     }
 
-    /// Forwards a frame server→client; returns its arrival time.
-    pub fn forward(&mut self, now: SimTime, bytes: u32) -> SimTime {
+    /// Forwards a frame server→client; `None` means the drop-tail buffer
+    /// was full and the frame was dropped.
+    pub fn try_forward(&mut self, now: SimTime, bytes: u32) -> Option<SimTime> {
         self.forward
             .forward(self.bottleneck, self.one_way_delay, now, bytes)
     }
 
-    /// Forwards a frame client→server; returns its arrival time.
-    pub fn reverse(&mut self, now: SimTime, bytes: u32) -> SimTime {
+    /// Forwards a frame client→server; `None` means the drop-tail buffer
+    /// was full and the frame was dropped.
+    pub fn try_reverse(&mut self, now: SimTime, bytes: u32) -> Option<SimTime> {
         self.reverse
             .forward(self.bottleneck, self.one_way_delay, now, bytes)
+    }
+
+    /// Forwards a frame server→client; returns its arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a finite buffer drops the frame — lossy callers must
+    /// use [`WanEmulator::try_forward`].
+    pub fn forward(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        self.try_forward(now, bytes)
+            .expect("frame dropped: a finite-buffer WanEmulator requires try_forward")
+    }
+
+    /// Forwards a frame client→server; returns its arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a finite buffer drops the frame — lossy callers must
+    /// use [`WanEmulator::try_reverse`].
+    pub fn reverse(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        self.try_reverse(now, bytes)
+            .expect("frame dropped: a finite-buffer WanEmulator requires try_reverse")
     }
 
     /// Frames forwarded server→client.
@@ -139,9 +268,25 @@ impl WanEmulator {
     }
 
     /// Worst instantaneous backlog (time to drain the queue) seen
-    /// server→client.
+    /// server→client. See [`WanEmulator::reverse_stats`] for the other
+    /// direction.
     pub fn max_backlog(&self) -> SimDuration {
         self.forward.max_backlog
+    }
+
+    /// Frames dropped at the bottleneck buffer, both directions.
+    pub fn drops(&self) -> u64 {
+        self.forward.drops + self.reverse.drops
+    }
+
+    /// Forwarding statistics of the server→client direction.
+    pub fn forward_stats(&self) -> WanDirStats {
+        self.forward.stats()
+    }
+
+    /// Forwarding statistics of the client→server direction.
+    pub fn reverse_stats(&self) -> WanDirStats {
+        self.reverse.stats()
     }
 }
 
@@ -187,5 +332,85 @@ mod tests {
         assert!(w.mean_queue_delay_us() > 0.0);
         // Nine frames were backlogged at t=0: 9 * 240 us.
         assert_eq!(w.max_backlog(), SimDuration::from_micros(2160));
+        assert_eq!(w.drops(), 0, "unbounded buffer never drops");
+    }
+
+    #[test]
+    fn finite_buffer_tail_drops() {
+        // 3000 B of waiting room: the frame in service plus two waiting
+        // frames fit; the fourth back-to-back arrival is dropped.
+        let mut w =
+            WanEmulator::with_buffer(Bandwidth::mbps(50), SimDuration::from_millis(50), 3_000);
+        assert!(w.try_forward(SimTime::ZERO, 1500).is_some(), "in service");
+        assert!(w.try_forward(SimTime::ZERO, 1500).is_some(), "waiting 1");
+        assert!(w.try_forward(SimTime::ZERO, 1500).is_some(), "waiting 2");
+        assert!(w.try_forward(SimTime::ZERO, 1500).is_none(), "tail drop");
+        let s = w.forward_stats();
+        assert_eq!((s.forwarded, s.drops), (3, 1));
+        assert_eq!(s.dropped_bytes, 1_500);
+    }
+
+    #[test]
+    fn exactly_full_buffer_accepts_then_drops() {
+        // Capacity equal to one waiting frame: the boundary arrival that
+        // exactly fills the buffer is accepted; one byte more is not.
+        let mut w =
+            WanEmulator::with_buffer(Bandwidth::mbps(50), SimDuration::from_millis(50), 1_500);
+        assert!(w.try_forward(SimTime::ZERO, 1500).is_some(), "in service");
+        assert!(
+            w.try_forward(SimTime::ZERO, 1500).is_some(),
+            "exactly fills the waiting room"
+        );
+        assert!(w.try_forward(SimTime::ZERO, 1500).is_none(), "overflows");
+        // Once the head frame's service starts, room frees up again.
+        let later = SimTime::from_micros(300); // past the 240 µs service start
+        assert!(w.try_forward(later, 1500).is_some(), "room freed");
+    }
+
+    #[test]
+    fn zero_capacity_drops_anything_queued() {
+        let mut w = WanEmulator::with_buffer(Bandwidth::mbps(50), SimDuration::from_millis(50), 0);
+        // Idle link: straight to service, never buffered.
+        assert!(w.try_forward(SimTime::ZERO, 1500).is_some());
+        // Busy link and no waiting room: dropped.
+        assert!(w.try_forward(SimTime::ZERO, 1500).is_none());
+        assert!(w.try_forward(SimTime::from_micros(100), 52).is_none());
+        // Idle again after service completes: accepted.
+        assert!(w.try_forward(SimTime::from_micros(240), 1500).is_some());
+        assert_eq!(w.forward_stats().drops, 2);
+    }
+
+    #[test]
+    fn backlog_and_drops_tracked_per_direction() {
+        let mut w =
+            WanEmulator::with_buffer(Bandwidth::mbps(50), SimDuration::from_millis(50), 2_000);
+        for _ in 0..4 {
+            let _ = w.try_forward(SimTime::ZERO, 1500);
+        }
+        for _ in 0..60 {
+            let _ = w.try_reverse(SimTime::ZERO, 52);
+        }
+        let f = w.forward_stats();
+        let r = w.reverse_stats();
+        assert!(f.drops > 0, "forward drops");
+        assert!(r.drops > 0, "reverse drops (60 * 52 B > 2000 B + service)");
+        assert!(r.max_backlog > SimDuration::ZERO);
+        assert!(f.max_backlog > SimDuration::ZERO);
+        assert_eq!(w.drops(), f.drops + r.drops);
+        // Byte conservation per direction: accepted + dropped = offered.
+        assert_eq!(f.bytes + f.dropped_bytes, 4 * 1_500);
+        assert_eq!(r.bytes + r.dropped_bytes, 60 * 52);
+    }
+
+    #[test]
+    fn unbounded_compatibility_unchanged() {
+        // The bounded path with a huge buffer matches the unbounded one.
+        let mut a = WanEmulator::paper_50mbps();
+        let mut b =
+            WanEmulator::with_buffer(Bandwidth::mbps(50), SimDuration::from_millis(50), u64::MAX);
+        for i in 0..50u64 {
+            let t = SimTime::from_micros(i * 13);
+            assert_eq!(Some(a.forward(t, 1500)), b.try_forward(t, 1500));
+        }
     }
 }

@@ -1,0 +1,231 @@
+//! Per-packet wire faults: loss, reordering, duplication.
+//!
+//! Real WAN paths do worse than delay and queueing: routers drop under
+//! pressure, ECMP and retransmitting link layers reorder, and duplicated
+//! frames appear from spanning-tree flaps or retransmit races. The soft
+//! timers paper motivates rate-based clocking as a defense against the
+//! bursts that *cause* drop-tail loss (§3.1, Appendix A); exercising the
+//! transport against an actively lossy wire is therefore part of the
+//! reproduction's robustness story, not an extension of it.
+//!
+//! [`WireFaults`] is plain `Copy` data — it carries no randomness. The
+//! [`WireFaultInjector`] draws every per-packet decision from one
+//! [`SimRng`] (callers fork it from their master seed), so a
+//! `(faults, seed)` pair replays the exact fate sequence byte-for-byte.
+//! One packet costs at most three Bernoulli draws, taken in a fixed
+//! order (loss, then duplication, then reordering) regardless of earlier
+//! outcomes, so the draw stream never shifts between runs.
+
+use st_sim::{SimDuration, SimRng};
+
+/// Per-packet fault probabilities on an emulated wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireFaults {
+    /// Probability a packet is silently dropped in flight.
+    pub loss_chance: f64,
+    /// Probability a packet is delivered twice (both copies arrive).
+    pub duplicate_chance: f64,
+    /// Probability a packet is held back and delivered late, behind
+    /// packets sent after it.
+    pub reorder_chance: f64,
+    /// Shortest extra holding delay for a reordered packet, µs.
+    pub reorder_min_us: u64,
+    /// Longest extra holding delay for a reordered packet, µs.
+    pub reorder_max_us: u64,
+}
+
+impl WireFaults {
+    /// The fault-matrix default: 5 % loss, 2 % duplication, 5 % reorders
+    /// held back 100–2000 µs — several packet times at the paper's WAN
+    /// rates, enough to trip a naive reassembler on every run.
+    pub fn nasty() -> Self {
+        WireFaults {
+            loss_chance: 0.05,
+            duplicate_chance: 0.02,
+            reorder_chance: 0.05,
+            reorder_min_us: 100,
+            reorder_max_us: 2_000,
+        }
+    }
+
+    /// A mildly lossy path: ≤ 1 % of packets lost, with rare reorders
+    /// and duplicates. The `repro congestion` survival rows use this —
+    /// every transfer must still complete with bounded RTO backoff.
+    pub fn mild() -> Self {
+        WireFaults {
+            loss_chance: 0.01,
+            duplicate_chance: 0.005,
+            reorder_chance: 0.01,
+            reorder_min_us: 100,
+            reorder_max_us: 1_000,
+        }
+    }
+}
+
+/// The fate the injector assigned to one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFate {
+    /// Delivered normally.
+    Deliver,
+    /// Dropped in flight; the packet never arrives.
+    Drop,
+    /// Delivered twice: the original on time and one extra copy.
+    Duplicate,
+    /// Held back: delivered `extra` later than it would have been,
+    /// allowing packets sent after it to overtake it.
+    Reorder {
+        /// Extra holding delay before delivery.
+        extra: SimDuration,
+    },
+}
+
+/// Draws per-packet [`WireFate`]s deterministically from a seeded RNG.
+#[derive(Debug, Clone)]
+pub struct WireFaultInjector {
+    faults: Option<WireFaults>,
+    rng: SimRng,
+    offered: u64,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+}
+
+impl WireFaultInjector {
+    /// Creates an injector; `None` faults means every packet is
+    /// delivered (and the RNG is never consulted).
+    pub fn new(faults: Option<WireFaults>, rng: SimRng) -> Self {
+        WireFaultInjector {
+            faults,
+            rng,
+            offered: 0,
+            dropped: 0,
+            duplicated: 0,
+            reordered: 0,
+        }
+    }
+
+    /// Decides the fate of the next packet. Always takes the same number
+    /// of draws per packet, so the stream cannot shift between replays.
+    pub fn fate(&mut self) -> WireFate {
+        self.offered += 1;
+        let Some(f) = self.faults else {
+            return WireFate::Deliver;
+        };
+        // Fixed draw order: loss, duplication, reorder, plus one delay
+        // draw reserved whether or not the reorder fires.
+        let lost = self.rng.chance(f.loss_chance);
+        let duplicated = self.rng.chance(f.duplicate_chance);
+        let reordered = self.rng.chance(f.reorder_chance);
+        let lo = f.reorder_min_us.max(1);
+        let hi = f.reorder_max_us.max(lo);
+        let extra = self.rng.range_u64(lo, hi + 1);
+        if lost {
+            self.dropped += 1;
+            return WireFate::Drop;
+        }
+        if duplicated {
+            self.duplicated += 1;
+            return WireFate::Duplicate;
+        }
+        if reordered {
+            self.reordered += 1;
+            return WireFate::Reorder {
+                extra: SimDuration::from_micros(extra),
+            };
+        }
+        WireFate::Deliver
+    }
+
+    /// Packets offered to the injector.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Packets dropped in flight.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Packets held back for reordering.
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_wire_never_touches_the_rng() {
+        let mut inj = WireFaultInjector::new(None, SimRng::seed(1));
+        for _ in 0..1_000 {
+            assert_eq!(inj.fate(), WireFate::Deliver);
+        }
+        assert_eq!(inj.offered(), 1_000);
+        assert_eq!(inj.dropped() + inj.duplicated() + inj.reordered(), 0);
+        // The RNG stream is untouched: same draws as a fresh seed.
+        let mut a = SimRng::seed(1);
+        let mut b = inj.rng.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fates_replay_byte_identically() {
+        let mk = || {
+            let mut inj = WireFaultInjector::new(Some(WireFaults::nasty()), SimRng::seed(77));
+            (0..10_000).map(|_| inj.fate()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn all_fault_kinds_occur_at_nasty_rates() {
+        let mut inj = WireFaultInjector::new(Some(WireFaults::nasty()), SimRng::seed(3));
+        for _ in 0..20_000 {
+            inj.fate();
+        }
+        assert!(inj.dropped() > 0, "no losses injected");
+        assert!(inj.duplicated() > 0, "no duplicates injected");
+        assert!(inj.reordered() > 0, "no reorders injected");
+        // Rates land near the configured probabilities.
+        let loss_rate = inj.dropped() as f64 / inj.offered() as f64;
+        assert!((0.03..0.07).contains(&loss_rate), "loss rate {loss_rate}");
+    }
+
+    #[test]
+    fn mild_faults_stay_under_one_percent_loss() {
+        let mut inj = WireFaultInjector::new(Some(WireFaults::mild()), SimRng::seed(9));
+        for _ in 0..50_000 {
+            inj.fate();
+        }
+        let loss_rate = inj.dropped() as f64 / inj.offered() as f64;
+        assert!(loss_rate < 0.015, "mild loss rate {loss_rate}");
+    }
+
+    #[test]
+    fn reorder_delay_respects_bounds() {
+        let f = WireFaults {
+            loss_chance: 0.0,
+            duplicate_chance: 0.0,
+            reorder_chance: 1.0,
+            reorder_min_us: 50,
+            reorder_max_us: 60,
+        };
+        let mut inj = WireFaultInjector::new(Some(f), SimRng::seed(4));
+        for _ in 0..500 {
+            match inj.fate() {
+                WireFate::Reorder { extra } => {
+                    let us = extra.as_micros();
+                    assert!((50..=60).contains(&us), "extra {us}");
+                }
+                other => panic!("expected reorder, got {other:?}"),
+            }
+        }
+    }
+}

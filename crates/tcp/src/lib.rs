@@ -13,18 +13,28 @@
 //! - [`pacing`] — the transmission-process simulator behind Tables 4-5:
 //!   the real soft-timer facility driven by a synthetic trigger-state
 //!   stream, transmitting through the adaptive pacer.
+//! - [`recovery`] — RFC 6298 SRTT/RTTVAR RTO estimation with bounded
+//!   exponential backoff, and the loss-adaptive rate pacer.
 //! - [`transfer`] — the end-to-end WAN experiment of Tables 6-7: client,
-//!   WAN emulator router, server; regular TCP vs. rate-based clocking.
+//!   WAN emulator router, server; regular TCP vs. rate-based clocking,
+//!   optionally through a finite drop-tail bottleneck with wire faults,
+//!   with the retransmission timer running as a soft-timer event.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod pacing;
 pub mod receiver;
+pub mod recovery;
 pub mod sender;
 pub mod transfer;
 
 pub use pacing::{PacingRun, TransmissionProcess};
 pub use receiver::{AckDecision, AckPolicy, TcpReceiver};
-pub use sender::{SenderConfig, SenderMode, TcpSender};
+pub use recovery::{LossPacer, RttEstimator, MAX_BACKOFF};
+pub use sender::{AckOutcome, SenderConfig, SenderMode, TcpSender, DUP_ACK_THRESHOLD};
 pub use transfer::{TransferConfig, TransferOutcome, TransferSim};
+
+// Re-exported so callers configuring a lossy transfer need only this
+// crate (the type lives in `st-net`, next to the emulated wire).
+pub use st_net::wire::WireFaults;

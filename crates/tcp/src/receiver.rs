@@ -12,6 +12,16 @@
 //!   buffer only every `read_interval`; since ACKs are sent from the
 //!   application's read path, all segments arriving in between are
 //!   covered by one *big ACK*.
+//!
+//! On a lossy or reordering path the receiver follows RFC 5681's
+//! immediate-ACK rules: an out-of-order segment is buffered and answered
+//! at once with a *duplicate ACK* for `rcv_nxt` (three of which trigger
+//! the sender's fast retransmit), a segment that fills a gap is answered
+//! at once with the advanced cumulative ACK, and an already-received
+//! segment (a wire duplicate or a spurious retransmission) is re-ACKed
+//! immediately so the sender's state converges.
+
+use std::collections::BTreeMap;
 
 use st_sim::{SimDuration, SimTime};
 
@@ -41,12 +51,15 @@ pub enum AckPolicy {
     },
 }
 
-/// In-order TCP receiver.
+/// TCP receiver with out-of-order reassembly.
 #[derive(Debug)]
 pub struct TcpReceiver {
     policy: AckPolicy,
     /// Next byte expected.
     rcv_nxt: u64,
+    /// Out-of-order spans buffered for reassembly: start byte → end byte
+    /// (exclusive). Disjoint and above `rcv_nxt`.
+    ooo: BTreeMap<u64, u64>,
     /// Segments received since the last ACK we sent.
     unacked_segments: u32,
     /// Highest ACK number already emitted.
@@ -57,6 +70,9 @@ pub struct TcpReceiver {
     max_ack_coverage: u32,
     segments_received: u64,
     acks_sent: u64,
+    ooo_segments: u64,
+    dup_segments: u64,
+    dup_acks_sent: u64,
 }
 
 impl TcpReceiver {
@@ -65,12 +81,16 @@ impl TcpReceiver {
         TcpReceiver {
             policy,
             rcv_nxt: 0,
+            ooo: BTreeMap::new(),
             unacked_segments: 0,
             last_acked: 0,
             next_read_at: None,
             max_ack_coverage: 0,
             segments_received: 0,
             acks_sent: 0,
+            ooo_segments: 0,
+            dup_segments: 0,
+            dup_acks_sent: 0,
         }
     }
 
@@ -95,29 +115,97 @@ impl TcpReceiver {
         self.max_ack_coverage
     }
 
+    /// Segments that arrived out of order and were buffered.
+    pub fn ooo_segments(&self) -> u64 {
+        self.ooo_segments
+    }
+
+    /// Segments that carried no new bytes (wire duplicates or spurious
+    /// retransmissions).
+    pub fn dup_segments(&self) -> u64 {
+        self.dup_segments
+    }
+
+    /// Duplicate ACKs emitted (immediate ACKs that did not advance the
+    /// cumulative acknowledgment).
+    pub fn dup_acks_sent(&self) -> u64 {
+        self.dup_acks_sent
+    }
+
+    /// Spans currently buffered out of order (reassembly-queue depth).
+    pub fn ooo_spans(&self) -> usize {
+        self.ooo.len()
+    }
+
     fn emit(&mut self) -> AckDecision {
         self.max_ack_coverage = self.max_ack_coverage.max(self.unacked_segments);
         self.unacked_segments = 0;
+        if self.rcv_nxt == self.last_acked {
+            self.dup_acks_sent += 1;
+        }
         self.last_acked = self.rcv_nxt;
         self.acks_sent += 1;
         AckDecision::AckNow { ack: self.rcv_nxt }
     }
 
-    /// Handles an in-order data segment of `len` bytes at `seq`, arriving
-    /// at `now`. Out-of-order segments are rejected (the emulated path is
-    /// FIFO and lossless, so this indicates a harness bug).
+    /// Buffers an out-of-order span, coalescing overlaps and adjacency.
+    fn insert_span(&mut self, start: u64, end: u64) {
+        let mut start = start.max(self.rcv_nxt);
+        let mut end = end;
+        let candidates: Vec<(u64, u64)> = self.ooo.range(..=end).map(|(&s, &e)| (s, e)).collect();
+        for (s, e) in candidates {
+            if e >= start {
+                start = start.min(s);
+                end = end.max(e);
+                self.ooo.remove(&s);
+            }
+        }
+        self.ooo.insert(start, end);
+    }
+
+    /// Pulls buffered spans that the advanced `rcv_nxt` now reaches.
+    fn drain_contiguous(&mut self) {
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s > self.rcv_nxt {
+                break;
+            }
+            self.ooo.remove(&s);
+            self.rcv_nxt = self.rcv_nxt.max(e);
+        }
+    }
+
+    /// Handles a data segment of `len` bytes at `seq`, arriving at `now`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is not the next expected byte.
+    /// In-order segments follow the configured ACK policy. Per RFC 5681
+    /// the exceptions are immediate: an out-of-order segment is buffered
+    /// and answered with a duplicate ACK for `rcv_nxt`; a segment that
+    /// fills (part of) a gap is answered with the advanced cumulative
+    /// ACK; a segment carrying no new bytes is re-ACKed at once.
     pub fn on_data(&mut self, now: SimTime, seq: u64, len: u32) -> AckDecision {
-        assert_eq!(
-            seq, self.rcv_nxt,
-            "out-of-order segment on a FIFO lossless path"
-        );
-        self.rcv_nxt += len as u64;
         self.segments_received += 1;
+        let end = seq + len as u64;
+        if end <= self.rcv_nxt {
+            // Entirely old bytes: a wire duplicate or a spurious
+            // retransmission. Re-ACK so the sender converges.
+            self.dup_segments += 1;
+            return self.emit();
+        }
+        if seq > self.rcv_nxt {
+            // A hole precedes this segment: buffer it and send an
+            // immediate duplicate ACK for the byte we still need.
+            self.ooo_segments += 1;
+            self.insert_span(seq, end);
+            return self.emit();
+        }
+        // In-order (possibly overlapping the front). If reassembly was
+        // pending, this fills a gap: ACK the merged front immediately.
+        let was_recovering = !self.ooo.is_empty();
+        self.rcv_nxt = end;
+        self.drain_contiguous();
         self.unacked_segments += 1;
+        if was_recovering {
+            return self.emit();
+        }
         match self.policy {
             AckPolicy::DelayedEvery2 => {
                 if self.unacked_segments >= 2 {
@@ -202,10 +290,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out-of-order")]
-    fn out_of_order_rejected() {
+    fn out_of_order_buffers_and_dup_acks() {
         let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
-        r.on_data(t(0), 1000, 1000);
+        // Segment 0 lost; 1, 2, 3 arrive: three immediate dup ACKs for 0.
+        assert_eq!(r.on_data(t(0), 1000, 1000), AckDecision::AckNow { ack: 0 });
+        assert_eq!(r.on_data(t(10), 2000, 1000), AckDecision::AckNow { ack: 0 });
+        assert_eq!(r.on_data(t(20), 3000, 1000), AckDecision::AckNow { ack: 0 });
+        assert_eq!(r.dup_acks_sent(), 3);
+        assert_eq!(r.ooo_segments(), 3);
+        assert_eq!(r.ooo_spans(), 1, "contiguous spans coalesce");
+        // The retransmission fills the gap: one immediate cumulative ACK
+        // covering everything.
+        assert_eq!(r.on_data(t(30), 0, 1000), AckDecision::AckNow { ack: 4000 });
+        assert_eq!(r.rcv_nxt(), 4000);
+        assert_eq!(r.ooo_spans(), 0);
+    }
+
+    #[test]
+    fn duplicate_segment_reacked_immediately() {
+        let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
+        r.on_data(t(0), 0, 1000);
+        r.on_data(t(10), 1000, 1000); // ACK 2000 emitted
+                                      // A wire duplicate of segment 0: old bytes, immediate re-ACK.
+        assert_eq!(r.on_data(t(20), 0, 1000), AckDecision::AckNow { ack: 2000 });
+        assert_eq!(r.dup_segments(), 1);
+        assert_eq!(r.dup_acks_sent(), 1);
+        assert_eq!(r.rcv_nxt(), 2000, "no regression");
+    }
+
+    #[test]
+    fn interleaved_holes_coalesce_out_of_order_spans() {
+        let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
+        // Holes at 0 and 2000; spans land out of order.
+        r.on_data(t(0), 3000, 1000);
+        r.on_data(t(1), 1000, 1000);
+        assert_eq!(r.ooo_spans(), 2, "disjoint spans stay separate");
+        r.on_data(t(2), 2000, 1000);
+        assert_eq!(r.ooo_spans(), 1, "bridge merges the spans");
+        // Filling the front hole drains the whole buffer.
+        assert_eq!(r.on_data(t(3), 0, 1000), AckDecision::AckNow { ack: 4000 });
+        assert_eq!(r.ooo_spans(), 0);
+    }
+
+    #[test]
+    fn partial_overlap_advances_without_double_count() {
+        let mut r = TcpReceiver::new(AckPolicy::DelayedEvery2);
+        r.on_data(t(0), 0, 1000);
+        // A retransmission overlapping already-received bytes: the new
+        // tail advances rcv_nxt.
+        r.on_data(t(10), 500, 1000);
+        assert_eq!(r.rcv_nxt(), 1500);
     }
 
     #[test]

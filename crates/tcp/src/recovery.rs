@@ -1,0 +1,313 @@
+//! Loss recovery support: RTT estimation with RTO backoff, and the
+//! loss-adaptive rate pacer.
+//!
+//! The retransmission timer is the facility's own thesis turned on TCP
+//! itself: BSD's 500 ms slow-timeout grid quantizes every RTO to half a
+//! second, but a soft-timer event costs so little that the RTO can sit
+//! at its RFC 6298 value with microsecond granularity — `srtt + 4·rttvar`
+//! on a 100 ms-RTT WAN path is ~100-130 ms, not "whichever 500 ms tick
+//! comes next". [`RttEstimator`] implements the RFC 6298 integer
+//! estimator (SRTT/RTTVAR in scaled fixed point, Karn's rule left to the
+//! caller by only feeding unambiguous samples) plus exponential backoff.
+//!
+//! [`LossPacer`] adapts the paper's rate-based clocking to a lossy path:
+//! the configured interval is the wire time of one segment at the known
+//! bottleneck capacity, and on a loss signal the pacer halves its rate
+//! (doubles its interval), recovering multiplicatively as ACKs arrive.
+//! The max-burst bound is preserved in both directions: the interval
+//! never drops below the capacity spacing, so the sender never bursts
+//! faster than the bottleneck drains.
+
+/// RFC 6298 retransmission-timeout estimator, integer microseconds.
+///
+/// Internally SRTT is kept scaled by 8 and RTTVAR by 4 (the classic
+/// Jacobson/Karels fixed-point trick), so the EWMA shifts are exact.
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    /// SRTT × 8, µs; `None` until the first sample.
+    srtt_x8: Option<u64>,
+    /// RTTVAR × 4, µs.
+    rttvar_x4: u64,
+    /// Current base RTO, µs (before backoff).
+    rto_us: u64,
+    /// Consecutive-timeout backoff exponent.
+    backoff: u32,
+    /// Lower clamp on the RTO, µs.
+    min_rto_us: u64,
+    /// Upper clamp on the (backed-off) RTO, µs.
+    max_rto_us: u64,
+}
+
+/// Backoff exponent cap: 2^6 = 64× the base RTO. Keeps the worst-case
+/// retry schedule bounded (the "bounded backoff" acceptance criterion)
+/// while still spanning three orders of magnitude.
+pub const MAX_BACKOFF: u32 = 6;
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO clamps. Until the first
+    /// RTT sample arrives the RTO is `initial_rto_us` (RFC 6298 says 1 s;
+    /// experiments on a known ~100 ms path may start lower).
+    pub fn new(initial_rto_us: u64, min_rto_us: u64, max_rto_us: u64) -> Self {
+        RttEstimator {
+            srtt_x8: None,
+            rttvar_x4: 0,
+            rto_us: initial_rto_us.clamp(min_rto_us, max_rto_us),
+            backoff: 0,
+            min_rto_us,
+            max_rto_us,
+        }
+    }
+
+    /// Paper-path defaults: 100 ms RTT WAN, so start at 1 s per RFC 6298
+    /// with a 10 ms floor — far below BSD's 500 ms tick, which is the
+    /// point of running the RTO on the soft-timer facility.
+    pub fn wan_defaults() -> Self {
+        RttEstimator::new(1_000_000, 10_000, 64_000_000)
+    }
+
+    /// Feeds one RTT sample, µs. Callers apply Karn's rule: never sample
+    /// a retransmitted segment. A valid sample also resets the backoff.
+    pub fn on_sample(&mut self, rtt_us: u64) {
+        let r = rtt_us.max(1);
+        match self.srtt_x8 {
+            None => {
+                // First measurement: SRTT = R, RTTVAR = R/2.
+                self.srtt_x8 = Some(r * 8);
+                self.rttvar_x4 = r * 2; // (R/2) × 4
+            }
+            Some(srtt_x8) => {
+                // RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R|
+                let srtt = srtt_x8 / 8;
+                let err = srtt.abs_diff(r);
+                self.rttvar_x4 = self.rttvar_x4 - self.rttvar_x4 / 4 + err;
+                // SRTT = 7/8·SRTT + 1/8·R
+                self.srtt_x8 = Some(srtt_x8 - srtt_x8 / 8 + r);
+            }
+        }
+        let srtt = self.srtt_x8.unwrap_or(0) / 8;
+        self.rto_us = (srtt + self.rttvar_x4.max(1)).clamp(self.min_rto_us, self.max_rto_us);
+        self.backoff = 0;
+    }
+
+    /// Smoothed RTT, µs (0 until the first sample).
+    pub fn srtt_us(&self) -> u64 {
+        self.srtt_x8.unwrap_or(0) / 8
+    }
+
+    /// RTT variance, µs.
+    pub fn rttvar_us(&self) -> u64 {
+        self.rttvar_x4 / 4
+    }
+
+    /// The RTO to arm now: base RTO doubled per outstanding backoff step,
+    /// clamped to the maximum.
+    pub fn rto_us(&self) -> u64 {
+        // backoff is capped at MAX_BACKOFF (= 6), so the shift is small.
+        let shifted = self.rto_us.saturating_mul(1u64 << self.backoff);
+        shifted.clamp(self.min_rto_us, self.max_rto_us)
+    }
+
+    /// A retransmission timer expired: double the RTO (up to the cap).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(MAX_BACKOFF);
+    }
+
+    /// Clears the backoff without feeding a sample. RFC 6298 (5.7) and
+    /// every deployed stack do this when an ACK advances `snd_una`:
+    /// forward progress proves the path is passing traffic again, even
+    /// when Karn's rule leaves no segment eligible for measurement —
+    /// without it, serial tail-hole recovery pays an already-obsolete
+    /// backoff on every hole.
+    pub fn reset_backoff(&mut self) {
+        self.backoff = 0;
+    }
+
+    /// Current backoff exponent.
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+}
+
+/// Loss-adaptive pacing interval for rate-based clocking.
+#[derive(Debug, Clone, Copy)]
+pub struct LossPacer {
+    /// Capacity spacing: wire time of one full frame at the bottleneck,
+    /// µs. The interval never goes below this (the max-burst bound).
+    base_interval_us: u64,
+    /// Current interval, µs.
+    interval_us: u64,
+    /// Slowest allowed rate: `base × 2^MAX_SLOWDOWN_SHIFT`.
+    max_interval_us: u64,
+}
+
+/// The pacer never slows past 64× the capacity interval.
+const MAX_SLOWDOWN_SHIFT: u32 = 6;
+
+impl LossPacer {
+    /// Creates a pacer clocked at the known capacity interval.
+    pub fn new(base_interval_us: u64) -> Self {
+        let base = base_interval_us.max(1);
+        LossPacer {
+            base_interval_us: base,
+            interval_us: base,
+            max_interval_us: base << MAX_SLOWDOWN_SHIFT,
+        }
+    }
+
+    /// Current release interval, µs. Always ≥ the capacity interval, so
+    /// the sender's burst rate never exceeds what the bottleneck drains.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// The capacity interval the pacer converges back to.
+    pub fn base_interval_us(&self) -> u64 {
+        self.base_interval_us
+    }
+
+    /// A loss signal (fast retransmit or RTO): halve the rate by
+    /// doubling the interval, up to the slowdown cap.
+    pub fn on_loss(&mut self) {
+        self.interval_us = (self.interval_us * 2).min(self.max_interval_us);
+    }
+
+    /// An ACK advanced the window: recover 1/8 of the way back toward
+    /// the capacity rate (multiplicative decrease, gradual recovery —
+    /// the same shape as the RTT estimator's gains).
+    pub fn on_progress(&mut self) {
+        let above = self.interval_us - self.base_interval_us;
+        let step = (above / 8).max(u64::from(above > 0));
+        self.interval_us -= step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_per_rfc6298() {
+        let mut e = RttEstimator::new(1_000_000, 1_000, 60_000_000);
+        e.on_sample(100_000); // 100 ms
+        assert_eq!(e.srtt_us(), 100_000);
+        assert_eq!(e.rttvar_us(), 50_000);
+        // RTO = SRTT + 4·RTTVAR = 100 + 200 = 300 ms.
+        assert_eq!(e.rto_us(), 300_000);
+    }
+
+    #[test]
+    fn srtt_and_rttvar_converge_on_a_steady_path() {
+        let mut e = RttEstimator::new(1_000_000, 1_000, 60_000_000);
+        for _ in 0..100 {
+            e.on_sample(100_000);
+        }
+        // Steady samples: SRTT pins to the sample, RTTVAR decays toward
+        // zero, RTO approaches SRTT (clamped only by the floor).
+        assert!(
+            (99_000..=100_000).contains(&e.srtt_us()),
+            "srtt {}",
+            e.srtt_us()
+        );
+        assert!(e.rttvar_us() < 2_000, "rttvar {}", e.rttvar_us());
+        assert!(e.rto_us() < 110_000, "rto {}", e.rto_us());
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut e = RttEstimator::new(1_000_000, 1_000, 60_000_000);
+        for i in 0..200u64 {
+            e.on_sample(if i % 2 == 0 { 80_000 } else { 120_000 });
+        }
+        // ±20 ms jitter around a 100 ms mean keeps RTTVAR well above the
+        // steady-state floor, widening the RTO margin.
+        assert!(
+            (90_000..=110_000).contains(&e.srtt_us()),
+            "srtt {}",
+            e.srtt_us()
+        );
+        assert!(e.rttvar_us() > 10_000, "rttvar {}", e.rttvar_us());
+        assert!(e.rto_us() > e.srtt_us() + 40_000, "rto {}", e.rto_us());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RttEstimator::new(1_000_000, 1_000, 600_000_000);
+        e.on_sample(100_000); // RTO 300 ms
+        let base = e.rto_us();
+        let mut expected = base;
+        for _ in 0..MAX_BACKOFF {
+            e.on_timeout();
+            expected *= 2;
+            assert_eq!(e.rto_us(), expected);
+        }
+        // Further timeouts stay at the cap: bounded backoff.
+        e.on_timeout();
+        e.on_timeout();
+        assert_eq!(e.backoff(), MAX_BACKOFF);
+        assert_eq!(e.rto_us(), base << MAX_BACKOFF);
+    }
+
+    #[test]
+    fn sample_resets_backoff() {
+        let mut e = RttEstimator::new(1_000_000, 1_000, 60_000_000);
+        e.on_sample(100_000);
+        e.on_timeout();
+        e.on_timeout();
+        assert_eq!(e.backoff(), 2);
+        e.on_sample(100_000);
+        assert_eq!(e.backoff(), 0);
+        assert!(e.rto_us() < 400_000);
+    }
+
+    #[test]
+    fn ack_progress_resets_backoff_without_a_sample() {
+        let mut e = RttEstimator::new(1_000_000, 1_000, 60_000_000);
+        e.on_sample(100_000);
+        let base = e.rto_us();
+        e.on_timeout();
+        e.on_timeout();
+        assert_eq!(e.backoff(), 2);
+        e.reset_backoff();
+        assert_eq!(e.backoff(), 0);
+        assert_eq!(e.rto_us(), base, "estimate itself must be untouched");
+    }
+
+    #[test]
+    fn rto_respects_clamps() {
+        let mut e = RttEstimator::new(500, 10_000, 20_000);
+        assert_eq!(e.rto_us(), 10_000, "initial clamped up to the floor");
+        e.on_sample(100_000);
+        assert_eq!(e.rto_us(), 20_000, "clamped down to the ceiling");
+    }
+
+    #[test]
+    fn pacer_halves_rate_on_loss_and_recovers() {
+        let mut p = LossPacer::new(240);
+        assert_eq!(p.interval_us(), 240);
+        p.on_loss();
+        assert_eq!(p.interval_us(), 480, "half rate = double interval");
+        p.on_loss();
+        assert_eq!(p.interval_us(), 960);
+        for _ in 0..200 {
+            p.on_progress();
+        }
+        assert_eq!(p.interval_us(), 240, "recovers to capacity rate");
+    }
+
+    #[test]
+    fn pacer_preserves_the_max_burst_bound() {
+        let mut p = LossPacer::new(240);
+        for _ in 0..1_000 {
+            p.on_progress();
+        }
+        assert_eq!(p.interval_us(), 240, "never faster than capacity");
+        for _ in 0..100 {
+            p.on_loss();
+        }
+        assert_eq!(
+            p.interval_us(),
+            240 << MAX_SLOWDOWN_SHIFT,
+            "slowdown capped so the transfer cannot livelock"
+        );
+    }
+}

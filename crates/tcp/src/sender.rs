@@ -1,6 +1,12 @@
-//! The TCP sender: windows, slow start, and rate-based clocking.
+//! The TCP sender: windows, slow start, rate-based clocking, and loss
+//! recovery (fast retransmit / fast recovery per RFC 5681, with NewReno
+//! partial-ACK retransmission).
 
 use st_net::packet::{ConnId, Packet, MSS};
+
+/// Duplicate-ACK threshold for fast retransmit. Two dup ACKs tolerate
+/// simple reordering; the third signals a real hole (RFC 5681).
+pub const DUP_ACK_THRESHOLD: u32 = 3;
 
 /// How the sender clocks transmissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,9 +76,31 @@ pub struct TcpSender {
     snd_una: u64,
     /// Congestion window in bytes (self-clocked mode).
     cwnd: u64,
+    /// Slow-start threshold in bytes; starts effectively unbounded.
+    ssthresh: u64,
+    /// Consecutive duplicate ACKs for the current `snd_una`.
+    dup_acks: u32,
+    /// Fast-recovery exit point (`snd_nxt` when recovery was entered).
+    recover: Option<u64>,
     /// Duplicate-free count of ACKs processed (growth bookkeeping).
     acks_processed: u64,
     segments_sent: u64,
+    retransmits: u64,
+    fast_retransmits: u64,
+    timeouts: u64,
+}
+
+/// What processing one ACK tells the caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AckOutcome {
+    /// Bytes newly acknowledged (0 for a duplicate or stale ACK).
+    pub newly_acked: u64,
+    /// A segment to retransmit right now: fast retransmit on the third
+    /// duplicate ACK, or a NewReno partial-ACK retransmission.
+    pub retransmit: Option<u64>,
+    /// A loss was inferred from this ACK — a rate-based pacer should
+    /// halve its rate.
+    pub loss_signal: bool,
 }
 
 impl TcpSender {
@@ -85,8 +113,14 @@ impl TcpSender {
             snd_nxt: 0,
             snd_una: 0,
             cwnd: config.mss as u64 * config.initial_cwnd_segments as u64,
+            ssthresh: u64::MAX,
+            dup_acks: 0,
+            recover: None,
             acks_processed: 0,
             segments_sent: 0,
+            retransmits: 0,
+            fast_retransmits: 0,
+            timeouts: 0,
         }
     }
 
@@ -153,23 +187,139 @@ impl TcpSender {
         Some(p)
     }
 
-    /// Processes a cumulative ACK up to `ackno`. Returns the number of
-    /// newly acknowledged bytes. In self-clocked mode, slow start grows
-    /// the congestion window by one MSS per ACK that advances `snd_una` —
-    /// which is why delayed and big ACKs slow the ramp (Appendix A).
-    pub fn on_ack(&mut self, ackno: u64) -> u64 {
-        if ackno <= self.snd_una {
-            return 0;
+    /// Processes a cumulative ACK up to `ackno`.
+    ///
+    /// An advancing ACK grows the window — slow start below `ssthresh`
+    /// (one MSS per ACK, which is why delayed and big ACKs slow the
+    /// ramp, Appendix A), congestion avoidance above it. A duplicate ACK
+    /// with data outstanding counts toward fast retransmit: the third
+    /// (RFC 5681's `DupThresh`) retransmits `snd_una`, halves the window
+    /// into `ssthresh`, and enters fast recovery; partial ACKs during
+    /// recovery retransmit the next hole (NewReno); the ACK covering
+    /// `recover` deflates the window and exits.
+    pub fn on_ack(&mut self, ackno: u64) -> AckOutcome {
+        if ackno < self.snd_una {
+            return AckOutcome::default(); // stale
         }
-        let newly = ackno - self.snd_una;
-        self.snd_una = ackno.min(self.snd_nxt);
+        let mss = self.config.mss as u64;
+        if ackno == self.snd_una {
+            if self.inflight() == 0 {
+                // Nothing outstanding: a keepalive, not a loss signal.
+                return AckOutcome::default();
+            }
+            self.dup_acks += 1;
+            if self.dup_acks == DUP_ACK_THRESHOLD && self.recover.is_none() {
+                // Fast retransmit: the hole at snd_una is lost. Halve,
+                // inflate by the three dups, enter fast recovery.
+                self.ssthresh = (self.inflight() / 2).max(2 * mss);
+                self.cwnd = self.ssthresh + u64::from(DUP_ACK_THRESHOLD) * mss;
+                self.recover = Some(self.snd_nxt);
+                self.fast_retransmits += 1;
+                return AckOutcome {
+                    newly_acked: 0,
+                    retransmit: Some(self.snd_una),
+                    loss_signal: true,
+                };
+            }
+            if self.recover.is_some() {
+                // Window inflation: each further dup means one more
+                // segment left the network.
+                self.cwnd += mss;
+            }
+            return AckOutcome::default();
+        }
+        // Advancing ACK.
+        let upto = ackno.min(self.snd_nxt);
+        let newly = upto - self.snd_una;
+        self.snd_una = upto;
+        self.dup_acks = 0;
         self.acks_processed += 1;
-        if self.config.mode == SenderMode::SelfClocked {
-            // Slow start (no loss on the emulated path, so the sender
-            // never leaves it): cwnd += MSS per window-advancing ACK.
-            self.cwnd += self.config.mss as u64;
+        let mut out = AckOutcome {
+            newly_acked: newly,
+            retransmit: None,
+            loss_signal: false,
+        };
+        if let Some(recover) = self.recover {
+            if self.snd_una >= recover {
+                // Full ACK: recovery done; deflate to ssthresh.
+                self.recover = None;
+                self.cwnd = self.ssthresh.max(mss);
+            } else {
+                // NewReno partial ACK: the next hole is lost too —
+                // retransmit it, deflate by what was acked, stay in.
+                self.cwnd = self.cwnd.saturating_sub(newly).max(self.ssthresh) + mss;
+                out.retransmit = Some(self.snd_una);
+            }
+        } else if self.config.mode == SenderMode::SelfClocked {
+            if self.cwnd < self.ssthresh {
+                // Slow start: cwnd += MSS per window-advancing ACK.
+                self.cwnd += mss;
+            } else {
+                // Congestion avoidance: ~one MSS per window per RTT.
+                self.cwnd += (mss * mss / self.cwnd.max(1)).max(1);
+            }
         }
-        newly
+        out
+    }
+
+    /// The retransmission timer expired: classic Reno response. Halve
+    /// `ssthresh`, collapse the window to one segment, abandon any fast
+    /// recovery, and return the oldest unacknowledged sequence number
+    /// for retransmission (`None` when nothing is outstanding).
+    pub fn on_rto(&mut self) -> Option<u64> {
+        if self.inflight() == 0 {
+            return None;
+        }
+        self.timeouts += 1;
+        self.ssthresh = (self.inflight() / 2).max(2 * self.config.mss as u64);
+        self.cwnd = self.config.mss as u64;
+        self.dup_acks = 0;
+        self.recover = None;
+        Some(self.snd_una)
+    }
+
+    /// Builds a retransmission of the segment starting at `seq`.
+    pub fn retransmit_segment(&mut self, packet_id: u64, seq: u64) -> Packet {
+        let remaining = self.transfer_len.saturating_sub(seq);
+        let len = (self.config.mss as u64).min(remaining).max(1) as u32;
+        self.retransmits += 1;
+        self.segments_sent += 1;
+        Packet::data(packet_id, self.conn, seq, len, 0, self.config.rwnd)
+    }
+
+    /// Slow-start threshold, bytes.
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    /// Whether the sender is inside fast recovery.
+    pub fn in_fast_recovery(&self) -> bool {
+        self.recover.is_some()
+    }
+
+    /// Consecutive duplicate ACKs seen for the current `snd_una`.
+    pub fn dup_acks(&self) -> u32 {
+        self.dup_acks
+    }
+
+    /// Total retransmitted segments.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Fast retransmits triggered by the duplicate-ACK threshold.
+    pub fn fast_retransmits(&self) -> u64 {
+        self.fast_retransmits
+    }
+
+    /// Retransmission timeouts taken.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Oldest unacknowledged byte.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
     }
 }
 
@@ -205,7 +355,7 @@ mod tests {
         s.next_segment(1).unwrap();
         assert!(s.next_segment(2).is_none());
         // One ACK for one segment: cwnd 1 -> 2.
-        assert_eq!(s.on_ack(1000), 1000);
+        assert_eq!(s.on_ack(1000).newly_acked, 1000);
         assert_eq!(s.cwnd(), 2000);
         assert!(s.next_segment(2).is_some());
         assert!(s.next_segment(3).is_some());
@@ -275,10 +425,115 @@ mod tests {
         let mut s = sender(SenderMode::SelfClocked, 2, 10_000);
         s.next_segment(1).unwrap();
         s.next_segment(2).unwrap();
-        assert_eq!(s.on_ack(2000), 2000);
+        assert_eq!(s.on_ack(2000).newly_acked, 2000);
         let cwnd = s.cwnd();
-        assert_eq!(s.on_ack(2000), 0, "duplicate");
-        assert_eq!(s.on_ack(1000), 0, "stale");
+        assert_eq!(s.on_ack(2000).newly_acked, 0, "duplicate");
+        assert_eq!(s.on_ack(1000).newly_acked, 0, "stale");
         assert_eq!(s.cwnd(), cwnd, "no growth from duplicates");
+        assert_eq!(s.dup_acks(), 0, "nothing inflight: dups are keepalives");
+    }
+
+    /// Fast retransmit fires on exactly the third duplicate ACK — two
+    /// tolerate reordering (RFC 5681's DupThresh).
+    #[test]
+    fn fast_retransmit_on_third_dup_ack_not_second() {
+        let mut s = sender(SenderMode::SelfClocked, 8, 100_000);
+        for i in 0..8 {
+            s.next_segment(i).unwrap();
+        }
+        assert_eq!(s.on_ack(1000).newly_acked, 1000);
+        // Segment at 1000 lost: dup ACKs for 1000 arrive.
+        assert_eq!(s.on_ack(1000).retransmit, None, "1st dup");
+        assert_eq!(
+            s.on_ack(1000).retransmit,
+            None,
+            "2nd dup: reorder tolerance"
+        );
+        assert!(!s.in_fast_recovery());
+        let third = s.on_ack(1000);
+        assert_eq!(third.retransmit, Some(1000), "3rd dup fires");
+        assert!(third.loss_signal);
+        assert!(s.in_fast_recovery());
+        assert_eq!(s.fast_retransmits(), 1);
+        // ssthresh = inflight/2 = 7000/2 = 3500; cwnd = ssthresh + 3 MSS.
+        assert_eq!(s.ssthresh(), 3500);
+        assert_eq!(s.cwnd(), 6500);
+    }
+
+    #[test]
+    fn fast_recovery_inflates_then_deflates() {
+        let mut s = sender(SenderMode::SelfClocked, 8, 100_000);
+        for i in 0..8 {
+            s.next_segment(i).unwrap();
+        }
+        for _ in 0..3 {
+            s.on_ack(0);
+        }
+        assert!(s.in_fast_recovery());
+        let inflated = s.cwnd();
+        s.on_ack(0); // 4th dup: inflation
+        assert_eq!(s.cwnd(), inflated + 1000);
+        // The retransmission is cumulatively ACKed: full ACK deflates.
+        let out = s.on_ack(8000);
+        assert_eq!(out.newly_acked, 8000);
+        assert!(!s.in_fast_recovery());
+        assert_eq!(s.cwnd(), s.ssthresh(), "window deflates to ssthresh");
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_next_hole() {
+        let mut s = sender(SenderMode::SelfClocked, 8, 100_000);
+        for i in 0..8 {
+            s.next_segment(i).unwrap();
+        }
+        // Segments 0 and 3 lost. Dups for 0 trigger fast retransmit.
+        for _ in 0..3 {
+            s.on_ack(0);
+        }
+        assert!(s.in_fast_recovery());
+        // The retransmitted 0 is ACKed up to the next hole at 3000: a
+        // partial ACK — retransmit the hole, stay in recovery.
+        let out = s.on_ack(3000);
+        assert_eq!(out.retransmit, Some(3000));
+        assert!(s.in_fast_recovery());
+        // ACK past `recover` exits.
+        s.on_ack(8000);
+        assert!(!s.in_fast_recovery());
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment() {
+        let mut s = sender(SenderMode::SelfClocked, 8, 100_000);
+        for i in 0..8 {
+            s.next_segment(i).unwrap();
+        }
+        assert_eq!(s.on_rto(), Some(0), "retransmit the head");
+        assert_eq!(s.cwnd(), 1000, "window collapses to one MSS");
+        assert_eq!(s.ssthresh(), 4000, "half the 8000 inflight");
+        assert_eq!(s.timeouts(), 1);
+        let p = s.retransmit_segment(99, 0);
+        assert_eq!((p.tcp.seq, p.payload_bytes), (0, 1000));
+        assert_eq!(s.retransmits(), 1);
+        // Growth after the collapse is slow start up to ssthresh, then
+        // congestion avoidance: cwnd 1000 -> 2000 (slow start) ...
+        s.on_ack(1000);
+        assert_eq!(s.cwnd(), 2000);
+        s.on_ack(2000);
+        s.on_ack(3000);
+        assert_eq!(s.cwnd(), 4000, "reached ssthresh");
+        // ... then additive: +mss²/cwnd = +250.
+        s.on_ack(4000);
+        assert_eq!(s.cwnd(), 4250, "congestion avoidance");
+    }
+
+    #[test]
+    fn rto_with_nothing_inflight_is_a_no_op() {
+        let mut s = sender(SenderMode::SelfClocked, 2, 2_000);
+        s.next_segment(1).unwrap();
+        s.next_segment(2).unwrap();
+        s.on_ack(2000);
+        assert!(s.complete());
+        assert_eq!(s.on_rto(), None);
+        assert_eq!(s.timeouts(), 0);
     }
 }

@@ -31,13 +31,26 @@ echo "== observability smoke: repro --json / --trace =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cargo run --release --offline -p st-experiments --bin repro -- \
-    sec52 trace_overhead --quick --seed 3 \
+    sec52 trace_overhead congestion --quick --seed 3 \
     --json "$SMOKE_DIR/metrics.json" --trace "$SMOKE_DIR/trace" >/dev/null
 for f in metrics.json trace/chrome_trace.json trace/metrics.jsonl trace/summary.txt; do
     [ -s "$SMOKE_DIR/$f" ] || { echo "smoke: missing or empty $f" >&2; exit 1; }
 done
-[ "$(wc -l < "$SMOKE_DIR/metrics.json")" -eq 2 ] \
+[ "$(wc -l < "$SMOKE_DIR/metrics.json")" -eq 3 ] \
     || { echo "smoke: expected one JSON line per experiment" >&2; exit 1; }
+# The lossy path must replay byte-for-byte from one seed: the whole
+# loss-recovery stack (wire faults, drop-tail queue, dup ACKs, RTO
+# backoff, soft-timer residuals) hangs off forked seeded RNG streams.
+cargo run --release --offline -p st-experiments --bin repro -- \
+    congestion --quick --seed 3 --json - > "$SMOKE_DIR/congestion_a.json"
+cargo run --release --offline -p st-experiments --bin repro -- \
+    congestion --quick --seed 3 --json - > "$SMOKE_DIR/congestion_b.json"
+cmp -s "$SMOKE_DIR/congestion_a.json" "$SMOKE_DIR/congestion_b.json" \
+    || { echo "smoke: congestion replay diverged between identical seeds" >&2; exit 1; }
+grep -q '"pacing_wins":1' "$SMOKE_DIR/congestion_a.json" \
+    || { echo "smoke: paced sender did not beat slow start through the small buffer" >&2; exit 1; }
+grep -q '"backoff_bounded":1' "$SMOKE_DIR/congestion_a.json" \
+    || { echo "smoke: RTO backoff exceeded its bound" >&2; exit 1; }
 
 echo "== bench suite (smoke) + perf gate =="
 # Measures the hot-path suite at smoke precision, then gates it against
