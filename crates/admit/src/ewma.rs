@@ -1,0 +1,126 @@
+//! Fixed-point exponentially weighted moving averages.
+//!
+//! Same idiom as the RTO estimator's scaled SRTT/RTTVAR (PR 5,
+//! `st_tcp::recovery`): the accumulator keeps the average scaled by
+//! `2^shift`, each update folds in one sample with integer shifts only,
+//! and the visible value is the accumulator shifted back down. No
+//! floats anywhere — the st-lint `no-float-in-bounds` rule watches this
+//! crate.
+
+/// An integer EWMA with gain `1 / 2^shift`.
+///
+/// # Examples
+///
+/// ```
+/// use st_admit::FixedEwma;
+///
+/// let mut e = FixedEwma::new(3); // gain 1/8
+/// e.update(800);
+/// assert_eq!(e.value(), 800); // first sample seeds the average
+/// for _ in 0..100 {
+///     e.update(1600);
+/// }
+/// assert!(e.value() > 1500); // converges toward the new level
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedEwma {
+    /// Average scaled by `2^shift`; zero means unseeded.
+    scaled: u64,
+    shift: u32,
+    seeded: bool,
+}
+
+impl FixedEwma {
+    /// Creates an empty EWMA with gain `1 / 2^shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shift` is zero or large enough to overflow the
+    /// scaled accumulator for microsecond-range samples.
+    pub fn new(shift: u32) -> Self {
+        assert!((1..=16).contains(&shift), "shift {shift} out of range");
+        FixedEwma {
+            scaled: 0,
+            shift,
+            seeded: false,
+        }
+    }
+
+    /// Folds one sample in. The first sample seeds the average exactly.
+    pub fn update(&mut self, sample: u64) {
+        if !self.seeded {
+            self.scaled = sample << self.shift;
+            self.seeded = true;
+            return;
+        }
+        // scaled += sample - scaled/2^shift, in saturating form so a
+        // hostile sample cannot wrap the accumulator.
+        self.scaled = self
+            .scaled
+            .saturating_sub(self.scaled >> self.shift)
+            .saturating_add(sample);
+    }
+
+    /// Current average (rounded down); zero before any sample.
+    pub fn value(&self) -> u64 {
+        self.scaled >> self.shift
+    }
+
+    /// Whether any sample has been folded in.
+    pub fn seeded(&self) -> bool {
+        self.seeded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_exactly() {
+        let mut e = FixedEwma::new(4);
+        assert_eq!(e.value(), 0);
+        assert!(!e.seeded());
+        e.update(12_345);
+        assert_eq!(e.value(), 12_345);
+        assert!(e.seeded());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = FixedEwma::new(3);
+        e.update(100);
+        for _ in 0..200 {
+            e.update(4_000);
+        }
+        let v = e.value();
+        assert!((3_900..=4_000).contains(&v), "value {v}");
+    }
+
+    #[test]
+    fn larger_shift_reacts_slower() {
+        let mut fast = FixedEwma::new(2);
+        let mut slow = FixedEwma::new(6);
+        fast.update(0);
+        slow.update(0);
+        for _ in 0..8 {
+            fast.update(1_000);
+            slow.update(1_000);
+        }
+        assert!(fast.value() > slow.value());
+    }
+
+    #[test]
+    fn hostile_sample_does_not_wrap() {
+        let mut e = FixedEwma::new(1);
+        e.update(u64::MAX);
+        e.update(u64::MAX);
+        assert!(e.value() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_shift_rejected() {
+        let _ = FixedEwma::new(0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Adaptive concurrency limiters.
+//!
+//! A limiter owns one number — the concurrency limit — and re-derives
+//! it from periodic samples of `(inflight, rtt)`. The sampling cadence
+//! is the caller's business: in the saturation model the sample arrives
+//! from a soft-timer event (or the 1 kHz hardware-timer variant for the
+//! paper's cost contrast); the limiter itself is pure integer state so
+//! the same trace of samples always yields the same limit sequence.
+//!
+//! The three families mirror the classic TCP congestion-control trio
+//! restated for request concurrency:
+//!
+//! - [`AimdLimiter`]: loss-based — a latency budget breach is the
+//!   congestion signal; multiplicative decrease, additive increase.
+//! - [`VegasLimiter`]: delay-based — estimate how many requests are
+//!   *queued* (not being served) from the RTT above its observed base,
+//!   and hold that estimate inside an `[alpha, beta]` band.
+//! - [`GradientLimiter`]: trend-based — compare the current RTT to a
+//!   long-window EWMA; a rising short-term RTT shrinks the limit
+//!   multiplicatively before the queue is deep.
+
+use crate::ewma::FixedEwma;
+
+/// One periodic observation handed to a limiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Requests admitted and not yet completed at the sample instant.
+    pub inflight: u64,
+    /// Smoothed request latency in microseconds (zero = no signal yet).
+    pub rtt_us: u64,
+}
+
+/// An adaptive concurrency limiter: a stream of samples in, a limit out.
+pub trait Limiter {
+    /// Folds one sample in and returns the new limit.
+    fn on_update(&mut self, sample: Sample) -> u64;
+
+    /// The current limit.
+    fn limit(&self) -> u64;
+
+    /// Stable lower-case name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which limiter family to build — plain data, so experiment configs
+/// stay `Copy` and serializable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimiterKind {
+    /// [`AimdLimiter`] with the given latency budget.
+    Aimd,
+    /// [`VegasLimiter`].
+    Vegas,
+    /// [`GradientLimiter`].
+    Gradient,
+}
+
+impl LimiterKind {
+    /// Builds the limiter with defaults tuned for `rtt_budget_us` (the
+    /// latency the caller wants to stay under) and a hard `max` limit.
+    pub fn build(self, rtt_budget_us: u64, max: u64) -> Box<dyn Limiter> {
+        match self {
+            LimiterKind::Aimd => Box::new(AimdLimiter::new(rtt_budget_us, max)),
+            LimiterKind::Vegas => Box::new(VegasLimiter::new(max)),
+            LimiterKind::Gradient => Box::new(GradientLimiter::new(max)),
+        }
+    }
+
+    /// Stable lower-case name (matches [`Limiter::name`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            LimiterKind::Aimd => "aimd",
+            LimiterKind::Vegas => "vegas",
+            LimiterKind::Gradient => "gradient",
+        }
+    }
+}
+
+fn clamp(v: u64, lo: u64, hi: u64) -> u64 {
+    v.max(lo).min(hi)
+}
+
+/// Additive-increase / multiplicative-decrease on a latency budget.
+///
+/// While the smoothed RTT stays under the budget the limit grows by one
+/// per update — but only when the window is actually utilized, so an
+/// idle server does not inflate its limit to the ceiling. A budget
+/// breach halves the limit (floor 1).
+#[derive(Debug, Clone)]
+pub struct AimdLimiter {
+    limit: u64,
+    min: u64,
+    max: u64,
+    /// Latency budget in microseconds; above this is "congestion".
+    budget_us: u64,
+}
+
+impl AimdLimiter {
+    /// A limiter starting at `min = 1` with the given budget and cap.
+    pub fn new(budget_us: u64, max: u64) -> Self {
+        assert!(budget_us > 0, "latency budget must be positive");
+        assert!(max >= 1, "max limit must admit at least one request");
+        AimdLimiter {
+            limit: 1,
+            min: 1,
+            max,
+            budget_us,
+        }
+    }
+}
+
+impl Limiter for AimdLimiter {
+    fn on_update(&mut self, s: Sample) -> u64 {
+        if s.rtt_us > self.budget_us {
+            self.limit = clamp(self.limit / 2, self.min, self.max);
+        } else if s.inflight.saturating_mul(2) >= self.limit {
+            // Additive increase only under utilization pressure.
+            self.limit = clamp(self.limit + 1, self.min, self.max);
+        }
+        self.limit
+    }
+
+    fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+}
+
+/// Vegas-style queue-delay limiter.
+///
+/// `queued ≈ limit · (rtt − base) / rtt` estimates how many of the
+/// admitted requests are waiting rather than being served (`base` is
+/// the smallest RTT ever observed — pure service time). The limit
+/// creeps up while the estimate sits under `alpha` and backs off while
+/// it exceeds `beta`, converging to a few requests' worth of queue.
+#[derive(Debug, Clone)]
+pub struct VegasLimiter {
+    limit: u64,
+    min: u64,
+    max: u64,
+    /// Smallest RTT observed, µs (zero = unseeded).
+    base_rtt_us: u64,
+    /// Grow below this many estimated queued requests.
+    alpha: u64,
+    /// Shrink above this many estimated queued requests.
+    beta: u64,
+}
+
+impl VegasLimiter {
+    /// A limiter with the classic `alpha = 3`, `beta = 6` band.
+    pub fn new(max: u64) -> Self {
+        assert!(max >= 1, "max limit must admit at least one request");
+        VegasLimiter {
+            limit: 1,
+            min: 1,
+            max,
+            base_rtt_us: 0,
+            alpha: 3,
+            beta: 6,
+        }
+    }
+
+    /// Estimated queued requests for one sample.
+    fn queue_estimate(&self, rtt_us: u64) -> u64 {
+        if rtt_us == 0 || self.base_rtt_us == 0 {
+            return 0;
+        }
+        let excess = rtt_us.saturating_sub(self.base_rtt_us);
+        self.limit.saturating_mul(excess) / rtt_us
+    }
+}
+
+impl Limiter for VegasLimiter {
+    fn on_update(&mut self, s: Sample) -> u64 {
+        if s.rtt_us > 0 && (self.base_rtt_us == 0 || s.rtt_us < self.base_rtt_us) {
+            self.base_rtt_us = s.rtt_us;
+        }
+        let queued = self.queue_estimate(s.rtt_us);
+        if queued > self.beta {
+            self.limit = clamp(self.limit.saturating_sub(1), self.min, self.max);
+        } else if queued < self.alpha && s.inflight.saturating_mul(2) >= self.limit {
+            self.limit = clamp(self.limit + 1, self.min, self.max);
+        }
+        self.limit
+    }
+
+    fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+}
+
+/// Gradient scale in fixed-point: 1024 = 1.0.
+const GRAD_ONE: u64 = 1024;
+/// Shrink floor per update: 0.5 in fixed-point.
+const GRAD_FLOOR: u64 = 512;
+/// Tolerance headroom: the limit only shrinks when the current RTT
+/// exceeds the long-window average by more than 1024/`GRAD_TOL` ≈ 10 %.
+const GRAD_TOL: u64 = 1126;
+
+/// Windowed gradient limiter.
+///
+/// Keeps a long-window EWMA of the RTT and compares each fresh sample
+/// against it: `gradient = long · tol / short`, clamped to
+/// `[0.5, 1.0]` in fixed-point. The limit is multiplied by the gradient
+/// (fast multiplicative shrink when latency trends up) and earns one
+/// additive credit per update while utilized (recovery).
+#[derive(Debug, Clone)]
+pub struct GradientLimiter {
+    limit: u64,
+    min: u64,
+    max: u64,
+    /// Long-window RTT average (gain 1/64).
+    long_rtt: FixedEwma,
+}
+
+impl GradientLimiter {
+    /// A limiter with a 1/64-gain long window.
+    pub fn new(max: u64) -> Self {
+        assert!(max >= 1, "max limit must admit at least one request");
+        GradientLimiter {
+            limit: 1,
+            min: 1,
+            max,
+            long_rtt: FixedEwma::new(6),
+        }
+    }
+}
+
+impl Limiter for GradientLimiter {
+    fn on_update(&mut self, s: Sample) -> u64 {
+        if s.rtt_us == 0 {
+            return self.limit;
+        }
+        self.long_rtt.update(s.rtt_us);
+        let long = self.long_rtt.value().max(1);
+        let gradient = clamp(
+            long.saturating_mul(GRAD_TOL) / s.rtt_us.max(1),
+            GRAD_FLOOR,
+            GRAD_ONE,
+        );
+        let scaled = self.limit.saturating_mul(gradient) / GRAD_ONE;
+        let credit = u64::from(s.inflight.saturating_mul(2) >= self.limit);
+        self.limit = clamp(scaled + credit, self.min, self.max);
+        self.limit
+    }
+
+    fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn name(&self) -> &'static str {
+        "gradient"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays the same synthetic closed-feedback trace into a fresh
+    /// limiter: at every step the server is saturated (inflight equals
+    /// the limit) and the RTT is service time plus queueing that grows
+    /// with the limit — the shape an overloaded FIFO server produces.
+    fn drive(l: &mut dyn Limiter, steps: usize, service_us: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let inflight = l.limit();
+            let rtt_us = service_us + inflight * service_us;
+            out.push(l.on_update(Sample { inflight, rtt_us }));
+        }
+        out
+    }
+
+    #[test]
+    fn same_trace_same_limit_sequence() {
+        let budget = 25_000;
+        let mk: [fn() -> Box<dyn Limiter>; 3] = [
+            || Box::new(AimdLimiter::new(25_000, 1_000)),
+            || Box::new(VegasLimiter::new(1_000)),
+            || Box::new(GradientLimiter::new(1_000)),
+        ];
+        let _ = budget;
+        for f in mk {
+            let a = drive(f().as_mut(), 500, 1_290);
+            let b = drive(f().as_mut(), 500, 1_290);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn aimd_converges_to_a_fixed_band() {
+        let mut l = AimdLimiter::new(25_000, 1_000);
+        let seq = drive(&mut l, 400, 1_290);
+        // Under the feedback rtt = (1 + limit) * 1.29 ms and a 25 ms
+        // budget, the breach point is limit ≈ 18: AIMD must oscillate
+        // in a band below that and never collapse to the floor.
+        let tail = &seq[100..];
+        let lo = *tail.iter().min().unwrap();
+        let hi = *tail.iter().max().unwrap();
+        assert!(lo >= 4, "tail low {lo}");
+        assert!(hi <= 20, "tail high {hi}");
+        assert!(hi > lo, "AIMD should keep probing, not freeze");
+        // And the band repeats: the last value reappears earlier in the
+        // tail (a cycle, i.e. converged oscillation).
+        let last = *seq.last().unwrap();
+        assert!(tail[..tail.len() - 1].contains(&last));
+    }
+
+    #[test]
+    fn vegas_holds_queue_in_band() {
+        let mut l = VegasLimiter::new(1_000);
+        let seq = drive(&mut l, 400, 1_290);
+        let tail = &seq[200..];
+        // queued ≈ limit²/(limit+1): alpha=3/beta=6 pins the limit
+        // to single digits under this feedback.
+        for v in tail {
+            assert!((2..=9).contains(v), "limit {v} left the Vegas band");
+        }
+    }
+
+    #[test]
+    fn gradient_shrinks_on_rising_rtt() {
+        let mut l = GradientLimiter::new(1_000);
+        // Flat RTT: the limit grows on utilization credits.
+        for _ in 0..50 {
+            l.on_update(Sample {
+                inflight: l.limit(),
+                rtt_us: 2_000,
+            });
+        }
+        let grown = l.limit();
+        assert!(grown >= 10, "grew only to {grown}");
+        // RTT doubles: multiplicative shrink beats the +1 credit.
+        for _ in 0..10 {
+            l.on_update(Sample {
+                inflight: l.limit(),
+                rtt_us: 40_000,
+            });
+        }
+        assert!(l.limit() < grown / 2, "no shrink: {} vs {grown}", l.limit());
+    }
+
+    #[test]
+    fn idle_server_does_not_inflate_limits() {
+        for mut l in [
+            Box::new(AimdLimiter::new(25_000, 100)) as Box<dyn Limiter>,
+            Box::new(VegasLimiter::new(100)),
+        ] {
+            for _ in 0..100 {
+                l.on_update(Sample {
+                    inflight: 0,
+                    rtt_us: 1_000,
+                });
+            }
+            assert!(l.limit() <= 2, "{} inflated idle: {}", l.name(), l.limit());
+        }
+    }
+
+    #[test]
+    fn limits_respect_caps() {
+        let mut a = AimdLimiter::new(1_000_000, 7);
+        for _ in 0..100 {
+            a.on_update(Sample {
+                inflight: 100,
+                rtt_us: 10,
+            });
+        }
+        assert_eq!(a.limit(), 7);
+        // Vegas: grow on a near-base RTT, then a deep queue signal
+        // (rtt far above base) walks the limit back down.
+        let mut v = VegasLimiter::new(1_000);
+        v.on_update(Sample {
+            inflight: 1,
+            rtt_us: 1_000,
+        });
+        for _ in 0..30 {
+            v.on_update(Sample {
+                inflight: v.limit(),
+                rtt_us: 1_100,
+            });
+        }
+        let grown = v.limit();
+        assert!(grown > 10, "grew only to {grown}");
+        for _ in 0..40 {
+            v.on_update(Sample {
+                inflight: v.limit(),
+                rtt_us: 200_000,
+            });
+        }
+        assert!(v.limit() < grown / 2, "no shrink: {}", v.limit());
+    }
+
+    #[test]
+    fn kind_builds_matching_names() {
+        for kind in [LimiterKind::Aimd, LimiterKind::Vegas, LimiterKind::Gradient] {
+            let l = kind.build(25_000, 100);
+            assert_eq!(l.name(), kind.label());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Determinism and convergence properties of the limiter families.
+//!
+//! These are the PR 6 acceptance properties at the crate boundary:
+//! the same observation trace must always produce the same limit
+//! sequence (the `repro overload --json` replay gate depends on it),
+//! and AIMD must converge to a bounded oscillation band rather than
+//! wandering.
+
+use st_admit::{
+    AdmissionController, Decision, Limiter, LimiterKind, RejectPolicy, RequestClass, Sample,
+};
+
+/// A synthetic closed-feedback latency model: serving `inflight`
+/// requests costs `(1 + inflight) * service_us` — a linear queue.
+fn feedback_rtt(inflight: u64, service_us: u64) -> u64 {
+    (1 + inflight) * service_us
+}
+
+fn drive(limiter: &mut dyn Limiter, service_us: u64, steps: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let inflight = limiter.limit();
+        let rtt = feedback_rtt(inflight, service_us);
+        out.push(limiter.on_update(Sample {
+            inflight,
+            rtt_us: rtt,
+        }));
+    }
+    out
+}
+
+#[test]
+fn every_limiter_kind_is_trace_deterministic() {
+    for kind in [LimiterKind::Aimd, LimiterKind::Vegas, LimiterKind::Gradient] {
+        let mut a = kind.build(25_000, 256);
+        let mut b = kind.build(25_000, 256);
+        let seq_a = drive(a.as_mut(), 1_290, 400);
+        let seq_b = drive(b.as_mut(), 1_290, 400);
+        assert_eq!(seq_a, seq_b, "{} diverged on identical traces", a.name());
+    }
+}
+
+#[test]
+fn aimd_converges_to_a_fixed_oscillation_band() {
+    let mut l = LimiterKind::Aimd.build(25_000, 256);
+    let seq = drive(l.as_mut(), 1_290, 600);
+    let tail = &seq[400..];
+    let lo = *tail.iter().min().unwrap();
+    let hi = *tail.iter().max().unwrap();
+    // Budget 25 ms at ~1.29 ms/slot: the sawtooth lives well inside
+    // [4, 20] and must keep oscillating (not flatline at min or max).
+    assert!(lo >= 4 && hi <= 20, "band [{lo}, {hi}] escaped");
+    assert!(hi > lo, "AIMD stopped oscillating");
+    // Once converged the sawtooth is periodic: take the distance
+    // between the first two minima as the period and check the whole
+    // tail repeats with it.
+    let first = tail.iter().position(|&v| v == lo).unwrap();
+    let period = 1 + tail[first + 1..].iter().position(|&v| v == lo).unwrap();
+    assert!(period >= 2, "degenerate sawtooth period");
+    for i in 0..tail.len() - period {
+        assert_eq!(tail[i], tail[i + period], "tail is not periodic at {i}");
+    }
+}
+
+#[test]
+fn vegas_and_gradient_hold_bounded_limits_under_feedback() {
+    for kind in [LimiterKind::Vegas, LimiterKind::Gradient] {
+        let mut l = kind.build(25_000, 256);
+        let seq = drive(l.as_mut(), 1_290, 600);
+        let tail = &seq[400..];
+        let hi = *tail.iter().max().unwrap();
+        assert!(
+            hi < 256,
+            "{} pinned at its cap under loaded feedback",
+            l.name()
+        );
+        assert!(tail.iter().all(|&v| v >= 1));
+    }
+}
+
+#[test]
+fn controller_replays_identically_from_the_same_event_trace() {
+    let run = || {
+        let mut c = AdmissionController::new(
+            LimiterKind::Vegas,
+            RejectPolicy::DelayedShed { delay_ticks: 250 },
+            25_000,
+            128,
+        );
+        let mut outcomes = Vec::new();
+        // A fixed interleaving of arrivals, completions and updates --
+        // no RNG anywhere, mimicking one saturation-run schedule.
+        for step in 0u64..2_000 {
+            let class = if step % 5 == 4 {
+                RequestClass::Bulk
+            } else {
+                RequestClass::Interactive
+            };
+            let admitted = c.try_admit(class) == Decision::Admit;
+            outcomes.push(u64::from(admitted));
+            if admitted && step % 3 != 0 {
+                c.on_complete(class, 700 + (step % 7) * 300);
+            }
+            if step % 50 == 49 {
+                c.update_limits(step * 1_000);
+                outcomes.push(c.limit(RequestClass::Interactive));
+                outcomes.push(c.limit(RequestClass::Bulk));
+            }
+        }
+        outcomes
+    };
+    assert_eq!(run(), run());
+}

@@ -16,6 +16,7 @@
 //! flags tolerance-exceeding regressions — `scripts/perf_gate.sh`
 //! drives that from CI.
 
+use st_admit::{AdmissionController, Decision, LimiterKind, RejectPolicy, RequestClass};
 use st_core::facility::{Config, Expired, SoftTimerCore};
 use st_core::pacer::{Pacer, PacerConfig};
 use st_kernel::softclock::SoftClock;
@@ -291,6 +292,49 @@ pub fn run_suite(smoke: bool) -> Vec<BenchStat> {
         }),
     ));
 
+    // st-admit fast path: one admit + completion round trip — the
+    // per-request cost, which must stay a compare-and-count so it can
+    // sit on the accept path of every arrival.
+    out.push(stat(
+        "admit.admission_check",
+        measure(n, |b| {
+            let mut c =
+                AdmissionController::new(LimiterKind::Aimd, RejectPolicy::Immediate, 25_000, 256);
+            b.iter(|| {
+                let d = c.try_admit(std::hint::black_box(RequestClass::Interactive));
+                if matches!(d, Decision::Admit) {
+                    c.on_complete(RequestClass::Interactive, 1_300);
+                }
+                matches!(d, Decision::Admit)
+            });
+        }),
+    ));
+
+    // st-admit limit re-evaluation: both partitions' limiters step from
+    // their EWMAs — the periodic soft-timer event's body, paid once per
+    // update period rather than per request.
+    out.push(stat(
+        "admit.limit_update",
+        measure(n, |b| {
+            let mut c =
+                AdmissionController::new(LimiterKind::Aimd, RejectPolicy::Immediate, 25_000, 256);
+            for _ in 0..8 {
+                if matches!(c.try_admit(RequestClass::Interactive), Decision::Admit) {
+                    c.on_complete(RequestClass::Interactive, 1_300);
+                }
+                if matches!(c.try_admit(RequestClass::Bulk), Decision::Admit) {
+                    c.on_complete(RequestClass::Bulk, 9_000);
+                }
+            }
+            let mut now_us = 0u64;
+            b.iter(|| {
+                now_us += 1_000;
+                c.update_limits(std::hint::black_box(now_us));
+                c.limit(RequestClass::Interactive)
+            });
+        }),
+    ));
+
     out
 }
 
@@ -408,7 +452,7 @@ mod tests {
     #[test]
     fn smoke_suite_runs_and_serializes_validly() {
         let stats = run_suite(true);
-        assert!(stats.len() >= 9, "suite shrank to {} entries", stats.len());
+        assert!(stats.len() >= 11, "suite shrank to {} entries", stats.len());
         let names: Vec<&str> = stats.iter().map(|s| s.name).collect();
         for expect in [
             "wheel.hashed.schedule_fire_cancel",
@@ -418,6 +462,8 @@ mod tests {
             "tcp.pacer_release",
             "tcp.retransmit_queue",
             "prof.sample_record",
+            "admit.admission_check",
+            "admit.limit_update",
         ] {
             assert!(names.contains(&expect), "missing suite entry {expect}");
         }

@@ -19,8 +19,8 @@
 
 use st_experiments::{
     ack_compression, appendix_a, congestion, fault_matrix, fig2_fig3, fig4_table1, fig5,
-    fig6_table2, latency, livelock, profiler, profiler_overhead, scaling, sec52, table3, table45,
-    table67, table8, trace_overhead, Scale, CATALOG,
+    fig6_table2, latency, livelock, overload, profiler, profiler_overhead, scaling, sec52, table3,
+    table45, table67, table8, trace_overhead, Scale, CATALOG,
 };
 use st_trace::json::ObjectBuilder;
 use st_trace::{json, TraceConfig, TraceSession};
@@ -231,6 +231,10 @@ fn main() {
     if want(&["congestion", "loss"]) {
         let r = congestion::run(scale, seed);
         emit("congestion", r.render(), r.key_metrics());
+    }
+    if want(&["overload", "admit"]) {
+        let r = overload::run(scale, seed);
+        emit("overload", r.render(), r.key_metrics());
     }
     if want(&["fault_matrix", "faultmatrix"]) {
         // The hostile-callback rows inject panics that the harness

@@ -26,7 +26,8 @@
 //! | [`ack_compression`] | Appendix A.1: ACK compression vs pacing (extension) |
 //! | [`congestion`] | loss recovery: drop-tail bottleneck + faulty wire, paced vs regular (extension) |
 //! | [`livelock`] | receive livelock across dispatch policies (extension) |
-//! | [`fault_matrix`] | fault injection: firing bound under clock/interrupt/NIC/callback/wire faults (extension) |
+//! | [`overload`] | hostile open-loop clients vs soft-timer-driven admission control (extension) |
+//! | [`fault_matrix`] | fault injection: firing bound under clock/interrupt/NIC/callback/wire/overload faults (extension) |
 //! | [`latency`] | packet latency on an idle machine across policies (extension) |
 //! | [`trace_overhead`] | st-trace self-measurement: tracer cost + Table-1 shares re-derived from the trace (extension) |
 //! | [`profiler`] | st-prof sampled attribution vs exact context accounting (extension) |
@@ -51,6 +52,7 @@ pub mod fig5;
 pub mod fig6_table2;
 pub mod latency;
 pub mod livelock;
+pub mod overload;
 pub mod profiler;
 pub mod profiler_overhead;
 pub mod scaling;
@@ -274,9 +276,29 @@ pub const CATALOG: &[ExperimentInfo] = &[
         ],
     },
     ExperimentInfo {
+        name: "overload",
+        aliases: &["admit"],
+        what: "hostile open-loop clients vs soft-timer-driven admission control (extension)",
+        keys: &[
+            "no_admission_collapses",
+            "soft_timer_holds",
+            "soft_update_cpu_pct",
+            "hw_update_cpu_pct",
+            "soft_cheaper_than_hw",
+            "<row>_offered",
+            "<row>_goodput",
+            "<row>_p99_us",
+            "<row>_p999_us",
+            "<row>_shed_rate",
+            "<row>_dropped",
+            "<row>_reaped_pins",
+            "<row>_update_cpu_pct",
+        ],
+    },
+    ExperimentInfo {
         name: "fault_matrix",
         aliases: &["faultmatrix"],
-        what: "fault injection: firing bound under clock/interrupt/NIC/callback/wire faults (extension)",
+        what: "fault injection: firing bound under clock/interrupt/NIC/callback/wire/overload faults (extension)",
         keys: &[
             "all_clean",
             "<fault>_fired",

@@ -1,0 +1,56 @@
+//! `repro overload --json` replays byte-identically from a seed — the
+//! acceptance gate for the open-loop admission work.
+//!
+//! The overload experiment threads randomness through more layers than
+//! any other: the saturation core's master RNG, the forked open-loop
+//! arrival stream, per-arrival class/size/slow-client draws, and the
+//! fixed-point limiter state machines. Byte identity at the outermost
+//! JSON layer pins the whole chain; any wall-clock read, unordered
+//! iteration, or float nondeterminism that sneaks into the admission
+//! path shows up here as a byte diff between two identical seeds.
+
+use std::process::Command;
+
+fn repro_json(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "repro {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty(), "no JSON on stdout");
+    out.stdout
+}
+
+#[test]
+fn overload_json_is_byte_identical_under_seed_42() {
+    let args = ["overload", "--quick", "--seed", "42", "--json", "-"];
+    let a = repro_json(&args);
+    let b = repro_json(&args);
+    assert_eq!(
+        a,
+        b,
+        "two overload runs with seed 42 diverged:\n--- run 1\n{}\n--- run 2\n{}",
+        String::from_utf8_lossy(&a),
+        String::from_utf8_lossy(&b)
+    );
+    let text = String::from_utf8(a).expect("utf8 JSON");
+    assert!(text.contains("\"experiment\":\"overload\""));
+    // The acceptance claims ride in the metrics: collapse without
+    // admission, a soft-timer limiter that holds, and soft updates no
+    // dearer than the hardware-timer variant.
+    assert!(text.contains("\"no_admission_collapses\":1"));
+    assert!(text.contains("\"soft_timer_holds\":1"));
+    assert!(text.contains("\"soft_cheaper_than_hw\":1"));
+}
+
+#[test]
+fn overload_seeds_perturb_the_run() {
+    let a = repro_json(&["overload", "--quick", "--seed", "42", "--json", "-"]);
+    let b = repro_json(&["overload", "--quick", "--seed", "43", "--json", "-"]);
+    assert_ne!(a, b, "seed is not reaching the open-loop arrival stream");
+}

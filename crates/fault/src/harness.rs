@@ -164,6 +164,10 @@ pub struct FaultReport {
     pub wire_reordered: u64,
     /// Paced transmissions completed.
     pub transmits: u64,
+    /// Arrival-surge windows opened by the overload class.
+    pub overload_surge_windows: u64,
+    /// Slow clients injected by the overload class.
+    pub overload_slow_clients: u64,
     /// FNV-1a fingerprint of the fired-event sequence; byte-identical
     /// replay means equal fingerprints.
     pub fingerprint: u64,
@@ -199,6 +203,7 @@ struct Harness {
     rng_workload: SimRng,
     rng_callbacks: SimRng,
     rng_arrivals: SimRng,
+    rng_overload: SimRng,
 
     /// True tick before which the CPU is wedged in a slow handler.
     busy_until: u64,
@@ -223,6 +228,7 @@ impl Harness {
         let rng_callbacks = master.fork(6);
         let rng_arrivals = master.fork(7);
         let rng_wire = master.fork(8);
+        let rng_overload = master.fork(9);
 
         let config = Config {
             measure_hz: 1_000_000,
@@ -254,6 +260,7 @@ impl Harness {
             rng_workload,
             rng_callbacks,
             rng_arrivals,
+            rng_overload,
             busy_until: 0,
             next_event_id: 0,
             next_packet_id: 0,
@@ -286,6 +293,8 @@ impl Harness {
                 wire_duplicated: 0,
                 wire_reordered: 0,
                 transmits: 0,
+                overload_surge_windows: 0,
+                overload_slow_clients: 0,
                 fingerprint: FNV_OFFSET,
             },
             scratch: Vec::new(),
@@ -453,6 +462,8 @@ impl Harness {
         let mut pending_backups: Vec<u64> = Vec::new();
         // Reordered packets held back by the wire: (delivery time, frame).
         let mut pending_wire: Vec<(u64, Packet)> = Vec::new();
+        // True tick before which arrivals come at the surged rate.
+        let mut surge_until: u64 = 0;
 
         loop {
             // Decide the fate of any grid slot we are about to reach.
@@ -534,7 +545,33 @@ impl Harness {
                         pending_wire.sort_by_key(|e| (e.0, e.1.id));
                     }
                 }
-                next_arrival = t + self.rng_arrivals.range_u64(10, 100);
+                // The overload class reshapes arrivals: surge windows
+                // compress the drawn gap (the base draw still happens, so
+                // the arrival stream's shape is a pure function of the
+                // plan), and slow clients park a workload event far out —
+                // a connection that arrives but refuses to finish.
+                let mut gap = self.rng_arrivals.range_u64(10, 100);
+                if let Some(f) = self.plan.overload {
+                    if t >= surge_until && self.rng_overload.chance(f.surge_chance) {
+                        self.report.overload_surge_windows += 1;
+                        surge_until = t + self.rng_overload.range_u64(f.min_surge, f.max_surge + 1);
+                    }
+                    if t < surge_until {
+                        gap = (gap / f.surge_factor).max(1);
+                    }
+                    if self.rng_overload.chance(f.slow_client_chance) {
+                        self.report.overload_slow_clients += 1;
+                        self.report.scheduled += 1;
+                        self.schedule_tagged(
+                            f.pin_ticks,
+                            EventKind::Workload {
+                                panics: false,
+                                slow: false,
+                            },
+                        );
+                    }
+                }
+                next_arrival = t + gap;
             }
             if t == next_sched {
                 self.schedule_workload();
@@ -614,6 +651,7 @@ mod tests {
             FaultPlan::nic_storm(),
             FaultPlan::hostile_callbacks(),
             FaultPlan::wire_faults(),
+            FaultPlan::overload(),
             FaultPlan::everything(),
         ];
         for (i, plan) in classes.iter().enumerate() {
@@ -646,6 +684,9 @@ mod tests {
         let wire = Scenario::new(FaultPlan::wire_faults(), 7, DURATION).run();
         assert!(wire.wire_offered > 0);
         assert!(wire.wire_dropped > 0 && wire.wire_duplicated > 0 && wire.wire_reordered > 0);
+
+        let ov = Scenario::new(FaultPlan::overload(), 7, DURATION).run();
+        assert!(ov.overload_surge_windows > 0 && ov.overload_slow_clients > 0);
     }
 
     #[test]
@@ -665,6 +706,22 @@ mod tests {
         let a = Scenario::new(FaultPlan::everything(), 1, DURATION).run();
         let b = Scenario::new(FaultPlan::everything(), 2, DURATION).run();
         assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn overload_keeps_the_paper_bound_while_surging() {
+        // Arrival surges and slow clients pressure the serving path, not
+        // the facility: the unrelaxed firing bound must survive them.
+        // This is the harness-level half of the admission story — the
+        // shedding half lives in st-http's open-loop experiments.
+        let r = Scenario::new(FaultPlan::overload(), 17, DURATION).run();
+        assert!(r.max_delay <= 1_000, "delay {} > X", r.max_delay);
+        assert_eq!(r.bound_violations, 0);
+        assert!(r.overload_surge_windows > 0, "no surge ever opened");
+        assert!(r.overload_slow_clients > 0, "no slow client injected");
+        // More arrivals than the healthy run: surges compress gaps.
+        let healthy = Scenario::new(FaultPlan::none(), 17, DURATION).run();
+        assert!(r.wire_offered > healthy.wire_offered);
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! is easy to keep on a healthy machine. This crate checks that the
 //! implementation keeps (or gracefully relaxes) it on an unhealthy one:
 //!
-//! - [`plan`] — composable [`plan::FaultPlan`]s covering six classes:
+//! - [`plan`] — composable [`plan::FaultPlan`]s covering seven classes:
 //!   clock anomalies, trigger-state starvation, backup-interrupt loss,
-//!   NIC storms, hostile callbacks, and per-packet wire faults (loss,
+//!   NIC storms, hostile callbacks, per-packet wire faults (loss,
 //!   reordering, duplication — the injector itself lives in
-//!   [`st_net::wire`]);
+//!   [`st_net::wire`]), and overload pressure (arrival surges, slow
+//!   clients);
 //! - [`clock`] — [`clock::FaultyClock`], a measurement clock with skew,
 //!   jumps, and transient regressions;
 //! - [`backup`] — [`backup::BackupFaultStream`], per-slot fates for the

@@ -135,6 +135,41 @@ impl CallbackFaults {
     }
 }
 
+/// Overload faults: open-loop arrival surges and slow clients that sit
+/// on resources — the hostile-client load st-admit is built to shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadFaults {
+    /// Probability, at each arrival, that a surge window opens.
+    pub surge_chance: f64,
+    /// Arrival-rate multiplier inside a surge window.
+    pub surge_factor: u64,
+    /// Shortest surge window, in measurement ticks.
+    pub min_surge: u64,
+    /// Longest surge window, in measurement ticks.
+    pub max_surge: u64,
+    /// Probability an arrival is a slow client that pins its work far
+    /// into the future instead of completing promptly.
+    pub slow_client_chance: f64,
+    /// How far a slow client's workload event is pushed out, in
+    /// measurement ticks.
+    pub pin_ticks: u64,
+}
+
+impl OverloadFaults {
+    /// The fault-matrix default: occasional 8× surges of 2–20 ms and 10%
+    /// slowloris-style clients pinned 50 ms out.
+    pub fn nasty() -> Self {
+        OverloadFaults {
+            surge_chance: 0.02,
+            surge_factor: 8,
+            min_surge: 2_000,
+            max_surge: 20_000,
+            slow_client_chance: 0.1,
+            pin_ticks: 50_000,
+        }
+    }
+}
+
 /// A composable selection of fault classes; `None` means that class is
 /// healthy.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -152,6 +187,8 @@ pub struct FaultPlan {
     /// Per-packet wire faults in front of the NIC: loss, reordering,
     /// duplication (see [`st_net::WireFaults`]).
     pub wire: Option<WireFaults>,
+    /// Arrival surges and slow clients (overload pressure).
+    pub overload: Option<OverloadFaults>,
 }
 
 impl FaultPlan {
@@ -190,6 +227,11 @@ impl FaultPlan {
         FaultPlan::none().with_wire(WireFaults::nasty())
     }
 
+    /// Only overload pressure: arrival surges and slow clients.
+    pub fn overload() -> Self {
+        FaultPlan::none().with_overload(OverloadFaults::nasty())
+    }
+
     /// Every fault class at once.
     pub fn everything() -> Self {
         FaultPlan {
@@ -199,6 +241,7 @@ impl FaultPlan {
             nic: Some(NicFaults::nasty()),
             callbacks: Some(CallbackFaults::nasty()),
             wire: Some(WireFaults::nasty()),
+            overload: Some(OverloadFaults::nasty()),
         }
     }
 
@@ -238,12 +281,20 @@ impl FaultPlan {
         self
     }
 
+    /// Adds overload pressure.
+    pub fn with_overload(mut self, f: OverloadFaults) -> Self {
+        self.overload = Some(f);
+        self
+    }
+
     /// Whether the paper's `(S+T, S+T+X+1)` firing bound can be asserted
     /// unrelaxed: it requires every backup sweep delivered on the grid
-    /// and a trustworthy clock. Starvation, NIC, wire, and callback
-    /// faults do not break the bound — the backup interrupt exists
-    /// precisely to cover the first, and the last three live in front
-    /// of or around the facility, not inside it.
+    /// and a trustworthy clock. Starvation, NIC, wire, callback, and
+    /// overload faults do not break the bound — the backup interrupt
+    /// exists precisely to cover the first, and the rest live in front
+    /// of or around the facility, not inside it. In particular a surge
+    /// of arrivals must never relax the firing bound: shedding load is
+    /// the admission layer's job, not the timer facility's.
     pub fn paper_bound_holds(&self) -> bool {
         self.backup.is_none() && self.clock.is_none() && self.callbacks.is_none()
     }
@@ -264,6 +315,9 @@ mod tests {
         assert!(FaultPlan::wire_faults().paper_bound_holds());
         assert!(FaultPlan::wire_faults().wire.is_some());
         assert_eq!(FaultPlan::wire_faults().nic, None);
+        assert!(FaultPlan::overload().paper_bound_holds());
+        assert!(FaultPlan::overload().overload.is_some());
+        assert_eq!(FaultPlan::overload().nic, None);
         assert!(!FaultPlan::backup_loss().paper_bound_holds());
         assert!(!FaultPlan::clock_anomalies().paper_bound_holds());
         assert!(!FaultPlan::everything().paper_bound_holds());
@@ -273,7 +327,9 @@ mod tests {
     fn builders_compose() {
         let p = FaultPlan::none()
             .with_nic(NicFaults::nasty())
-            .with_backup(BackupFaults::nasty());
+            .with_backup(BackupFaults::nasty())
+            .with_overload(OverloadFaults::nasty());
         assert!(p.nic.is_some() && p.backup.is_some() && p.clock.is_none());
+        assert!(p.overload.is_some());
     }
 }

@@ -1,0 +1,470 @@
+//! Arrival processes: the closed saturation loop and open-loop hostile
+//! scenarios.
+//!
+//! The paper's §5 server experiments keep the server saturated with
+//! identical requests — a *closed* loop where the next request enters
+//! as the previous one finishes. Overload behaviour needs the opposite:
+//! an *open* loop where clients arrive on their own clock, indifferent
+//! to how far behind the server is. Both are expressed through one
+//! trait, [`ArrivalProcess`], so the saturation core in
+//! [`crate::saturation`] serves either without forking its event loop:
+//!
+//! - [`ClosedLoop`] — seed one request at boot, re-enter on completion
+//!   (byte-identical to the pre-open-loop harness);
+//! - [`OpenLoop`] — Poisson arrivals at a scenario-controlled rate with
+//!   per-arrival class/size/slow-client draws.
+//!
+//! The [`Scenario`]s are the hostile-client suite: a flash crowd (step
+//! surge), heavy-tailed file sizes (bounded Pareto), slowloris clients
+//! that pin connection slots, and a RealPlayer-like streaming mix.
+
+use st_admit::{LimiterKind, RejectPolicy, RequestClass};
+use st_sim::dist::{Exp, Pareto, SampleDist};
+use st_sim::{SimDuration, SimRng, SimTime};
+
+/// One client request arriving at the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Admission class (partitioned limiters).
+    pub class: RequestClass,
+    /// Response size relative to the base 6 KB document.
+    pub size_scale: f64,
+    /// Slowloris: the connection opens on arrival but the request body
+    /// trickles in only after this long; the slot is pinned meanwhile.
+    pub pinned_us: Option<u64>,
+}
+
+impl Arrival {
+    /// The paper's standard request: interactive, base-size, well-behaved.
+    pub fn interactive() -> Self {
+        Arrival {
+            class: RequestClass::Interactive,
+            size_scale: 1.0,
+            pinned_us: None,
+        }
+    }
+}
+
+/// How requests enter the server.
+///
+/// The saturation core calls these three hooks and nothing else, so a
+/// process controls *when* work appears but never *how* it runs.
+pub trait ArrivalProcess {
+    /// Arrivals to seed at boot, as `(delay from t=0, arrival)` pairs.
+    fn at_boot(&mut self, rng: &mut SimRng) -> Vec<(SimDuration, Arrival)>;
+
+    /// Closed-loop hook: the arrival (if any) triggered by a request
+    /// completing at `now`. Open-loop processes return `None` — clients
+    /// do not wait for the server.
+    fn on_completion(&mut self, now: SimTime, rng: &mut SimRng) -> Option<Arrival>;
+
+    /// Open-loop hook: the gap to the next timed arrival after `now`.
+    /// Closed-loop processes return `None` — there is no external clock.
+    fn next_timed(&mut self, now: SimTime, rng: &mut SimRng) -> Option<(SimDuration, Arrival)>;
+}
+
+/// The saturating closed loop: always another identical request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClosedLoop;
+
+impl ArrivalProcess for ClosedLoop {
+    fn at_boot(&mut self, _rng: &mut SimRng) -> Vec<(SimDuration, Arrival)> {
+        vec![(SimDuration::ZERO, Arrival::interactive())]
+    }
+
+    fn on_completion(&mut self, _now: SimTime, _rng: &mut SimRng) -> Option<Arrival> {
+        Some(Arrival::interactive())
+    }
+
+    fn next_timed(&mut self, _now: SimTime, _rng: &mut SimRng) -> Option<(SimDuration, Arrival)> {
+        None
+    }
+}
+
+/// A hostile-client traffic pattern (open loop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// A step surge: `base_rps` outside the window, `base_rps *
+    /// surge_factor` inside `[surge_start, surge_end)`.
+    FlashCrowd {
+        /// Pre/post-surge arrival rate, requests per second.
+        base_rps: f64,
+        /// Rate multiplier during the surge (the issue's 10x step).
+        surge_factor: f64,
+        /// Surge window start, offset from boot.
+        surge_start: SimDuration,
+        /// Surge window end, offset from boot.
+        surge_end: SimDuration,
+    },
+    /// Bounded-Pareto response sizes on `[1, max_scale]`.
+    HeavyTail {
+        /// Arrival rate, requests per second.
+        rps: f64,
+        /// Pareto tail index (heavier below 2.0).
+        alpha: f64,
+        /// Largest response, as a multiple of the base document.
+        max_scale: f64,
+    },
+    /// Slow clients that open a connection and then stall before
+    /// sending the request, pinning the slot.
+    Slowloris {
+        /// Arrival rate, requests per second (slow and normal together).
+        rps: f64,
+        /// Fraction of arrivals that are slow clients.
+        slow_frac: f64,
+        /// How long a slow client stalls before its body arrives.
+        pin_us: u64,
+    },
+    /// RealPlayer-like mix: mostly interactive requests plus a bulk
+    /// streaming fraction with large responses.
+    Streaming {
+        /// Arrival rate, requests per second.
+        rps: f64,
+        /// Fraction of arrivals in the bulk class.
+        bulk_frac: f64,
+        /// Response size of a bulk request, relative to the base.
+        bulk_scale: f64,
+    },
+}
+
+impl Scenario {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::FlashCrowd { .. } => "flash_crowd",
+            Scenario::HeavyTail { .. } => "heavy_tail",
+            Scenario::Slowloris { .. } => "slowloris",
+            Scenario::Streaming { .. } => "streaming",
+        }
+    }
+
+    /// Arrival rate in force at `now`.
+    fn rate_at(&self, now: SimTime) -> f64 {
+        match *self {
+            Scenario::FlashCrowd {
+                base_rps,
+                surge_factor,
+                surge_start,
+                surge_end,
+            } => {
+                let t = now.since(SimTime::ZERO);
+                if t >= surge_start && t < surge_end {
+                    base_rps * surge_factor
+                } else {
+                    base_rps
+                }
+            }
+            Scenario::HeavyTail { rps, .. }
+            | Scenario::Slowloris { rps, .. }
+            | Scenario::Streaming { rps, .. } => rps,
+        }
+    }
+
+    /// Per-arrival class/size/slow-client draws. Draw order is part of
+    /// the replay contract: gap first (in the caller), then this.
+    fn classify(&self, rng: &mut SimRng) -> Arrival {
+        match *self {
+            Scenario::FlashCrowd { .. } => Arrival::interactive(),
+            Scenario::HeavyTail {
+                alpha, max_scale, ..
+            } => {
+                let scale = Pareto::bounded(1.0, max_scale, alpha).sample(rng);
+                Arrival {
+                    // Big documents compete in the bulk partition so the
+                    // tail cannot poison the interactive latency signal.
+                    class: if scale >= 4.0 {
+                        RequestClass::Bulk
+                    } else {
+                        RequestClass::Interactive
+                    },
+                    size_scale: scale,
+                    pinned_us: None,
+                }
+            }
+            Scenario::Slowloris {
+                slow_frac, pin_us, ..
+            } => {
+                let slow = rng.chance(slow_frac);
+                Arrival {
+                    class: RequestClass::Interactive,
+                    size_scale: 1.0,
+                    pinned_us: if slow { Some(pin_us) } else { None },
+                }
+            }
+            Scenario::Streaming {
+                bulk_frac,
+                bulk_scale,
+                ..
+            } => {
+                if rng.chance(bulk_frac) {
+                    Arrival {
+                        class: RequestClass::Bulk,
+                        size_scale: bulk_scale,
+                        pinned_us: None,
+                    }
+                } else {
+                    Arrival::interactive()
+                }
+            }
+        }
+    }
+}
+
+/// Open-loop Poisson arrivals driven by a [`Scenario`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoop {
+    scenario: Scenario,
+}
+
+impl OpenLoop {
+    /// Creates the process for one scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        OpenLoop { scenario }
+    }
+
+    fn draw(&self, now: SimTime, rng: &mut SimRng) -> (SimDuration, Arrival) {
+        // Exponential gap at the rate in force now (the step boundary is
+        // honoured to within one inter-arrival gap), then the class draw.
+        let rate = self.scenario.rate_at(now).max(1e-6);
+        let mean_gap_us = 1_000_000.0 / rate;
+        let gap = Exp::with_mean(mean_gap_us)
+            .sample_micros(rng)
+            .max_one_tick();
+        let arrival = self.scenario.classify(rng);
+        (gap, arrival)
+    }
+}
+
+/// Extension: clamp a gap to at least one microsecond tick so arrival
+/// chains always advance simulated time.
+trait MaxOneTick {
+    fn max_one_tick(self) -> SimDuration;
+}
+
+impl MaxOneTick for SimDuration {
+    fn max_one_tick(self) -> SimDuration {
+        self.max(SimDuration::from_micros(1))
+    }
+}
+
+impl ArrivalProcess for OpenLoop {
+    fn at_boot(&mut self, rng: &mut SimRng) -> Vec<(SimDuration, Arrival)> {
+        let (gap, arrival) = self.draw(SimTime::ZERO, rng);
+        vec![(gap, arrival)]
+    }
+
+    fn on_completion(&mut self, _now: SimTime, _rng: &mut SimRng) -> Option<Arrival> {
+        None
+    }
+
+    fn next_timed(&mut self, now: SimTime, rng: &mut SimRng) -> Option<(SimDuration, Arrival)> {
+        Some(self.draw(now, rng))
+    }
+}
+
+/// What drives the periodic limit-update event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateDriver {
+    /// A soft-timer event on a µs grid: fires at trigger states, swept
+    /// by the existing 1 kHz backup — no extra interrupts.
+    Soft {
+        /// Update period in µs ticks.
+        period_us: u64,
+    },
+    /// A dedicated periodic hardware timer interrupt (the cost
+    /// contrast the acceptance criteria ask for).
+    Hardware {
+        /// Interrupt frequency in Hz.
+        freq_hz: u64,
+    },
+}
+
+/// Admission-control configuration for an open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionMode {
+    /// Limiter family (one instance per class).
+    pub kind: LimiterKind,
+    /// What happens to refused requests.
+    pub policy: RejectPolicy,
+    /// Latency budget fed to the limiters, µs.
+    pub rtt_budget_us: u64,
+    /// Hard cap on any class's limit.
+    pub max_limit: u64,
+    /// What fires the periodic limit update.
+    pub driver: UpdateDriver,
+    /// Pinned connections older than this are reaped at update time —
+    /// the soft-timer-driven slowloris defense.
+    pub pin_budget_us: u64,
+}
+
+impl AdmissionMode {
+    /// Standard soft-timer-driven admission at 1 kHz updates.
+    pub fn soft(kind: LimiterKind) -> Self {
+        AdmissionMode {
+            kind,
+            policy: RejectPolicy::Immediate,
+            rtt_budget_us: 25_000,
+            max_limit: 256,
+            driver: UpdateDriver::Soft { period_us: 1_000 },
+            pin_budget_us: 250_000,
+        }
+    }
+
+    /// The same controller updated from a 1 kHz hardware timer.
+    pub fn hardware(kind: LimiterKind) -> Self {
+        AdmissionMode {
+            driver: UpdateDriver::Hardware { freq_hz: 1_000 },
+            ..AdmissionMode::soft(kind)
+        }
+    }
+}
+
+/// Open-loop serving-path configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// The traffic pattern.
+    pub scenario: Scenario,
+    /// Admission control; `None` is the undefended baseline.
+    pub admission: Option<AdmissionMode>,
+    /// Connection-table size: arrivals beyond it are dropped at accept.
+    pub max_connections: u64,
+    /// A completion within this latency counts toward goodput, µs.
+    pub slo_us: u64,
+}
+
+impl OpenLoopConfig {
+    /// A scenario with the default table size and a 100 ms SLO.
+    pub fn new(scenario: Scenario, admission: Option<AdmissionMode>) -> Self {
+        OpenLoopConfig {
+            scenario,
+            admission,
+            max_connections: 1_024,
+            slo_us: 100_000,
+        }
+    }
+}
+
+/// Which arrival model a saturation run uses.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalModel {
+    /// The paper's saturating closed loop.
+    Closed,
+    /// Open-loop arrivals with optional admission control.
+    Open(OpenLoopConfig),
+}
+
+impl ArrivalModel {
+    /// Builds the boxed process the saturation core drives.
+    pub fn build(&self) -> Box<dyn ArrivalProcess> {
+        match *self {
+            ArrivalModel::Closed => Box::new(ClosedLoop),
+            ArrivalModel::Open(cfg) => Box::new(OpenLoop::new(cfg.scenario)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_seeds_one_request_and_reenters() {
+        let mut p = ClosedLoop;
+        let mut rng = SimRng::seed(1);
+        let boot = p.at_boot(&mut rng);
+        assert_eq!(boot, vec![(SimDuration::ZERO, Arrival::interactive())]);
+        assert_eq!(
+            p.on_completion(SimTime::ZERO, &mut rng),
+            Some(Arrival::interactive())
+        );
+        assert_eq!(p.next_timed(SimTime::ZERO, &mut rng), None);
+    }
+
+    #[test]
+    fn flash_crowd_surges_inside_the_window() {
+        let s = Scenario::FlashCrowd {
+            base_rps: 100.0,
+            surge_factor: 10.0,
+            surge_start: SimDuration::from_secs(1),
+            surge_end: SimDuration::from_secs(2),
+        };
+        let at = |us: u64| s.rate_at(SimTime::ZERO + SimDuration::from_micros(us));
+        assert_eq!(at(500_000), 100.0);
+        assert_eq!(at(1_500_000), 1_000.0);
+        assert_eq!(at(2_500_000), 100.0);
+    }
+
+    #[test]
+    fn open_loop_gap_scales_with_rate() {
+        let fast = Scenario::FlashCrowd {
+            base_rps: 10_000.0,
+            surge_factor: 1.0,
+            surge_start: SimDuration::ZERO,
+            surge_end: SimDuration::ZERO,
+        };
+        let mut p = OpenLoop::new(fast);
+        let mut rng = SimRng::seed(3);
+        let mut total = SimDuration::ZERO;
+        let n = 2_000;
+        for _ in 0..n {
+            let (gap, _) = p.next_timed(SimTime::ZERO, &mut rng).unwrap();
+            total += gap;
+        }
+        let mean_us = total.as_micros_f64() / n as f64;
+        assert!((80.0..130.0).contains(&mean_us), "mean gap {mean_us} µs");
+    }
+
+    #[test]
+    fn heavy_tail_sizes_are_bounded_and_classed() {
+        let s = Scenario::HeavyTail {
+            rps: 100.0,
+            alpha: 1.3,
+            max_scale: 50.0,
+        };
+        let mut rng = SimRng::seed(4);
+        let mut saw_bulk = false;
+        for _ in 0..500 {
+            let a = s.classify(&mut rng);
+            assert!((1.0..=50.0).contains(&a.size_scale), "{}", a.size_scale);
+            assert_eq!(a.class == RequestClass::Bulk, a.size_scale >= 4.0);
+            saw_bulk |= a.class == RequestClass::Bulk;
+        }
+        assert!(saw_bulk, "tail never produced a bulk document");
+    }
+
+    #[test]
+    fn slowloris_pins_the_configured_fraction() {
+        let s = Scenario::Slowloris {
+            rps: 100.0,
+            slow_frac: 0.5,
+            pin_us: 10_000_000,
+        };
+        let mut rng = SimRng::seed(5);
+        let pinned = (0..1_000)
+            .filter(|_| s.classify(&mut rng).pinned_us.is_some())
+            .count();
+        assert!((400..600).contains(&pinned), "pinned {pinned}/1000");
+    }
+
+    #[test]
+    fn arrival_draws_replay_identically() {
+        let s = Scenario::Streaming {
+            rps: 500.0,
+            bulk_frac: 0.3,
+            bulk_scale: 4.0,
+        };
+        let run = || {
+            let mut p = OpenLoop::new(s);
+            let mut rng = SimRng::seed(6);
+            let mut out = Vec::new();
+            let mut now = SimTime::ZERO;
+            for _ in 0..200 {
+                let (gap, a) = p.next_timed(now, &mut rng).unwrap();
+                now += gap;
+                out.push((gap.as_nanos(), a.class.index(), a.size_scale.to_bits()));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

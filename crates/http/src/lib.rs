@@ -20,10 +20,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod livelock;
 pub mod model;
 pub mod saturation;
 
+pub use arrival::{
+    AdmissionMode, Arrival, ArrivalModel, ArrivalProcess, ClosedLoop, OpenLoop, OpenLoopConfig,
+    Scenario, UpdateDriver,
+};
 pub use livelock::{run_livelock, LivelockConfig, LivelockResult};
 pub use model::{HttpMode, ServerKind, ServerModel};
-pub use saturation::{RateClocking, SaturationConfig, SaturationResult, SaturationSim, TimerLoad};
+pub use saturation::{
+    OverloadStats, RateClocking, SaturationConfig, SaturationResult, SaturationSim, TimerLoad,
+};

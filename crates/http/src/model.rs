@@ -202,6 +202,33 @@ impl ServerModel {
         machine: &CostModel,
         rng: &mut SimRng,
     ) -> Vec<(SimDuration, TriggerSource)> {
+        self.request_schedule_scaled(machine, rng, 1.0)
+    }
+
+    /// Scaled frame count for a response `size_scale` times the base
+    /// document (at least one frame).
+    pub fn scaled_tx_packets(&self, size_scale: f64) -> u32 {
+        ((self.tx_packets as f64) * size_scale).round().max(1.0) as u32
+    }
+
+    /// Scaled received-frame count (client ACKs track the data frames).
+    pub fn scaled_rx_packets(&self, size_scale: f64) -> u32 {
+        ((self.rx_packets as f64) * size_scale).round().max(1.0) as u32
+    }
+
+    /// [`ServerModel::request_schedule`] for a response `size_scale`
+    /// times the base document: application work and transmitted frames
+    /// scale, the syscall/trap structure does not (a larger file is more
+    /// `writev` payload and more segments, not more opens). At scale 1.0
+    /// the RNG draw sequence and output are identical to the unscaled
+    /// schedule, which keeps closed-loop runs byte-stable.
+    pub fn request_schedule_scaled(
+        &self,
+        machine: &CostModel,
+        rng: &mut SimRng,
+        size_scale: f64,
+    ) -> Vec<(SimDuration, TriggerSource)> {
+        let tx_packets = self.scaled_tx_packets(size_scale);
         let mut items: Vec<(SimDuration, TriggerSource)> = Vec::with_capacity(
             self.triggers_per_request() as usize + self.context_switches as usize,
         );
@@ -209,7 +236,7 @@ impl ServerModel {
         let shape = LogNormal::with_median(1.0, 0.8);
         let weights: Vec<f64> = (0..self.syscalls).map(|_| shape.sample(rng)).collect();
         let total_w: f64 = weights.iter().sum();
-        let app_ns = self.app_work.as_nanos() as f64;
+        let app_ns = self.app_work.as_nanos() as f64 * size_scale;
         for w in &weights {
             let ns = (app_ns * w / total_w.max(1e-9)).round() as u64;
             items.push((
@@ -217,7 +244,7 @@ impl ServerModel {
                 TriggerSource::Syscall,
             ));
         }
-        for _ in 0..self.tx_packets {
+        for _ in 0..tx_packets {
             items.push((self.tx_cost, TriggerSource::IpOutput));
         }
         for _ in 0..self.tcpip_others {
@@ -291,6 +318,33 @@ mod tests {
         assert!(has(TriggerSource::Syscall));
         assert!(has(TriggerSource::IpOutput));
         assert!(has(TriggerSource::TcpipOther));
+    }
+
+    #[test]
+    fn scaled_schedule_at_unity_matches_unscaled() {
+        let m = ServerModel::calibrated(ServerKind::Apache, HttpMode::Http, &machine(), 774.0);
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        let plain = m.request_schedule(&machine(), &mut a);
+        let scaled = m.request_schedule_scaled(&machine(), &mut b, 1.0);
+        assert_eq!(plain, scaled);
+        assert_eq!(a.next_u64(), b.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn scaled_schedule_grows_tx_and_app_work() {
+        let m = ServerModel::calibrated(ServerKind::Apache, HttpMode::Http, &machine(), 774.0);
+        assert_eq!(m.scaled_tx_packets(4.0), 4 * m.tx_packets);
+        assert_eq!(m.scaled_rx_packets(1.0), m.rx_packets);
+        assert_eq!(m.scaled_tx_packets(0.01), 1, "at least one frame");
+        let mut rng = SimRng::seed(9);
+        let big = m.request_schedule_scaled(&machine(), &mut rng, 4.0);
+        let mut rng = SimRng::seed(9);
+        let base = m.request_schedule(&machine(), &mut rng);
+        let sum = |s: &[(SimDuration, TriggerSource)]| -> u64 {
+            s.iter().map(|&(c, _)| c.as_nanos()).sum()
+        };
+        assert!(sum(&big) > 3 * sum(&base), "scaled schedule too cheap");
     }
 
     #[test]

@@ -52,6 +52,19 @@ pub struct CostModel {
     /// (no payload, no cache-cold callback), so it sits between
     /// `soft_check` and `soft_dispatch`.
     pub prof_sample: SimDuration,
+    /// Cost of the per-request admission fast path: one inflight-counter
+    /// compare plus an increment (PR 6, st-admit). All adaptive work is
+    /// deferred to the periodic limit update, so this sits just above
+    /// `soft_check` — the same "one compare on the hot path" economics
+    /// as the trigger-state check itself.
+    pub admit_check: SimDuration,
+    /// Cost of one periodic limit-update event body (st-admit): fold
+    /// the latency EWMA, run one integer limiter step per class, rearm.
+    /// Strictly less work than a general soft-timer callback payload,
+    /// so it sits below `soft_dispatch` when dispatched from a trigger
+    /// state; the dispatch cost itself (`soft_dispatch` or a hardware
+    /// interrupt) is charged separately by the caller.
+    pub admit_update: SimDuration,
     /// A process context switch (save/restore + locality shift).
     pub context_switch: SimDuration,
     /// Kernel entry/exit for a system call (trap in, trap out).
@@ -90,6 +103,8 @@ impl CostModel {
             soft_check: SimDuration::from_nanos(20),
             soft_dispatch: SimDuration::from_nanos(250),
             prof_sample: SimDuration::from_nanos(80),
+            admit_check: SimDuration::from_nanos(60),
+            admit_update: SimDuration::from_nanos(180),
             context_switch: SimDuration::from_nanos(6_000),
             syscall_entry_exit: SimDuration::from_nanos(2_000),
             nic_interrupt: SimDuration::from_nanos(7_000),
@@ -126,6 +141,8 @@ impl CostModel {
             soft_check: SimDuration::from_nanos(12),
             soft_dispatch: SimDuration::from_nanos(150),
             prof_sample: SimDuration::from_nanos(50),
+            admit_check: SimDuration::from_nanos(36),
+            admit_update: SimDuration::from_nanos(110),
             context_switch: SimDuration::from_nanos(3_600),
             syscall_entry_exit: SimDuration::from_nanos(1_200),
             nic_interrupt: SimDuration::from_nanos(5_500),
@@ -146,6 +163,8 @@ impl CostModel {
             soft_check: SimDuration::from_nanos(12),
             soft_dispatch: SimDuration::from_nanos(180),
             prof_sample: SimDuration::from_nanos(60),
+            admit_check: SimDuration::from_nanos(40),
+            admit_update: SimDuration::from_nanos(130),
             context_switch: SimDuration::from_nanos(4_000),
             syscall_entry_exit: SimDuration::from_nanos(1_400),
             nic_interrupt: SimDuration::from_nanos(6_000),
@@ -237,6 +256,26 @@ mod tests {
             // The acceptance contrast requires soft sampling to stay below
             // 1 % of the CPU at 100 kHz: 100k * prof_sample < 0.01 s.
             assert!(100_000 * m.prof_sample.as_nanos() < 10_000_000);
+        }
+    }
+
+    #[test]
+    fn admit_costs_follow_the_trigger_state_economics() {
+        for m in [
+            CostModel::pentium_ii_300(),
+            CostModel::pentium_ii_333(),
+            CostModel::pentium_iii_500(),
+            CostModel::alpha_21164_500(),
+        ] {
+            // Fast path barely heavier than the trigger-state check,
+            // update body lighter than a general callback dispatch.
+            assert!(m.admit_check.as_nanos() >= m.soft_check.as_nanos());
+            assert!(m.admit_check.as_nanos() < m.soft_dispatch.as_nanos());
+            assert!(m.admit_update.as_nanos() <= m.soft_dispatch.as_nanos());
+            // The PR 6 acceptance bound: 1 kHz limit updates dispatched
+            // from trigger states (dispatch + body) stay under 1 % CPU.
+            let per_sec = 1_000 * (m.soft_dispatch.as_nanos() + m.admit_update.as_nanos());
+            assert!(per_sec < 10_000_000, "1 kHz updates cost {per_sec} ns/s");
         }
     }
 

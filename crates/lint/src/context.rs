@@ -38,7 +38,7 @@ pub struct FileContext {
 }
 
 /// Crates whose runs must replay byte-identically from a seed.
-const DETERMINISTIC_CRATES: [&str; 5] = ["sim", "kernel", "core", "net", "tcp"];
+const DETERMINISTIC_CRATES: [&str; 6] = ["sim", "kernel", "core", "net", "tcp", "admit"];
 
 /// The one file allowed to touch the wall clock: the real-time runtime.
 const WALL_CLOCK_HOME: &str = "crates/core/src/rt.rs";
@@ -56,7 +56,7 @@ const INDEX_WATCHED: [&str; 3] = [
 
 /// Files holding the (S+T, S+T+X+1) bound math.
 const BOUND_MATH: [&str; 1] = ["crates/core/src/facility.rs"];
-const BOUND_MATH_PREFIXES: [&str; 1] = ["crates/wheel/src/"];
+const BOUND_MATH_PREFIXES: [&str; 2] = ["crates/wheel/src/", "crates/admit/src/"];
 
 impl FileContext {
     /// Builds the context for a workspace-relative path, extracting test

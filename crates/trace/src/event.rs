@@ -28,11 +28,13 @@ pub enum Category {
     Fault,
     /// Experiment-driver annotations.
     Experiment,
+    /// Admission control: limit updates and shed decisions.
+    Admit,
 }
 
 impl Category {
     /// Every category, in swim-lane order.
-    pub const ALL: [Category; 8] = [
+    pub const ALL: [Category; 9] = [
         Category::Kernel,
         Category::Facility,
         Category::Rt,
@@ -41,6 +43,7 @@ impl Category {
         Category::Tcp,
         Category::Fault,
         Category::Experiment,
+        Category::Admit,
     ];
 
     /// Stable lower-case label used in exports.
@@ -54,6 +57,7 @@ impl Category {
             Category::Tcp => "tcp",
             Category::Fault => "fault",
             Category::Experiment => "experiment",
+            Category::Admit => "admit",
         }
     }
 
@@ -68,6 +72,7 @@ impl Category {
             Category::Tcp => 5,
             Category::Fault => 6,
             Category::Experiment => 7,
+            Category::Admit => 8,
         }
     }
 }

@@ -52,6 +52,25 @@ grep -q '"pacing_wins":1' "$SMOKE_DIR/congestion_a.json" \
 grep -q '"backoff_bounded":1' "$SMOKE_DIR/congestion_a.json" \
     || { echo "smoke: RTO backoff exceeded its bound" >&2; exit 1; }
 
+echo "== overload smoke: admission control + replay gate =="
+# The open-loop admission path adds its own forked RNG stream plus the
+# fixed-point limiter state machines; replay byte-identity gates them
+# all, and the headline metrics assert the acceptance criteria: the
+# undefended flash crowd collapses, a soft-timer limiter holds goodput,
+# and soft limit updates cost no more than the hardware-timer variant.
+cargo run --release --offline -p st-experiments --bin repro -- \
+    overload --quick --seed 42 --json - > "$SMOKE_DIR/overload_a.json"
+cargo run --release --offline -p st-experiments --bin repro -- \
+    overload --quick --seed 42 --json - > "$SMOKE_DIR/overload_b.json"
+cmp -s "$SMOKE_DIR/overload_a.json" "$SMOKE_DIR/overload_b.json" \
+    || { echo "smoke: overload replay diverged between identical seeds" >&2; exit 1; }
+grep -q '"no_admission_collapses":1' "$SMOKE_DIR/overload_a.json" \
+    || { echo "smoke: undefended flash crowd failed to collapse" >&2; exit 1; }
+grep -q '"soft_timer_holds":1' "$SMOKE_DIR/overload_a.json" \
+    || { echo "smoke: no soft-timer limiter held goodput through the surge" >&2; exit 1; }
+grep -q '"soft_cheaper_than_hw":1' "$SMOKE_DIR/overload_a.json" \
+    || { echo "smoke: soft-timer limit updates cost more than the hardware timer" >&2; exit 1; }
+
 echo "== bench suite (smoke) + perf gate =="
 # Measures the hot-path suite at smoke precision, then gates it against
 # the newest committed BENCH_*.json (a no-op until one is committed).
