@@ -6,8 +6,10 @@
 //! the wheel operations bound facility overhead under churn (section
 //! 3), the pacer release is the per-packet cost of rate-based clocking
 //! (section 5.3), the sealed st-trace probe must vanish when no session
-//! records, and the st-prof sample must stay cheap enough to run from
-//! trigger states.
+//! records, the st-prof sample must stay cheap enough to run from
+//! trigger states, and the st-scope sample tick / fire-delay
+//! attribution must stay far below the sampling period (with the
+//! disabled probe sealed to a thread-local read, like st-trace's).
 //!
 //! [`run_suite`] collects the numbers through the shim's
 //! [`measure`](crate::criterion::measure) hook, [`to_json`] freezes
@@ -22,6 +24,7 @@ use st_core::pacer::{Pacer, PacerConfig};
 use st_kernel::softclock::SoftClock;
 use st_kernel::trigger::TriggerSource;
 use st_prof::Sampler;
+use st_scope::{ExecLedger, ScopeConfig, ScopeSession};
 use st_sim::{SimDuration, SimTime};
 use st_trace::json::{self, ObjectBuilder, Value};
 use st_wheel::{CalendarQueue, HashedWheel, HeapQueue, HierarchicalWheel, TimerQueue};
@@ -335,6 +338,82 @@ pub fn run_suite(smoke: bool) -> Vec<BenchStat> {
         }),
     ));
 
+    // Sealed st-scope probe: no session active, so gauging a point must
+    // cost the same thread-local read and branch as the trace probe.
+    out.push(stat(
+        "scope.sealed_noop_emit",
+        measure(n, |b| {
+            assert!(
+                !st_scope::active(),
+                "sealed-probe bench needs no active scope session"
+            );
+            let mut tick = 0u64;
+            b.iter(|| {
+                tick += 1;
+                st_scope::gauge(std::hint::black_box(tick), "bench.probe", 1.0);
+            });
+        }),
+    ));
+
+    // st-scope sample tick: the body of the periodic sampling soft-timer
+    // event — snapshot the live counter registry, flush deltas and
+    // observation-window quantiles into the timeline. Paid once per
+    // sampling period (1 ms at 1 kHz), so it must stay far below the
+    // period for the CPU share to stay negligible.
+    out.push(stat(
+        "scope.sample_tick",
+        measure(n, |b| {
+            let trace = st_trace::TraceSession::start(st_trace::TraceConfig::default());
+            for name in [
+                "bench.rx",
+                "bench.tx",
+                "bench.admitted",
+                "bench.rejected",
+                "bench.completed",
+                "bench.retransmits",
+                "bench.fired",
+                "bench.polls",
+            ] {
+                st_trace::count(name, 1);
+            }
+            let scope = ScopeSession::start(ScopeConfig::default());
+            let mut tick = 0u64;
+            b.iter(|| {
+                tick += 1_000;
+                st_trace::count("bench.completed", 3);
+                st_scope::observe("bench.latency_us", 1_250.0);
+                st_scope::sample(std::hint::black_box(tick));
+            });
+            drop(scope);
+            drop(trace);
+        }),
+    ));
+
+    // st-scope fire-delay attribution: what one late fire costs the
+    // world — record the handler's execution span, split the lateness
+    // window against the ledger's overhead union, bank the decomposition
+    // on the source's waterfall lane, and prune history that can no
+    // longer intersect an attribution window.
+    out.push(stat(
+        "scope.delay_attribution",
+        measure(n, |b| {
+            let scope = ScopeSession::start(ScopeConfig::default());
+            let mut ledger = ExecLedger::new();
+            let mut due = 1_000u64;
+            b.iter(|| {
+                let start_ns = due * 1_000 + 180;
+                ledger.note(start_ns, start_ns + 4_450);
+                let fired = due + 9;
+                let (wait, cascade) = ledger.split(std::hint::black_box(due), fired);
+                st_scope::fire_delay("bench-lane", wait, cascade);
+                ledger.prune(start_ns.saturating_sub(64_000));
+                due = fired + 91;
+                wait + cascade
+            });
+            drop(scope);
+        }),
+    ));
+
     out
 }
 
@@ -452,7 +531,7 @@ mod tests {
     #[test]
     fn smoke_suite_runs_and_serializes_validly() {
         let stats = run_suite(true);
-        assert!(stats.len() >= 11, "suite shrank to {} entries", stats.len());
+        assert!(stats.len() >= 14, "suite shrank to {} entries", stats.len());
         let names: Vec<&str> = stats.iter().map(|s| s.name).collect();
         for expect in [
             "wheel.hashed.schedule_fire_cancel",
@@ -464,6 +543,9 @@ mod tests {
             "prof.sample_record",
             "admit.admission_check",
             "admit.limit_update",
+            "scope.sealed_noop_emit",
+            "scope.sample_tick",
+            "scope.delay_attribution",
         ] {
             assert!(names.contains(&expect), "missing suite entry {expect}");
         }

@@ -37,6 +37,8 @@ pub struct FacilityStats {
     /// [`FacilityStats::fired`] can cross-check the parts in debug
     /// builds.
     fired_total: u64,
+    /// Exact integer sum of all recorded fire delays, in ticks.
+    delay_sum_ticks: u64,
 }
 
 impl FacilityStats {
@@ -54,7 +56,18 @@ impl FacilityStats {
             delay_ticks: Summary::new(),
             delay_hist: Histogram::new(1.0, 2048),
             fired_total: 0,
+            delay_sum_ticks: 0,
         }
+    }
+
+    /// Exact integer sum of every recorded fire delay, in ticks.
+    ///
+    /// This is the reconciliation anchor for external attribution: a
+    /// layer that decomposes each fire's lateness (st-scope's waterfall)
+    /// must produce components that sum back to precisely this value —
+    /// no float summary stands between the two sides.
+    pub fn delay_sum_ticks(&self) -> u64 {
+        self.delay_sum_ticks
     }
 
     /// Total events fired.
@@ -112,6 +125,7 @@ impl FacilityStats {
         }
         self.delay_ticks.record(delay as f64);
         self.delay_hist.record(delay as f64);
+        self.delay_sum_ticks += delay;
     }
 }
 
@@ -140,6 +154,7 @@ mod tests {
         assert!((s.backup_fraction() - 1.0 / 3.0).abs() < 1e-12);
         assert!((s.delay_ticks.mean() - (5.0 + 15.0 + 900.0) / 3.0).abs() < 1e-9);
         assert_eq!(s.delay_hist.count(), 3);
+        assert_eq!(s.delay_sum_ticks(), 5 + 15 + 900);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR] [--json PATH] [--trace DIR]
+//! repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR] [--json PATH] [--trace DIR] [--timeline DIR]
 //! repro --list
 //! ```
 //!
@@ -12,15 +12,17 @@
 //! `--json PATH` writes one JSON object per experiment (`-` = stdout,
 //! suppressing the text report); `--trace DIR` records the run with
 //! `st-trace` and exports `chrome_trace.json` (load it in Perfetto),
-//! `metrics.jsonl` and `summary.txt`. See EXPERIMENTS.md for both
-//! schemas.
+//! `metrics.jsonl` and `summary.txt`; `--timeline DIR` records with
+//! `st-scope` and exports `timeline.jsonl` (time-series + fire-delay
+//! waterfall; observation only, so `--json` output is byte-identical
+//! with and without it). See EXPERIMENTS.md for all three schemas.
 
 #![forbid(unsafe_code)]
 
 use st_experiments::{
     ack_compression, appendix_a, congestion, fault_matrix, fig2_fig3, fig4_table1, fig5,
     fig6_table2, latency, livelock, overload, profiler, profiler_overhead, scaling, sec52, table3,
-    table45, table67, table8, trace_overhead, Scale, CATALOG,
+    table45, table67, table8, timeline, trace_overhead, Scale, CATALOG,
 };
 use st_trace::json::ObjectBuilder;
 use st_trace::{json, TraceConfig, TraceSession};
@@ -32,6 +34,7 @@ fn main() {
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut json_path: Option<String> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut timeline_dir: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -59,6 +62,12 @@ fn main() {
                     .unwrap_or_else(|| die("--trace needs a directory"));
                 trace_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--timeline" => {
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| die("--timeline needs a directory"));
+                timeline_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--list" => {
                 print_list();
                 return;
@@ -66,11 +75,12 @@ fn main() {
             "--help" | "-h" => {
                 let names: Vec<&str> = CATALOG.iter().map(|e| e.name).collect();
                 println!(
-                    "usage: repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR] [--json PATH] [--trace DIR]\n\
+                    "usage: repro [EXPERIMENT ...] [--quick] [--seed N] [--csv DIR] [--json PATH] [--trace DIR] [--timeline DIR]\n\
                      experiments: all {}\n\
-                     --list       print the experiment catalog with metric keys and exit\n\
-                     --json PATH  one JSON object per experiment; '-' writes to stdout and suppresses the text report\n\
-                     --trace DIR  record with st-trace; writes chrome_trace.json, metrics.jsonl, summary.txt",
+                     --list          print the experiment catalog with metric keys and exit\n\
+                     --json PATH     one JSON object per experiment; '-' writes to stdout and suppresses the text report\n\
+                     --trace DIR     record with st-trace; writes chrome_trace.json, metrics.jsonl, summary.txt\n\
+                     --timeline DIR  record with st-scope; writes timeline.jsonl (series + fire-delay waterfall)",
                     names.join(" ")
                 );
                 return;
@@ -100,6 +110,21 @@ fn main() {
     let trace_session = trace_dir.as_ref().map(|dir| {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("trace dir: {e}")));
         TraceSession::start(TraceConfig { capacity: 1 << 20 })
+    });
+    // `--timeline` samples counter deltas out of the live st-trace
+    // registry; when `--trace` didn't start a session, run an internal
+    // one purely to feed the registry (it is dropped, never exported).
+    let scope_session = timeline_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("timeline dir: {e}")));
+        let counters = if trace_session.is_none() {
+            Some(TraceSession::start(TraceConfig { capacity: 1 << 12 }))
+        } else {
+            None
+        };
+        let session = st_scope::ScopeSession::start(st_scope::ScopeConfig {
+            series_capacity: 1 << 13,
+        });
+        (session, counters)
     });
 
     if !json_to_stdout {
@@ -252,6 +277,12 @@ fn main() {
         let r = trace_overhead::run(scale, seed);
         emit("trace_overhead", r.render(), r.key_metrics());
     }
+    if want(&["timeline", "scope"]) {
+        // Suspends (and later restores) this binary's own --timeline /
+        // --trace sessions while it runs its self-measuring rows.
+        let r = timeline::run(scale, seed);
+        emit("timeline", r.render(), r.key_metrics());
+    }
     if want(&["profiler"]) {
         let r = profiler::run(scale, seed);
         emit("profiler", r.render(), r.key_metrics());
@@ -306,6 +337,24 @@ fn main() {
         write("chrome_trace.json", &chrome);
         write("metrics.jsonl", &jsonl);
         write("summary.txt", &snap.summary());
+    }
+
+    if let (Some((session, counters)), Some(dir)) = (scope_session, timeline_dir.as_ref()) {
+        let report = session.finish();
+        drop(counters);
+        // `to_jsonl` validates every line itself; re-validate here so a
+        // writer bug fails at the exporter with a path in the message.
+        let lines = st_scope::to_jsonl(&report);
+        for line in &lines {
+            json::validate(line)
+                .unwrap_or_else(|e| die(&format!("internal error: invalid timeline line: {e}")));
+        }
+        let path = dir.join("timeline.jsonl");
+        let mut body = lines.join("\n");
+        body.push('\n');
+        std::fs::write(&path, body)
+            .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+        eprintln!("wrote {}", path.display());
     }
 }
 

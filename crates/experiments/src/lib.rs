@@ -30,6 +30,7 @@
 //! | [`fault_matrix`] | fault injection: firing bound under clock/interrupt/NIC/callback/wire/overload faults (extension) |
 //! | [`latency`] | packet latency on an idle machine across policies (extension) |
 //! | [`trace_overhead`] | st-trace self-measurement: tracer cost + Table-1 shares re-derived from the trace (extension) |
+//! | [`timeline`] | st-scope timeline telemetry: flash-crowd trajectory + fire-delay attribution (extension) |
 //! | [`profiler`] | st-prof sampled attribution vs exact context accounting (extension) |
 //! | [`profiler_overhead`] | hardware-interrupt vs soft-timer sampling cost sweep (extension) |
 //!
@@ -61,6 +62,7 @@ pub mod table3;
 pub mod table45;
 pub mod table67;
 pub mod table8;
+pub mod timeline;
 pub mod trace_overhead;
 
 /// How much work to spend on an experiment.
@@ -322,6 +324,26 @@ pub const CATALOG: &[ExperimentInfo] = &[
             "fired_backup",
             "exports_valid",
             "share_<source>",
+        ],
+    },
+    ExperimentInfo {
+        name: "timeline",
+        aliases: &["scope"],
+        what: "st-scope timeline telemetry: flash-crowd trajectory + fire-delay attribution (extension)",
+        keys: &[
+            "attribution_exact",
+            "soft_sampling_cpu_pct",
+            "hw_sampling_cpu_pct",
+            "soft_sampling_cheaper",
+            "limit_dips_during_surge",
+            "<row>_goodput",
+            "<row>_p99_us",
+            "<row>_scope_fires",
+            "<row>_scope_cpu_pct",
+            "<row>_facility_fires",
+            "<row>_trigger_wait_ticks",
+            "<row>_cascade_ticks",
+            "<row>_win<w>_done_per_s",
         ],
     },
     ExperimentInfo {

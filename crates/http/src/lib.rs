@@ -32,5 +32,6 @@ pub use arrival::{
 pub use livelock::{run_livelock, LivelockConfig, LivelockResult};
 pub use model::{HttpMode, ServerKind, ServerModel};
 pub use saturation::{
-    OverloadStats, RateClocking, SaturationConfig, SaturationResult, SaturationSim, TimerLoad,
+    OverloadStats, RateClocking, SaturationConfig, SaturationResult, SaturationSim, ScopeSampling,
+    TimerLoad,
 };

@@ -38,7 +38,7 @@ pub struct FileContext {
 }
 
 /// Crates whose runs must replay byte-identically from a seed.
-const DETERMINISTIC_CRATES: [&str; 6] = ["sim", "kernel", "core", "net", "tcp", "admit"];
+const DETERMINISTIC_CRATES: [&str; 7] = ["sim", "kernel", "core", "net", "tcp", "admit", "scope"];
 
 /// The one file allowed to touch the wall clock: the real-time runtime.
 const WALL_CLOCK_HOME: &str = "crates/core/src/rt.rs";

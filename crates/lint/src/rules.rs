@@ -92,8 +92,9 @@ impl RuleId {
                  block can undermine the facility's memory-safety story"
             }
             RuleId::SealedTraceOnly => {
-                "observability stays sealed: library crates emit through st-trace \
-                 macros only, so the zero-overhead disabled path stays the only path"
+                "observability stays sealed: library crates emit through st-trace / \
+                 st-scope sessions only, so the zero-overhead disabled path stays \
+                 the only path"
             }
             RuleId::NoFloatInBounds => {
                 "delay bound: the (S+T, S+T+X+1) firing-bound math is exact integer \
@@ -116,7 +117,9 @@ impl RuleId {
             RuleId::NoSilentCast => "use try_from with an explicit failure path",
             RuleId::NoPanickingArith => "return Option/Result or use get()/checked ops",
             RuleId::ForbidUnsafeEverywhere => "add #![forbid(unsafe_code)] to the crate root",
-            RuleId::SealedTraceOnly => "emit via st_trace::emit/count/observe",
+            RuleId::SealedTraceOnly => {
+                "emit via st_trace::emit/count/observe or st_scope::gauge/observe/fire_delay"
+            }
             RuleId::NoFloatInBounds => "keep tick math in u64; floats only in reporting",
             RuleId::AllowHygiene => "fix the reason, or delete the stale suppression",
         }
@@ -389,6 +392,19 @@ fn sealed_trace_only(ctx: &FileContext, toks: &[Spanned], out: &mut Vec<RawFindi
                 RuleId::SealedTraceOnly,
                 t.line,
                 &format!("ad-hoc `{id}!` in a library crate"),
+            ));
+        }
+        // `io::stdout()` / `io::stderr()` handle grabs dodge the macro
+        // check; `.stdout(...)` builder calls (std::process::Command)
+        // are not emission and stay allowed.
+        if (id == "stdout" || id == "stderr")
+            && punct_at(toks, i + 1) == Some('(')
+            && (i == 0 || punct_at(toks, i - 1) != Some('.'))
+        {
+            out.push(finding(
+                RuleId::SealedTraceOnly,
+                t.line,
+                &format!("direct `{id}()` handle in a library crate"),
             ));
         }
     }

@@ -13,3 +13,7 @@ pub fn suppressed() {
 
 // st-lint: allow(sealed-trace-only) -- fixture: stale annotation
 pub fn stale() {}
+
+pub fn grabs_a_handle() {
+    let _ = std::io::stdout();
+}

@@ -102,6 +102,7 @@ fn sealed_trace_fixture() {
             (RuleId::SealedTraceOnly, 6, false),
             (RuleId::SealedTraceOnly, 11, true),
             (RuleId::AllowHygiene, 14, false),
+            (RuleId::SealedTraceOnly, 18, false),
         ],
     );
 }

@@ -1,0 +1,163 @@
+//! JSONL export of a [`ScopeReport`], validated by st-trace's JSON
+//! machinery.
+//!
+//! One line per object, schema `st-scope-timeline-v1`:
+//!
+//! - a header: `{"type":"timeline","schema":...,"series":N,
+//!   "samples":K,"lanes":L,"points_dropped":D}`;
+//! - one line per series: `{"type":"series","name":...,"kind":
+//!   "gauge"|"counter_delta"|"quantile","dropped":D,
+//!   "points":[[tick,value],...]}`;
+//! - one line per waterfall lane: `{"type":"waterfall","lane":...,
+//!   "fires":N,"trigger_wait_ticks":S,"cascade_ticks":S,
+//!   "wait_p50":...,"wait_p99":...,"cascade_p99":...}`.
+//!
+//! Every line is built by [`st_trace::json::ObjectBuilder`] and passed
+//! through [`st_trace::json::validate`] before it is returned, so a
+//! malformed export fails at the writer, never at a reader.
+
+use st_trace::json::{number, validate, ObjectBuilder};
+
+use crate::session::ScopeReport;
+
+/// Schema tag carried in the header line.
+pub const SCHEMA: &str = "st-scope-timeline-v1";
+
+fn points_json(points: impl Iterator<Item = (u64, f64)>) -> String {
+    let mut out = String::from("[");
+    for (i, (tick, value)) in points.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&tick.to_string());
+        out.push(',');
+        out.push_str(&number(value));
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+fn quantile_or_zero(h: &st_stats::Histogram, q: f64) -> f64 {
+    h.quantile(q).unwrap_or(0.0)
+}
+
+/// Renders the report as validated JSON lines.
+///
+/// # Panics
+///
+/// Panics if a rendered line fails validation — that is a bug in the
+/// writer, not a data error.
+pub fn to_jsonl(report: &ScopeReport) -> Vec<String> {
+    let mut lines = Vec::new();
+    let dropped: u64 = report.timeline.series().map(|(_, s)| s.dropped()).sum();
+    lines.push(
+        ObjectBuilder::new()
+            .str("type", "timeline")
+            .str("schema", SCHEMA)
+            .u64("series", report.timeline.series_count() as u64)
+            .u64("samples", report.timeline.samples())
+            .u64("lanes", report.waterfall.lanes().count() as u64)
+            .u64("points_dropped", dropped)
+            .build(),
+    );
+    for (name, series) in report.timeline.series() {
+        lines.push(
+            ObjectBuilder::new()
+                .str("type", "series")
+                .str("name", name)
+                .str("kind", series.kind().label())
+                .u64("dropped", series.dropped())
+                .raw("points", &points_json(series.points()))
+                .build(),
+        );
+    }
+    for (lane, l) in report.waterfall.lanes() {
+        lines.push(
+            ObjectBuilder::new()
+                .str("type", "waterfall")
+                .str("lane", lane)
+                .u64("fires", l.fires())
+                .u64("trigger_wait_ticks", l.trigger_wait_sum())
+                .u64("cascade_ticks", l.cascade_sum())
+                .f64("wait_p50", quantile_or_zero(l.trigger_wait_hist(), 0.50))
+                .f64("wait_p99", quantile_or_zero(l.trigger_wait_hist(), 0.99))
+                .f64("cascade_p99", quantile_or_zero(l.cascade_hist(), 0.99))
+                .build(),
+        );
+    }
+    for line in &lines {
+        validate(line).expect("st-scope export emitted invalid JSON");
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{fire_delay, gauge, observe, sample, ScopeConfig, ScopeSession};
+    use st_trace::json::parse;
+
+    fn sample_report() -> ScopeReport {
+        let s = ScopeSession::start(ScopeConfig { series_capacity: 4 });
+        gauge(100, "http.conns", 7.0);
+        gauge(200, "http.conns", 9.0);
+        observe("http.latency_us", 1_500.0);
+        observe("http.latency_us", 900.0);
+        sample(1_000);
+        fire_delay("ip_output", 14, 3);
+        fire_delay("backup", 950, 40);
+        s.finish()
+    }
+
+    #[test]
+    fn every_line_validates_and_round_trips() {
+        let report = sample_report();
+        let lines = to_jsonl(&report);
+        assert!(lines.len() >= 3, "header + series + lanes");
+        for line in &lines {
+            validate(line).unwrap();
+        }
+        let header = parse(&lines[0]).unwrap();
+        assert_eq!(header.get("type").unwrap().as_str().unwrap(), "timeline");
+        assert_eq!(header.get("schema").unwrap().as_str().unwrap(), SCHEMA);
+        assert_eq!(header.get("samples").unwrap().as_f64().unwrap(), 1.0);
+
+        // Find the gauge series and reconstruct its points exactly.
+        let conns = lines
+            .iter()
+            .map(|l| parse(l).unwrap())
+            .find(|v| v.get("name").and_then(|n| n.as_str()) == Some("http.conns"))
+            .expect("http.conns series exported");
+        assert_eq!(conns.get("kind").unwrap().as_str().unwrap(), "gauge");
+        let pts = conns.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(pts.len(), 2);
+        let first = pts[0].as_arr().unwrap();
+        assert_eq!(first[0].as_f64().unwrap(), 100.0);
+        assert_eq!(first[1].as_f64().unwrap(), 7.0);
+
+        // The waterfall lane carries its exact integer sums.
+        let lane = lines
+            .iter()
+            .map(|l| parse(l).unwrap())
+            .find(|v| v.get("lane").and_then(|n| n.as_str()) == Some("backup"))
+            .expect("backup lane exported");
+        assert_eq!(
+            lane.get("trigger_wait_ticks").unwrap().as_f64().unwrap(),
+            950.0
+        );
+        assert_eq!(lane.get("cascade_ticks").unwrap().as_f64().unwrap(), 40.0);
+    }
+
+    #[test]
+    fn ring_truncation_is_surfaced_in_the_header() {
+        let s = ScopeSession::start(ScopeConfig { series_capacity: 2 });
+        for i in 0..5u64 {
+            gauge(i, "g", i as f64);
+        }
+        let report = s.finish();
+        let header = parse(&to_jsonl(&report)[0]).unwrap();
+        assert_eq!(header.get("points_dropped").unwrap().as_f64().unwrap(), 3.0);
+    }
+}

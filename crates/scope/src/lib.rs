@@ -1,0 +1,50 @@
+//! `st-scope`: soft-timer-driven time-series telemetry and fire-delay
+//! attribution.
+//!
+//! The paper's evidence is distributional *and temporal* — trigger
+//! intervals (Fig 1), fire-delay CDFs (Fig 4) — but end-of-run
+//! aggregates flatten the story: a flash crowd's collapse-and-recovery
+//! trajectory, or the moment an admission limit dips, is invisible in a
+//! run total.  This crate is the fifth soft-timer application in the
+//! repository: observability whose own flush cadence is a periodic
+//! soft-timer event, riding trigger states like the pacer, the poller,
+//! the profiler and the admission controller before it.
+//!
+//! Two halves:
+//!
+//! - [`Timeline`] — fixed-capacity ring-buffered series (gauges,
+//!   st-trace counter deltas, windowed quantile snapshots) flushed by
+//!   [`sample`] from a periodic soft-timer event.  The sampling cost is
+//!   a first-class `CostModel` entry (`scope_sample`) so simulations
+//!   charge for it honestly, and the `timeline_overhead` measurement
+//!   contrasts it with an equivalent 1 kHz hardware-timer sampler —
+//!   the paper's Fig 2/3 argument applied to telemetry itself.
+//! - [`Waterfall`] — per-source fire-delay attribution.  Each fire's
+//!   lateness is decomposed, integer-exactly, into **trigger-wait**
+//!   (ticks spent waiting for the kernel to reach a trigger state) and
+//!   **cascade** (ticks covered by other timed work executing — handler
+//!   dispatch, interrupts, polls — as measured by an [`ExecLedger`]).
+//!   Per-lane sums reconcile exactly against `FacilityStats`' recorded
+//!   delay totals.
+//!
+//! Like `st-trace`, the emit side ([`gauge`], [`observe`], [`sample`],
+//! [`fire_delay`]) is a sealed no-op without an active [`ScopeSession`]
+//! on the current thread: one thread-local load and a branch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod ledger;
+pub mod session;
+pub mod timeline;
+pub mod waterfall;
+
+pub use export::{to_jsonl, SCHEMA};
+pub use ledger::ExecLedger;
+pub use session::{
+    active, fire_delay, gauge, observe, resume, sample, suspend, ScopeConfig, ScopeReport,
+    ScopeSession, Suspended,
+};
+pub use timeline::{Series, SeriesKind, Timeline};
+pub use waterfall::{Lane, Waterfall};

@@ -1,0 +1,260 @@
+//! The thread-local scope session and the sealed emit-side API.
+//!
+//! Mirrors `st-trace`'s tracer: instrumentation sites call the free
+//! functions [`gauge`], [`observe`], [`sample`] and [`fire_delay`];
+//! with no active session each is a sealed no-op — one thread-local
+//! load and a branch, no locks, no allocation — so the telemetry layer
+//! costs nothing when disabled.  A [`ScopeSession`] installs recording
+//! state for its thread only; [`suspend`]/[`resume`] nest sessions the
+//! same way self-measuring experiments nest trace recordings.
+
+use std::cell::RefCell;
+
+use crate::timeline::Timeline;
+use crate::waterfall::Waterfall;
+
+/// Configuration for a [`ScopeSession`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeConfig {
+    /// Maximum points retained per series; older points are evicted
+    /// (and counted as dropped) beyond this.
+    pub series_capacity: usize,
+}
+
+impl Default for ScopeConfig {
+    fn default() -> Self {
+        ScopeConfig {
+            series_capacity: 1 << 12,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    timeline: Timeline,
+    waterfall: Waterfall,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<Inner>> = const { RefCell::new(None) };
+}
+
+/// Everything one session captured.
+#[derive(Debug)]
+pub struct ScopeReport {
+    /// The time-series half.
+    pub timeline: Timeline,
+    /// The fire-delay attribution half.
+    pub waterfall: Waterfall,
+}
+
+/// An active scope recording on the current thread.
+#[derive(Debug)]
+pub struct ScopeSession {
+    finished: bool,
+    // !Send: the session must be finished on the thread that started it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl ScopeSession {
+    /// Starts recording on the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active on this thread; use
+    /// [`suspend`]/[`resume`] to nest recordings.
+    pub fn start(config: ScopeConfig) -> ScopeSession {
+        SCOPE.with(|t| {
+            let mut slot = t.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "a ScopeSession is already active on this thread"
+            );
+            *slot = Some(Inner {
+                timeline: Timeline::new(config.series_capacity),
+                waterfall: Waterfall::new(),
+            });
+        });
+        ScopeSession {
+            finished: false,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Stops recording and returns everything captured.
+    pub fn finish(mut self) -> ScopeReport {
+        self.finished = true;
+        SCOPE.with(|t| {
+            let inner = t
+                .borrow_mut()
+                .take()
+                .expect("session state missing at finish");
+            ScopeReport {
+                timeline: inner.timeline,
+                waterfall: inner.waterfall,
+            }
+        })
+    }
+}
+
+impl Drop for ScopeSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            SCOPE.with(|t| {
+                t.borrow_mut().take();
+            });
+        }
+    }
+}
+
+/// A recording lifted off the current thread by [`suspend`].
+#[derive(Debug, Default)]
+pub struct Suspended(Option<Inner>);
+
+/// Detaches any active recording from the current thread.
+pub fn suspend() -> Suspended {
+    SCOPE.with(|t| Suspended(t.borrow_mut().take()))
+}
+
+/// Re-attaches a recording previously lifted by [`suspend`].
+///
+/// # Panics
+///
+/// Panics if another session became active in the meantime and `s`
+/// carries a recording (nothing would be lost silently).
+pub fn resume(s: Suspended) {
+    if let Suspended(Some(inner)) = s {
+        SCOPE.with(|t| {
+            let mut slot = t.borrow_mut();
+            assert!(slot.is_none(), "cannot resume over an active ScopeSession");
+            *slot = Some(inner);
+        });
+    }
+}
+
+/// True when a session is recording on the current thread.
+///
+/// Worlds may check this once at construction to skip attribution
+/// bookkeeping entirely when nobody is watching.
+pub fn active() -> bool {
+    SCOPE.with(|t| t.borrow().is_some())
+}
+
+/// Appends a gauge point (no-op without an active session).
+pub fn gauge(tick: u64, name: &'static str, value: f64) {
+    SCOPE.with(|t| {
+        if let Some(inner) = t.borrow_mut().as_mut() {
+            inner.timeline.gauge(tick, name, value);
+        }
+    });
+}
+
+/// Records a windowed observation (no-op without an active session).
+pub fn observe(name: &'static str, value: f64) {
+    SCOPE.with(|t| {
+        if let Some(inner) = t.borrow_mut().as_mut() {
+            inner.timeline.observe(name, value);
+        }
+    });
+}
+
+/// One sample tick: flushes counter deltas from the live st-trace
+/// registry plus every observation window's quantiles (no-op without an
+/// active session).
+pub fn sample(tick: u64) {
+    SCOPE.with(|t| {
+        if let Some(inner) = t.borrow_mut().as_mut() {
+            let counters = st_trace::counters_snapshot();
+            inner.timeline.sample(tick, &counters);
+        }
+    });
+}
+
+/// Records one fire's decomposed lateness on `lane` (no-op without an
+/// active session).
+pub fn fire_delay(lane: &'static str, trigger_wait: u64, cascade: u64) {
+    SCOPE.with(|t| {
+        if let Some(inner) = t.borrow_mut().as_mut() {
+            inner.waterfall.record(lane, trigger_wait, cascade);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_session_means_sealed_noop() {
+        assert!(!active());
+        gauge(1, "ignored", 1.0);
+        observe("ignored", 2.0);
+        sample(3);
+        fire_delay("ignored", 4, 5);
+        let s = ScopeSession::start(ScopeConfig::default());
+        let r = s.finish();
+        assert_eq!(r.timeline.series_count(), 0);
+        assert_eq!(r.waterfall.fires(), 0);
+    }
+
+    #[test]
+    fn session_captures_all_three_streams() {
+        let s = ScopeSession::start(ScopeConfig::default());
+        assert!(active());
+        gauge(10, "http.conns", 42.0);
+        observe("http.latency_us", 900.0);
+        sample(1_000);
+        fire_delay("ip_output", 12, 3);
+        let r = s.finish();
+        assert!(!active());
+        assert_eq!(r.timeline.get("http.conns").unwrap().len(), 1);
+        assert_eq!(r.timeline.samples(), 1);
+        assert!(r.timeline.get("http.latency_us.p99").is_some());
+        assert_eq!(r.waterfall.delay_sum(), 15);
+    }
+
+    #[test]
+    fn sample_pulls_counter_deltas_from_the_trace_registry() {
+        let trace = st_trace::TraceSession::start(st_trace::TraceConfig::default());
+        let s = ScopeSession::start(ScopeConfig::default());
+        st_trace::count("facility.fired.trigger", 4);
+        sample(100);
+        st_trace::count("facility.fired.trigger", 3);
+        sample(200);
+        let r = s.finish();
+        drop(trace.finish());
+        let pts: Vec<_> = r
+            .timeline
+            .get("facility.fired.trigger")
+            .unwrap()
+            .points()
+            .collect();
+        assert_eq!(pts, vec![(100, 4.0), (200, 3.0)]);
+    }
+
+    #[test]
+    fn suspend_and_resume_nest_sessions() {
+        let outer = ScopeSession::start(ScopeConfig::default());
+        gauge(1, "outer", 1.0);
+        let held = suspend();
+        assert!(!active());
+        {
+            let inner = ScopeSession::start(ScopeConfig::default());
+            gauge(2, "inner", 2.0);
+            let r = inner.finish();
+            assert!(r.timeline.get("outer").is_none());
+            assert!(r.timeline.get("inner").is_some());
+        }
+        resume(held);
+        let r = outer.finish();
+        assert!(r.timeline.get("inner").is_none());
+        assert!(r.timeline.get("outer").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn nested_start_panics() {
+        let _outer = ScopeSession::start(ScopeConfig::default());
+        let _inner = ScopeSession::start(ScopeConfig::default());
+    }
+}

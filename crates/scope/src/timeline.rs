@@ -1,0 +1,291 @@
+//! Ring-buffered time series: the over-time half of `st-scope`.
+//!
+//! A [`Timeline`] holds a set of named [`Series`], each a fixed-capacity
+//! ring of `(tick, value)` points.  Three kinds of series exist:
+//!
+//! - **gauges** — instantaneous values appended directly by the caller
+//!   (connection counts, admission limits, congestion windows);
+//! - **counter deltas** — per-sample-window increments of the st-trace
+//!   registry's monotone counters, computed against the previous sample;
+//! - **quantile snapshots** — p50/p99/p99.9 of a windowed histogram of
+//!   observations, flushed and reset at each sample tick.
+//!
+//! The sampling *cadence* is not the timeline's business: callers drive
+//! [`Timeline::sample`] from a periodic soft-timer event so that the
+//! telemetry flush itself rides trigger states, the same economics as
+//! every other soft-timer application in this repository.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use st_stats::Histogram;
+
+/// What a series' points mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Instantaneous values appended by the caller.
+    Gauge,
+    /// Per-window increments of a monotone counter.
+    CounterDelta,
+    /// A quantile of a windowed observation histogram.
+    Quantile,
+}
+
+impl SeriesKind {
+    /// Stable label used by the JSONL export.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::CounterDelta => "counter_delta",
+            SeriesKind::Quantile => "quantile",
+        }
+    }
+}
+
+/// One named, fixed-capacity ring of `(tick, value)` points.
+#[derive(Debug)]
+pub struct Series {
+    kind: SeriesKind,
+    capacity: usize,
+    points: VecDeque<(u64, f64)>,
+    dropped: u64,
+}
+
+impl Series {
+    fn new(kind: SeriesKind, capacity: usize) -> Series {
+        Series {
+            kind,
+            capacity: capacity.max(1),
+            points: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, tick: u64, value: f64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.dropped += 1;
+        }
+        self.points.push_back((tick, value));
+    }
+
+    /// The series kind.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// Retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points evicted because the ring was full — never silent.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Geometry of the windowed observation histograms; matches the
+/// facility's delay histogram so tick-valued observations share a
+/// resolution.
+const WINDOW_BUCKETS: usize = 4096;
+
+/// Quantiles flushed per windowed-observation series at each sample.
+const QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)];
+
+/// The full set of series plus the sampling state feeding them.
+#[derive(Debug)]
+pub struct Timeline {
+    capacity: usize,
+    series: BTreeMap<String, Series>,
+    last_counters: BTreeMap<&'static str, u64>,
+    windows: BTreeMap<&'static str, (f64, Histogram)>,
+    samples: u64,
+}
+
+impl Timeline {
+    /// An empty timeline whose series each retain at most `capacity`
+    /// points.
+    pub fn new(capacity: usize) -> Timeline {
+        Timeline {
+            capacity: capacity.max(1),
+            series: BTreeMap::new(),
+            last_counters: BTreeMap::new(),
+            windows: BTreeMap::new(),
+            samples: 0,
+        }
+    }
+
+    fn series_mut(&mut self, name: &str, kind: SeriesKind) -> &mut Series {
+        let capacity = self.capacity;
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(kind, capacity))
+    }
+
+    /// Appends an instantaneous gauge point.
+    pub fn gauge(&mut self, tick: u64, name: &'static str, value: f64) {
+        self.series_mut(name, SeriesKind::Gauge).push(tick, value);
+    }
+
+    /// Records one observation into `name`'s current sample window.
+    ///
+    /// Windowed observations are tick-valued (latencies, delays); the
+    /// window histogram starts at a 1-unit bucket width, so quantile
+    /// estimates resolve to one tick.  A value beyond the window's
+    /// range doubles the bucket width (re-bucketing what the window
+    /// already holds) until it fits, so overload-scale tails are never
+    /// silently clamped to the range edge — a collapsed run's p99 reads
+    /// in seconds, not at the 4096-tick ceiling.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        let (width, h) = self
+            .windows
+            .entry(name)
+            .or_insert_with(|| (1.0, Histogram::new(1.0, WINDOW_BUCKETS)));
+        if value >= *width * WINDOW_BUCKETS as f64 {
+            while value >= *width * WINDOW_BUCKETS as f64 {
+                *width *= 2.0;
+            }
+            let mut wider = Histogram::new(*width, WINDOW_BUCKETS);
+            for (edge, count) in h.buckets() {
+                wider.record_n(edge, count);
+            }
+            *h = wider;
+        }
+        h.record(value);
+    }
+
+    /// One sample tick at `tick`: counter deltas against `counters`
+    /// (typically the live st-trace registry) and quantile flushes of
+    /// every observation window, which then reset.
+    pub fn sample(&mut self, tick: u64, counters: &[(&'static str, u64)]) {
+        self.samples += 1;
+        for &(name, total) in counters {
+            let prev = self.last_counters.insert(name, total).unwrap_or(0);
+            let delta = total.saturating_sub(prev);
+            self.series_mut(name, SeriesKind::CounterDelta)
+                .push(tick, delta as f64);
+        }
+        let mut flushed: Vec<(String, f64)> = Vec::new();
+        for (name, (width, h)) in &mut self.windows {
+            if h.count() == 0 {
+                continue;
+            }
+            let snap = h.quantile_snapshot();
+            for (suffix, _) in QUANTILES {
+                let value = match suffix {
+                    "p50" => snap.p50,
+                    "p99" => snap.p99,
+                    _ => snap.p999,
+                };
+                flushed.push((format!("{name}.{suffix}"), value));
+            }
+            // Each window starts back at 1-tick resolution; the next
+            // overflow re-widens it if the tail is still there.
+            *width = 1.0;
+            *h = Histogram::new(1.0, WINDOW_BUCKETS);
+        }
+        for (name, value) in flushed {
+            self.series_mut(&name, SeriesKind::Quantile)
+                .push(tick, value);
+        }
+    }
+
+    /// Sample ticks taken so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// All series in name order.
+    pub fn series(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Looks up one series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_points_ride_a_bounded_ring() {
+        let mut t = Timeline::new(3);
+        for i in 0..5u64 {
+            t.gauge(i, "x", i as f64);
+        }
+        let s = t.get("x").unwrap();
+        assert_eq!(s.kind(), SeriesKind::Gauge);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts, vec![(2, 2.0), (3, 3.0), (4, 4.0)]);
+    }
+
+    #[test]
+    fn counter_deltas_difference_successive_samples() {
+        let mut t = Timeline::new(8);
+        t.sample(100, &[("c", 10)]);
+        t.sample(200, &[("c", 25)]);
+        t.sample(300, &[("c", 25)]);
+        let pts: Vec<_> = t.get("c").unwrap().points().collect();
+        assert_eq!(pts, vec![(100, 10.0), (200, 15.0), (300, 0.0)]);
+        assert_eq!(t.samples(), 3);
+    }
+
+    #[test]
+    fn observation_windows_widen_instead_of_clamping() {
+        let mut t = Timeline::new(8);
+        // 99 small values then one overload-scale outlier: a fixed
+        // 4096x1 window would clamp the tail to 4096.
+        for _ in 0..99 {
+            t.observe("lat", 100.0);
+        }
+        t.observe("lat", 1_200_000.0);
+        t.sample(1_000, &[]);
+        let p999 = t.get("lat.p999").unwrap().points().next().unwrap().1;
+        assert!(p999 > 1_000_000.0, "tail clamped: p999 {p999}");
+        // The median survives re-bucketing at its coarser resolution.
+        let p50 = t.get("lat.p50").unwrap().points().next().unwrap().1;
+        assert!(p50 < 1_000.0, "median distorted: p50 {p50}");
+        // The next window starts back at 1-tick resolution.
+        t.observe("lat", 10.0);
+        t.observe("lat", 12.0);
+        t.sample(2_000, &[]);
+        let pts: Vec<_> = t.get("lat.p50").unwrap().points().collect();
+        assert!(pts[1].1 >= 10.0 && pts[1].1 <= 13.0, "p50 {}", pts[1].1);
+    }
+
+    #[test]
+    fn observation_windows_flush_quantiles_and_reset() {
+        let mut t = Timeline::new(8);
+        for v in 1..=100 {
+            t.observe("lat", v as f64);
+        }
+        t.sample(1_000, &[]);
+        let p99 = t.get("lat.p99").unwrap().points().next().unwrap().1;
+        assert!((95.0..=101.0).contains(&p99), "p99 {p99}");
+        // The window reset: an empty window flushes nothing.
+        t.sample(2_000, &[]);
+        assert_eq!(t.get("lat.p99").unwrap().len(), 1);
+        assert!(t.get("lat.p50").is_some());
+        assert!(t.get("lat.p999").is_some());
+    }
+}

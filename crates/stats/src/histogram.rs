@@ -122,6 +122,45 @@ impl Histogram {
         self.quantile(0.5)
     }
 
+    /// The 99.9th percentile (the 0.999 quantile) — the tail-latency
+    /// headline the overload and timeline experiments report.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// Snapshot of the standard reporting quantiles in one pass.
+    ///
+    /// An empty histogram snapshots to all-zero quantiles with
+    /// `count == 0`, so periodic samplers need no special case.
+    pub fn quantile_snapshot(&self) -> QuantileSnapshot {
+        QuantileSnapshot {
+            count: self.total,
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            p999: self.quantile(0.999).unwrap_or(0.0),
+        }
+    }
+
+    /// Records `n` observations of `value` in one step (bulk transfer
+    /// when re-bucketing into a different geometry).
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total += n;
+        if value < 0.0 {
+            self.underflow += n;
+            return;
+        }
+        let idx = (value / self.bucket_width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += n;
+        } else {
+            self.counts[idx] += n;
+        }
+    }
+
     /// Iterates over `(bucket_lower_edge, count)` pairs for plotting.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         self.counts
@@ -171,6 +210,25 @@ impl Histogram {
         self.underflow += other.underflow;
         self.total += other.total;
     }
+}
+
+/// One-pass snapshot of a histogram's reporting quantiles.
+///
+/// The fields are the estimates a periodic sampler flushes into a
+/// timeline series; `count` is the window's observation count so a
+/// reader can weight (or discard) sparse windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileSnapshot {
+    /// Observations in the window (including under/overflow).
+    pub count: u64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// 99.9th-percentile estimate.
+    pub p999: f64,
 }
 
 /// Power-of-two bucketed histogram for values spanning many decades.
@@ -384,6 +442,70 @@ mod tests {
         assert_eq!(merged.quantile(0.9995), h.quantile(0.9995));
         // The tail fraction is a count ratio, invariant under merge.
         assert_eq!(merged.fraction_above(100.0), h.fraction_above(100.0));
+    }
+
+    #[test]
+    fn p999_and_snapshot_agree_with_quantile() {
+        let mut h = Histogram::new(1.0, 4_096);
+        for i in 0..2_000 {
+            h.record((i % 1_000) as f64 + 0.5);
+        }
+        assert_eq!(h.p999(), h.quantile(0.999));
+        let snap = h.quantile_snapshot();
+        assert_eq!(snap.count, 2_000);
+        assert_eq!(snap.p50, h.median().unwrap());
+        assert_eq!(snap.p99, h.quantile(0.99).unwrap());
+        assert_eq!(snap.p999, h.p999().unwrap());
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99 && snap.p99 <= snap.p999);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let h = Histogram::new(1.0, 8);
+        let snap = h.quantile_snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50, 0.0);
+        assert_eq!(snap.p999, 0.0);
+    }
+
+    #[test]
+    fn p2_and_histogram_estimates_agree_on_the_same_stream() {
+        // The two estimators make opposite trade-offs (five markers vs
+        // 4096 buckets); on a common deterministic stream their p50/p99
+        // estimates must land within a bucket-width-scale tolerance of
+        // each other, or one of them is broken.
+        use crate::p2::P2Quantile;
+        let mut h = Histogram::new(1.0, 4_096);
+        let mut p50 = P2Quantile::new(0.50);
+        let mut p99 = P2Quantile::new(0.99);
+        // A deterministic LCG stream over [0, 2000) with a heavy-ish
+        // spread so both estimators see a non-trivial distribution.
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let v = ((x >> 33) % 2_000) as f64;
+            h.record(v);
+            p50.record(v);
+            p99.record(v);
+        }
+        let snap = h.quantile_snapshot();
+        let e50 = p50.estimate().unwrap();
+        let e99 = p99.estimate().unwrap();
+        // Uniform over [0,2000): p50 ~ 1000, p99 ~ 1980.
+        let tol50 = 0.02 * 2_000.0;
+        let tol99 = 0.02 * 2_000.0;
+        assert!(
+            (snap.p50 - e50).abs() < tol50,
+            "p50: histogram {} vs P2 {}",
+            snap.p50,
+            e50
+        );
+        assert!(
+            (snap.p99 - e99).abs() < tol99,
+            "p99: histogram {} vs P2 {}",
+            snap.p99,
+            e99
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod summary;
 pub mod window;
 
 pub use cdf::{Ecdf, Samples};
-pub use histogram::{Histogram, LogHistogram};
+pub use histogram::{Histogram, LogHistogram, QuantileSnapshot};
 pub use p2::P2Quantile;
 pub use series::Series;
 pub use summary::Summary;

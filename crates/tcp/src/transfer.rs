@@ -571,6 +571,12 @@ impl World for TransferWorld {
                     }
                     self.last_ack_at = Some(now);
                     let out = self.sender.on_ack(p.tcp.ack);
+                    st_scope::gauge(now.as_micros(), "tcp.cwnd", self.sender.cwnd() as f64);
+                    st_scope::gauge(
+                        now.as_micros(),
+                        "tcp.inflight",
+                        self.sender.inflight() as f64,
+                    );
                     if out.newly_acked > 0 {
                         self.sample_rtt(now, p.tcp.ack);
                         // Forward progress clears any RTO backoff even

@@ -68,6 +68,7 @@ pub fn metrics_jsonl(snap: &Snapshot) -> String {
             .str("type", "trace")
             .u64("events", snap.events.len() as u64)
             .u64("dropped", snap.dropped)
+            .u64("truncated", u64::from(snap.dropped > 0))
             .build(),
     );
     out.push('\n');
@@ -107,6 +108,14 @@ pub fn summary(snap: &Snapshot) -> String {
         snap.events.len(),
         snap.dropped
     );
+    if snap.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: flight recorder truncated — the {} oldest events were \
+             evicted; raise TraceConfig.capacity to keep the full run",
+            snap.dropped
+        );
+    }
     let mut per_cat = [0usize; Category::ALL.len()];
     for ev in &snap.events {
         per_cat[ev.cat.index()] += 1;
@@ -207,5 +216,27 @@ mod tests {
         assert!(text.contains("2 events retained"));
         assert!(text.contains("facility.fired.trigger"));
         assert!(text.contains("kernel"));
+    }
+
+    #[test]
+    fn truncation_is_never_silent() {
+        // The sample snapshot dropped 2 events: the summary warns and
+        // the JSONL header flags it.
+        let text = summary(&sample());
+        assert!(text.contains("WARNING"), "no truncation warning:\n{text}");
+        assert!(text.contains("2 oldest events"), "{text}");
+        let header = metrics_jsonl(&sample());
+        let header = header.lines().next().unwrap().to_string();
+        assert!(header.contains("\"truncated\":1"), "{header}");
+
+        // An un-truncated snapshot stays quiet.
+        let mut snap = sample();
+        snap.dropped = 0;
+        assert!(!summary(&snap).contains("WARNING"));
+        assert!(metrics_jsonl(&snap)
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"truncated\":0"));
     }
 }

@@ -42,5 +42,6 @@ pub use event::{Category, Event};
 pub use registry::Registry;
 pub use snapshot::Snapshot;
 pub use tracer::{
-    active, count, emit, observe, resume, suspend, Suspended, TraceConfig, TraceSession,
+    active, count, counters_snapshot, emit, observe, resume, suspend, Suspended, TraceConfig,
+    TraceSession,
 };

@@ -163,6 +163,21 @@ pub fn count(name: &'static str, n: u64) {
     });
 }
 
+/// A snapshot of the live registry's counters, in name order — empty
+/// when no session is active.
+///
+/// This is the read-side hook for periodic samplers (`st-scope`'s
+/// timeline): a sampler can difference successive snapshots into
+/// per-window rates without finishing the session that owns them.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    TRACER.with(|t| {
+        t.borrow()
+            .as_ref()
+            .map(|inner| inner.registry.counters().collect())
+            .unwrap_or_default()
+    })
+}
+
 /// Records a histogram observation (no-op without an active session).
 pub fn observe(name: &'static str, value: f64) {
     TRACER.with(|t| {

@@ -71,6 +71,31 @@ grep -q '"soft_timer_holds":1' "$SMOKE_DIR/overload_a.json" \
 grep -q '"soft_cheaper_than_hw":1' "$SMOKE_DIR/overload_a.json" \
     || { echo "smoke: soft-timer limit updates cost more than the hardware timer" >&2; exit 1; }
 
+echo "== timeline smoke: repro timeline + --timeline export gate =="
+# The telemetry plane must be invisible to the results plane: --json
+# bytes are identical whether the timeline records or not, and the
+# exported JSONL (validated line-by-line by repro itself before
+# writing) must carry series and waterfall lines. The overload run
+# from the previous block used the same seed, so it doubles as the
+# timeline-off baseline.
+cargo run --release --offline -p st-experiments --bin repro -- \
+    overload --quick --seed 42 --json - \
+    --timeline "$SMOKE_DIR/tl" > "$SMOKE_DIR/overload_tl.json"
+cmp -s "$SMOKE_DIR/overload_a.json" "$SMOKE_DIR/overload_tl.json" \
+    || { echo "smoke: --timeline perturbed overload's --json bytes" >&2; exit 1; }
+cargo run --release --offline -p st-experiments --bin repro -- \
+    timeline --quick --seed 1 --json - > "$SMOKE_DIR/timeline_a.json"
+[ -s "$SMOKE_DIR/tl/timeline.jsonl" ] \
+    || { echo "smoke: --timeline wrote no timeline.jsonl" >&2; exit 1; }
+grep -q '"type":"series"' "$SMOKE_DIR/tl/timeline.jsonl" \
+    || { echo "smoke: timeline.jsonl has no series lines" >&2; exit 1; }
+grep -q '"type":"waterfall"' "$SMOKE_DIR/tl/timeline.jsonl" \
+    || { echo "smoke: timeline.jsonl has no waterfall lines" >&2; exit 1; }
+grep -q '"attribution_exact":1' "$SMOKE_DIR/timeline_a.json" \
+    || { echo "smoke: fire-delay attribution failed to reconcile with the facility" >&2; exit 1; }
+grep -q '"soft_sampling_cheaper":1' "$SMOKE_DIR/timeline_a.json" \
+    || { echo "smoke: soft-timer sampling cost more than the hardware sampler" >&2; exit 1; }
+
 echo "== bench suite (smoke) + perf gate =="
 # Measures the hot-path suite at smoke precision, then gates it against
 # the newest committed BENCH_*.json (a no-op until one is committed).
