@@ -113,6 +113,7 @@ impl AdmissionController {
     }
 
     /// The per-request fast path: one compare, one increment.
+    // st-lint: hot-path
     pub fn try_admit(&mut self, class: RequestClass) -> Decision {
         let policy = self.policy;
         let p = self.part(class);

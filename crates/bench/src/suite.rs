@@ -414,6 +414,31 @@ pub fn run_suite(smoke: bool) -> Vec<BenchStat> {
         }),
     ));
 
+    // st-lint full-workspace pass: lex, parse, symbol tables, call graph,
+    // and all three dataflow analyses over every workspace source,
+    // pre-read so the number excludes disk I/O. Not a per-event path, but
+    // ci.sh runs the lint before every build under a wall-clock budget,
+    // and this entry keeps that budget honest across linter growth.
+    out.push(stat(
+        "lint.full_workspace",
+        measure(n, |b| {
+            let cwd = std::env::current_dir().expect("bench has a working directory");
+            let root =
+                st_lint::find_workspace_root(&cwd).expect("bench must run inside the workspace");
+            let sources = st_lint::workspace_sources(&root).expect("workspace sources readable");
+            assert!(
+                sources.len() > 100,
+                "workspace walk looks truncated: {} files",
+                sources.len()
+            );
+            b.iter(|| {
+                st_lint::lint_sources(std::hint::black_box(&sources))
+                    .findings
+                    .len()
+            });
+        }),
+    ));
+
     out
 }
 
@@ -546,6 +571,7 @@ mod tests {
             "scope.sealed_noop_emit",
             "scope.sample_tick",
             "scope.delay_attribution",
+            "lint.full_workspace",
         ] {
             assert!(names.contains(&expect), "missing suite entry {expect}");
         }

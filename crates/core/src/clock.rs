@@ -32,6 +32,9 @@ pub trait Clock {
 /// ```
 #[derive(Debug)]
 pub struct ManualClock {
+    // st-lint: allow(shared-state) -- owner: the single driving test/sim
+    // thread; ManualClock is !Sync (Cell), so the compiler already forbids
+    // sharing it across CPUs
     ticks: std::cell::Cell<u64>,
     hz: u64,
 }

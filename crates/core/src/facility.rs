@@ -99,6 +99,9 @@ pub struct SoftTimerCore<P, Q: TimerQueue<P> = HashedWheel<P>> {
     stats: FacilityStats,
     /// Monotonic check guard: ticks seen so far.
     last_seen: u64,
+    /// Reusable sweep buffer: the due-event batch is collected here so the
+    /// dispatch path never allocates after the first sweep warms it up.
+    scratch: Vec<(u64, P)>,
     _payload: std::marker::PhantomData<P>,
 }
 
@@ -118,6 +121,7 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
             config,
             stats: FacilityStats::new(),
             last_seen: 0,
+            scratch: Vec::new(),
             _payload: std::marker::PhantomData,
         }
     }
@@ -202,6 +206,7 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
     /// clock and a comparison with the ... earliest soft timer event").
     ///
     /// Due events are appended to `out`; returns how many fired.
+    // st-lint: hot-path
     pub fn poll(&mut self, now: u64, out: &mut Vec<Expired<P>>) -> usize {
         self.fire(now, FireOrigin::TriggerState, out)
     }
@@ -217,6 +222,7 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
 
     /// Whether a check at `now` would fire at least one event (the cheap
     /// comparison, with no side effects).
+    // st-lint: hot-path
     pub fn has_due(&self, now: u64) -> bool {
         matches!(self.earliest, Some(e) if now >= e)
     }
@@ -255,11 +261,11 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
             _ => return 0, // The common, cheap path.
         }
 
-        let mut due: Vec<(u64, P)> = Vec::new();
+        let mut due = std::mem::take(&mut self.scratch);
         self.wheel.advance(now, &mut due);
         let fired = due.len();
         let tracing = st_trace::active();
-        for (deadline, payload) in due {
+        for (deadline, payload) in due.drain(..) {
             if self.config.record_stats {
                 self.stats.record_fire(origin, now - deadline);
             }
@@ -289,6 +295,8 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
                 origin,
             });
         }
+        // Return the (drained) buffer so its capacity is reused next sweep.
+        self.scratch = due;
         // Refresh the earliest-deadline cache.
         self.earliest = self.wheel.next_deadline();
         fired

@@ -119,6 +119,7 @@ impl Pacer {
     /// train has fallen behind.
     ///
     /// Starts a train implicitly if none is in progress.
+    // st-lint: hot-path
     pub fn on_transmit(&mut self, now: u64) -> u64 {
         if self.train_start.is_none() {
             self.start_train(now);

@@ -40,6 +40,8 @@ use st_wheel::TimerHandle;
 use crate::clock::Clock;
 use crate::facility::{Config, Expired, SoftTimerCore};
 
+const MICROS_PER_SEC: u64 = 1_000_000;
+
 /// Wall-clock measurement via [`Instant`], in microsecond ticks (1 MHz) —
 /// the paper's "typical" measurement resolution.
 ///
@@ -154,7 +156,7 @@ impl RtSoftTimers {
         let core_config = Config {
             measure_hz,
             // Express the backup period as a frequency for `X` reporting.
-            interrupt_hz: (1_000_000 / backup_us).max(1),
+            interrupt_hz: (MICROS_PER_SEC / backup_us).max(1),
             record_stats: config.record_stats,
         };
         let rt = Arc::new(RtSoftTimers {

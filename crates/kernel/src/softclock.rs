@@ -73,6 +73,7 @@ impl<P> SoftClock<P> {
 
     /// A trigger state at `now` from `source`: records the interval and
     /// polls the facility. Due events are appended to `out`.
+    // st-lint: hot-path
     pub fn trigger(
         &mut self,
         now: SimTime,

@@ -1,0 +1,630 @@
+//! The workspace-gated analyses: unit-taint dataflow, hot-path cost
+//! discipline, and the SMP shared-state audit.
+//!
+//! All three run over the [`crate::model::Model`] (every file at once) and
+//! append [`RawFinding`]s into the per-file buckets; suppression matching
+//! happens afterwards in the engine, exactly as for the per-file rules.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::Graph;
+use crate::lexer::{Spanned, Tok};
+use crate::model::Model;
+use crate::rules::{finding, RawFinding, RuleId};
+
+// ---------------------------------------------------------------------------
+// Unit-taint dataflow
+// ---------------------------------------------------------------------------
+
+/// The unit lattice: a value is tagged by the unit its name, constructor,
+/// or binding carries. `Unknown` never produces findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Nanos,
+    Micros,
+    Millis,
+    Secs,
+    Ticks,
+    Bytes,
+    Hz,
+}
+
+impl Unit {
+    fn label(self) -> &'static str {
+        match self {
+            Unit::Nanos => "nanoseconds",
+            Unit::Micros => "microseconds",
+            Unit::Millis => "milliseconds",
+            Unit::Secs => "seconds",
+            Unit::Ticks => "ticks",
+            Unit::Bytes => "bytes",
+            Unit::Hz => "hertz",
+        }
+    }
+}
+
+/// The unit a snake_case name carries, by exact name or suffix.
+/// SCREAMING_CASE names are named constants — the blessed escape hatch —
+/// and types/constructors (`from_*`, capitalized) carry no raw unit.
+fn name_unit(name: &str) -> Option<Unit> {
+    if name.chars().any(|c| c.is_ascii_uppercase()) || name.starts_with("from_") {
+        return None;
+    }
+    match name {
+        "ns" | "nanos" => return Some(Unit::Nanos),
+        "us" | "micros" => return Some(Unit::Micros),
+        "ms" | "millis" => return Some(Unit::Millis),
+        "secs" => return Some(Unit::Secs),
+        "tick" | "ticks" => return Some(Unit::Ticks),
+        "bytes" => return Some(Unit::Bytes),
+        "hz" => return Some(Unit::Hz),
+        _ => {}
+    }
+    const SUFFIXES: [(&str, Unit); 12] = [
+        ("_ns", Unit::Nanos),
+        ("_nanos", Unit::Nanos),
+        ("_us", Unit::Micros),
+        ("_micros", Unit::Micros),
+        ("_ms", Unit::Millis),
+        ("_millis", Unit::Millis),
+        ("_sec", Unit::Secs),
+        ("_secs", Unit::Secs),
+        ("_tick", Unit::Ticks),
+        ("_ticks", Unit::Ticks),
+        ("_bytes", Unit::Bytes),
+        ("_hz", Unit::Hz),
+    ];
+    SUFFIXES
+        .iter()
+        .find(|(s, _)| name.ends_with(s))
+        .map(|&(_, u)| u)
+}
+
+/// What an operand of a binary operator resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Operand {
+    Val(Unit),
+    Lit(u64),
+    Unknown,
+}
+
+fn tok_at(toks: &[Spanned], i: usize) -> Option<&Tok> {
+    toks.get(i).map(|t| &t.tok)
+}
+
+fn punct_at(toks: &[Spanned], i: usize) -> Option<char> {
+    match tok_at(toks, i) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Index just past the `)` matching the `(` at `open`.
+fn skip_paren_group(toks: &[Spanned], open: usize) -> usize {
+    let mut d = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match tok_at(toks, i) {
+            Some(Tok::Punct('(')) => d += 1,
+            Some(Tok::Punct(')')) => {
+                d -= 1;
+                if d == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Index of the `(` matching the `)` at `close`.
+fn paren_open_of(toks: &[Spanned], close: usize) -> Option<usize> {
+    let mut d = 0i32;
+    let mut i = close as isize;
+    while i >= 0 {
+        match tok_at(toks, i as usize) {
+            Some(Tok::Punct(')')) => d += 1,
+            Some(Tok::Punct('(')) => {
+                d -= 1;
+                if d == 0 {
+                    return Some(i as usize);
+                }
+            }
+            _ => {}
+        }
+        i -= 1;
+    }
+    None
+}
+
+type Env = BTreeMap<String, Unit>;
+
+/// Resolves the operand ending at token `i` (inclusive), walking back
+/// through a matched paren group or one field/`as`-cast level.
+fn operand_ending_at(toks: &[Spanned], i: usize, env: &Env) -> Operand {
+    match tok_at(toks, i) {
+        Some(Tok::Int(v)) => {
+            if i >= 1 && punct_at(toks, i - 1) == Some('.') {
+                Operand::Unknown // tuple field: `self.0`
+            } else {
+                v.map(Operand::Lit).unwrap_or(Operand::Unknown)
+            }
+        }
+        Some(Tok::Ident(name)) => {
+            // Cast target: `x_ns as u64` — resolve the value before `as`.
+            if i >= 2 && matches!(tok_at(toks, i - 1), Some(Tok::Ident(a)) if a == "as") {
+                return operand_ending_at(toks, i - 2, env);
+            }
+            if i >= 1 && punct_at(toks, i - 1) == Some('.') {
+                // Field access: the field name decides.
+                return name_unit(name)
+                    .map(Operand::Val)
+                    .unwrap_or(Operand::Unknown);
+            }
+            env.get(name)
+                .copied()
+                .or_else(|| name_unit(name))
+                .map(Operand::Val)
+                .unwrap_or(Operand::Unknown)
+        }
+        Some(Tok::Punct(')')) => {
+            let Some(open) = paren_open_of(toks, i) else {
+                return Operand::Unknown;
+            };
+            if open == 0 {
+                return Operand::Unknown;
+            }
+            // `recv.method(args)` or `func(args)`: the callee name decides;
+            // a unit-neutral method (`min`, `clamp`) defers to its receiver.
+            if let Some(Tok::Ident(callee)) = tok_at(toks, open - 1) {
+                if let Some(u) = name_unit(callee) {
+                    return Operand::Val(u);
+                }
+                if open >= 2 && punct_at(toks, open - 2) == Some('.') && open >= 3 {
+                    return operand_ending_at(toks, open - 3, env);
+                }
+            }
+            Operand::Unknown
+        }
+        _ => Operand::Unknown,
+    }
+}
+
+/// Resolves the operand starting at token `j`, walking a forward chain of
+/// path segments, calls, and field/method accesses; the last unit-bearing
+/// name wins and unit-neutral links keep the current unit.
+fn operand_starting_at(toks: &[Spanned], j: usize, env: &Env) -> Operand {
+    match tok_at(toks, j) {
+        Some(Tok::Int(v)) => v.map(Operand::Lit).unwrap_or(Operand::Unknown),
+        Some(Tok::Ident(first)) => {
+            let mut cur = env.get(first).copied().or_else(|| name_unit(first));
+            let mut k = j + 1;
+            loop {
+                match (tok_at(toks, k), tok_at(toks, k + 1)) {
+                    (Some(Tok::Punct(':')), Some(Tok::Punct(':'))) => {
+                        // Path segment: the final segment decides.
+                        match tok_at(toks, k + 2) {
+                            Some(Tok::Ident(seg)) => {
+                                cur = name_unit(seg);
+                                k += 3;
+                            }
+                            _ => break,
+                        }
+                    }
+                    (Some(Tok::Punct('(')), _) => {
+                        k = skip_paren_group(toks, k);
+                    }
+                    (Some(Tok::Punct('.')), Some(Tok::Ident(m))) => {
+                        if let Some(u) = name_unit(m) {
+                            cur = u.into();
+                        }
+                        k += 2;
+                    }
+                    (Some(Tok::Punct('.')), Some(Tok::Int(_))) => {
+                        cur = None;
+                        k += 2;
+                    }
+                    _ => break,
+                }
+            }
+            cur.map(Operand::Val).unwrap_or(Operand::Unknown)
+        }
+        _ => Operand::Unknown,
+    }
+}
+
+/// Collects `let [mut] name = <expr>` bindings whose right-hand side has a
+/// resolvable unit.
+fn bindings(toks: &[Spanned], range: (usize, usize)) -> Env {
+    let mut env = Env::new();
+    let (open, close) = range;
+    let mut i = open;
+    while i <= close && i < toks.len() {
+        if matches!(tok_at(toks, i), Some(Tok::Ident(id)) if id == "let") {
+            let mut j = i + 1;
+            if matches!(tok_at(toks, j), Some(Tok::Ident(id)) if id == "mut") {
+                j += 1;
+            }
+            if let Some(Tok::Ident(name)) = tok_at(toks, j) {
+                // Find the `=` of this binding (skip `: Type` annotations).
+                let mut k = j + 1;
+                let mut angle = 0i32;
+                while k <= close && k < toks.len() {
+                    match tok_at(toks, k) {
+                        Some(Tok::Punct('<')) => angle += 1,
+                        Some(Tok::Punct('>')) => angle -= 1,
+                        Some(Tok::Punct('=')) if angle <= 0 => {
+                            // `==`, `>=`, … never follow a let header.
+                            if punct_at(toks, k + 1) != Some('=') {
+                                if let Operand::Val(u) = operand_starting_at(toks, k + 1, &env) {
+                                    env.insert(name.clone(), u);
+                                }
+                            }
+                            break;
+                        }
+                        Some(Tok::Punct(';')) => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    env
+}
+
+/// Whether a literal value is a power-of-ten conversion constant.
+fn is_conversion_constant(v: u64) -> bool {
+    if v < 1_000 {
+        return false;
+    }
+    let mut x = v;
+    while x.is_multiple_of(10) {
+        x /= 10;
+    }
+    x == 1
+}
+
+/// Can the previous token end a value expression (making the operator
+/// binary rather than unary/deref/generic)?
+fn ends_value(t: Option<&Tok>) -> bool {
+    matches!(
+        t,
+        Some(Tok::Ident(_) | Tok::Int(_) | Tok::Float | Tok::Punct(')') | Tok::Punct(']'))
+    )
+}
+
+/// The unit-taint analysis over every function body in scope.
+pub fn unit_taint(model: &Model, out: &mut [Vec<RawFinding>]) {
+    for (fi, unit) in model.files.iter().enumerate() {
+        if !unit.ctx.applies_unit_taint() {
+            continue;
+        }
+        let toks = &unit.lexed.tokens;
+        for f in &unit.items.fns {
+            let Some(range) = f.body else { continue };
+            if unit.ctx.in_test_region(f.line) {
+                continue;
+            }
+            let env = bindings(toks, range);
+            scan_ops(toks, range, &env, &mut out[fi]);
+        }
+    }
+}
+
+fn scan_ops(toks: &[Spanned], range: (usize, usize), env: &Env, out: &mut Vec<RawFinding>) {
+    let (open, close) = range;
+    for i in (open + 1)..close.min(toks.len()) {
+        let Some(Tok::Punct(c)) = tok_at(toks, i) else {
+            continue;
+        };
+        let c = *c;
+        let prev = punct_at(toks, i.wrapping_sub(1));
+        let next = punct_at(toks, i + 1);
+        // Identify a binary operator and where its right operand starts.
+        let (arith, right_at) = match c {
+            '+' | '-' | '*' | '/' | '%' => {
+                if c == '-' && next == Some('>') {
+                    continue; // ->
+                }
+                if !ends_value(tok_at(toks, i - 1)) {
+                    continue; // unary minus, deref, `&`-adjacent …
+                }
+                let right = if next == Some('=') { i + 2 } else { i + 1 }; // +=
+                (true, right)
+            }
+            '<' | '>' => {
+                if prev == Some(c) || next == Some(c) {
+                    continue; // shifts
+                }
+                if prev == Some('-') || prev == Some('=') || prev == Some(':') {
+                    continue; // ->, =>, turbofish
+                }
+                if !ends_value(tok_at(toks, i - 1)) {
+                    continue;
+                }
+                let right = if next == Some('=') { i + 2 } else { i + 1 };
+                (false, right)
+            }
+            '=' if next == Some('=')
+                && prev != Some('=')
+                && !matches!(prev, Some('<' | '>' | '!' | '+' | '-' | '*' | '/' | '%')) =>
+            {
+                (false, i + 2)
+            }
+            '!' if next == Some('=') => (false, i + 2),
+            _ => continue,
+        };
+        let lhs = operand_ending_at(toks, i - 1, env);
+        let rhs = operand_starting_at(toks, right_at, env);
+        let line = toks[i].line;
+        // `*` and `/` across units are dimensional analysis (`secs * hz`
+        // makes ticks); only additive ops and comparisons demand same-unit
+        // operands.
+        let additive = !matches!(c, '*' | '/');
+        match (lhs, rhs) {
+            (Operand::Val(a), Operand::Val(b)) if additive && a != b => {
+                out.push(finding(
+                    RuleId::UnitTaint,
+                    line,
+                    &format!("`{c}` mixes {} with {}", a.label(), b.label()),
+                ));
+            }
+            (Operand::Val(u), Operand::Lit(v)) | (Operand::Lit(v), Operand::Val(u))
+                if arith && u != Unit::Bytes && is_conversion_constant(v) =>
+            {
+                out.push(finding(
+                    RuleId::UnitTaint,
+                    line,
+                    &format!(
+                        "`{c}` folds raw conversion constant {v} into {} math",
+                        u.label()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path cost discipline
+// ---------------------------------------------------------------------------
+
+const ALLOC_TYPES: [&str; 11] = [
+    "Box",
+    "Vec",
+    "VecDeque",
+    "String",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+    "Rc",
+    "Arc",
+];
+const ALLOC_CTORS: [&str; 4] = ["new", "with_capacity", "from", "default"];
+const ALLOC_METHODS: [&str; 5] = [
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "into_boxed_slice",
+];
+const FMT_MACROS: [&str; 4] = ["format", "format_args", "write", "writeln"];
+const EMIT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+const LOCK_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+/// One denied operation found in a function body.
+struct Denied {
+    line: u32,
+    what: String,
+}
+
+/// Scans one body for syntactically overt allocation/locking/formatting/
+/// emission. (Hidden costs — a `BTreeMap::entry` that splits a node — are
+/// out of scope; the audit catches the overt ones.)
+fn denied_ops(toks: &[Spanned], range: (usize, usize)) -> Vec<Denied> {
+    let (open, close) = range;
+    let mut out = Vec::new();
+    for i in open..=close.min(toks.len().saturating_sub(1)) {
+        let Some(Tok::Ident(id)) = tok_at(toks, i) else {
+            continue;
+        };
+        let line = toks[i].line;
+        let next = punct_at(toks, i + 1);
+        if next == Some('!') {
+            let what = if FMT_MACROS.contains(&id.as_str()) {
+                format!("formatting `{id}!`")
+            } else if EMIT_MACROS.contains(&id.as_str()) {
+                format!("unsealed emit `{id}!`")
+            } else if id == "vec" {
+                "allocation `vec![]`".to_string()
+            } else {
+                continue;
+            };
+            out.push(Denied { line, what });
+            continue;
+        }
+        if LOCK_TYPES.contains(&id.as_str()) {
+            out.push(Denied {
+                line,
+                what: format!("locking `{id}`"),
+            });
+            continue;
+        }
+        if ALLOC_TYPES.contains(&id.as_str())
+            && punct_at(toks, i + 1) == Some(':')
+            && punct_at(toks, i + 2) == Some(':')
+        {
+            if let Some(Tok::Ident(m)) = tok_at(toks, i + 3) {
+                if ALLOC_CTORS.contains(&m.as_str()) && punct_at(toks, i + 4) == Some('(') {
+                    out.push(Denied {
+                        line,
+                        what: format!("allocation `{id}::{m}`"),
+                    });
+                }
+            }
+            continue;
+        }
+        if i >= 1 && punct_at(toks, i - 1) == Some('.') && next == Some('(') {
+            if ALLOC_METHODS.contains(&id.as_str()) {
+                out.push(Denied {
+                    line,
+                    what: format!("allocation `.{id}()`"),
+                });
+            } else if id == "lock" {
+                out.push(Denied {
+                    line,
+                    what: format!("locking `.{id}()`"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The hot-path reachability analysis: from every `// st-lint: hot-path`
+/// root, walk the call graph and flag denied operations anywhere the root
+/// can reach.
+pub fn hot_path(model: &Model, out: &mut [Vec<RawFinding>]) {
+    let graph = Graph::build(model);
+    // Deterministic first-root-wins dedup per offending line.
+    let mut claimed: BTreeMap<(usize, u32), RawFinding> = BTreeMap::new();
+    for root in 0..graph.symbols.fns.len() {
+        let root_id = graph.symbols.fns[root];
+        if !model.fn_item(root_id).is_hot {
+            continue;
+        }
+        let root_qual = model.fn_item(root_id).qual();
+        let parents = graph.reachable(root);
+        for &node in parents.keys() {
+            let id = graph.symbols.fns[node];
+            let Some(body) = model.fn_item(id).body else {
+                continue;
+            };
+            let unit = &model.files[id.file];
+            for d in denied_ops(&unit.lexed.tokens, body) {
+                let key = (id.file, d.line);
+                if claimed.contains_key(&key) {
+                    continue;
+                }
+                let msg = if node == root {
+                    format!("hot path `{root_qual}` contains {}", d.what)
+                } else {
+                    format!(
+                        "hot path `{root_qual}` reaches {} via {}",
+                        d.what,
+                        graph.chain(model, &parents, node)
+                    )
+                };
+                claimed.insert(key, finding(RuleId::HotPathCost, d.line, &msg));
+            }
+        }
+    }
+    for ((file, _), f) in claimed {
+        out[file].push(f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SMP shared-state audit
+// ---------------------------------------------------------------------------
+
+const CELL_TYPES: [&str; 12] = [
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "SyncUnsafeCell",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Rc",
+    "Arc",
+];
+
+/// Inventories `static` items, `thread_local!` cells, and interior-
+/// mutability types across the deterministic crates. Every entry must be
+/// whitelisted with an owner-declaring suppression.
+pub fn shared_state(model: &Model, out: &mut [Vec<RawFinding>]) {
+    for (fi, unit) in model.files.iter().enumerate() {
+        if !unit.ctx.applies_shared_state() {
+            continue;
+        }
+        let toks = &unit.lexed.tokens;
+        // (line, priority, message); statics outrank cell-type mentions.
+        let mut candidates: Vec<(u32, u8, String)> = Vec::new();
+        let mut seen_cells: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut i = 0usize;
+        let mut tl_depth: Option<i32> = None; // inside thread_local! braces
+        let mut depth = 0i32;
+        while i < toks.len() {
+            let line = toks[i].line;
+            match tok_at(toks, i) {
+                Some(Tok::Punct('{')) => depth += 1,
+                Some(Tok::Punct('}')) => {
+                    depth -= 1;
+                    if tl_depth.is_some_and(|d| depth <= d) {
+                        tl_depth = None;
+                    }
+                }
+                Some(Tok::Ident(id)) if unit.ctx.in_test_region(line) => {
+                    let _ = id;
+                }
+                Some(Tok::Ident(id)) if id == "use" && punct_at(toks, i + 1) != Some(':') => {
+                    // Skip the import; inventory records cells, not imports.
+                    while i < toks.len() && punct_at(toks, i) != Some(';') {
+                        i += 1;
+                    }
+                }
+                Some(Tok::Ident(id))
+                    if id == "thread_local" && punct_at(toks, i + 1) == Some('!') =>
+                {
+                    tl_depth = Some(depth);
+                }
+                Some(Tok::Ident(id)) if id == "static" => {
+                    if let Some(Tok::Ident(name)) = tok_at(toks, i + 1) {
+                        let kind = if tl_depth.is_some() {
+                            "thread-local static"
+                        } else {
+                            "static"
+                        };
+                        candidates.push((line, 0, format!("shared state: {kind} `{name}`")));
+                    }
+                }
+                Some(Tok::Ident(id))
+                    if CELL_TYPES.contains(&id.as_str()) || id.starts_with("Atomic") =>
+                {
+                    // One inventory entry per cell type per file.
+                    let name: &str = match CELL_TYPES.iter().find(|t| *t == id) {
+                        Some(t) => t,
+                        None if id.starts_with("Atomic") => "Atomic*",
+                        None => unreachable!(),
+                    };
+                    if seen_cells.insert(name) {
+                        candidates.push((line, 1, format!("interior mutability: `{id}`")));
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Per line, the highest-priority candidate wins.
+        candidates.sort_by_key(|c| (c.0, c.1));
+        let mut last_line = None;
+        for (line, _, msg) in candidates {
+            if last_line == Some(line) {
+                continue;
+            }
+            last_line = Some(line);
+            out[fi].push(finding(RuleId::SharedState, line, &msg));
+        }
+    }
+}

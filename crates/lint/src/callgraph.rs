@@ -1,0 +1,268 @@
+//! Call-site extraction and a conservative, over-approximating call graph.
+//!
+//! Resolution is name-based, in the only way a hermetic linter can be
+//! sound for reachability checks: a bare call resolves within the caller's
+//! crate first (falling back to any crate), a `path::to::fn` call resolves
+//! through its crate or type segment, and a `.method()` call resolves to
+//! *every* workspace method of that name. Over-approximation is the point:
+//! the hot-path analysis must never miss an edge; a false edge at worst
+//! asks for a reasoned suppression.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Spanned, Tok};
+use crate::model::{Model, Symbols};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallSite {
+    /// `name(…)` — a bare call.
+    Bare(String),
+    /// `.name(…)` — a method call.
+    Method(String),
+    /// `seg::…::name(…)` — a path call, segments in source order.
+    Path(Vec<String>),
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: [&str; 9] = [
+    "if", "while", "match", "return", "for", "loop", "in", "as", "move",
+];
+
+/// Extracts the call sites in `toks[range]` (a function body).
+pub fn call_sites(toks: &[Spanned], range: (usize, usize)) -> Vec<CallSite> {
+    let (open, close) = range;
+    let mut out = Vec::new();
+    for i in open..=close.min(toks.len().saturating_sub(1)) {
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        if !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        let prev = |k: usize| match toks.get(k).map(|t| &t.tok) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        };
+        if i > 0 && prev(i - 1) == Some('.') {
+            out.push(CallSite::Method(name.clone()));
+        } else if i >= 2 && prev(i - 1) == Some(':') && prev(i - 2) == Some(':') {
+            // Walk the path backwards: `a::b::name`.
+            let mut segs = vec![name.clone()];
+            let mut j = i;
+            while j >= 2 && prev(j - 1) == Some(':') && prev(j - 2) == Some(':') {
+                match toks.get(j.wrapping_sub(3)).map(|t| &t.tok) {
+                    Some(Tok::Ident(s)) => {
+                        segs.push(s.clone());
+                        j -= 3;
+                    }
+                    _ => break,
+                }
+            }
+            segs.reverse();
+            out.push(CallSite::Path(segs));
+        } else {
+            out.push(CallSite::Bare(name.clone()));
+        }
+    }
+    out
+}
+
+/// The resolved call graph over a model's symbol-eligible functions.
+#[derive(Debug)]
+pub struct Graph {
+    /// Node ids are indices into `Symbols::fns`.
+    pub symbols: Symbols,
+    /// Adjacency: callees per node, deduplicated and sorted.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds the call graph for a model.
+    pub fn build(model: &Model) -> Graph {
+        let symbols = Symbols::build(model);
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); symbols.fns.len()];
+        for (node, &id) in symbols.fns.iter().enumerate() {
+            let f = model.fn_item(id);
+            let Some(body) = f.body else { continue };
+            let unit = &model.files[id.file];
+            let crate_dir = unit.ctx.crate_dir.as_str();
+            let impl_type = f.impl_type.as_deref();
+            let mut callees = Vec::new();
+            for call in call_sites(&unit.lexed.tokens, body) {
+                resolve(&symbols, crate_dir, impl_type, &call, &mut callees);
+            }
+            callees.sort_unstable();
+            callees.dedup();
+            callees.retain(|&c| c != node);
+            edges[node] = callees;
+        }
+        Graph { symbols, edges }
+    }
+
+    /// The node id of a function, by `name` or `Type::name` (first match).
+    pub fn node(&self, model: &Model, qual: &str) -> Option<usize> {
+        self.symbols
+            .fns
+            .iter()
+            .position(|&id| model.fn_item(id).qual() == qual)
+    }
+
+    /// Breadth-first reachability from `root`, returning each reachable
+    /// node with its predecessor (for reconstructing one sample chain).
+    /// The root itself is included with no predecessor.
+    pub fn reachable(&self, root: usize) -> BTreeMap<usize, Option<usize>> {
+        let mut seen: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        seen.insert(root, None);
+        queue.push_back(root);
+        while let Some(n) = queue.pop_front() {
+            for &c in &self.edges[n] {
+                if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(c) {
+                    e.insert(Some(n));
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// One call chain `root -> … -> node`, as qualified names.
+    pub fn chain(
+        &self,
+        model: &Model,
+        parents: &BTreeMap<usize, Option<usize>>,
+        node: usize,
+    ) -> String {
+        let mut names = Vec::new();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            names.push(model.fn_item(self.symbols.fns[n]).qual());
+            cur = parents.get(&n).copied().flatten();
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+/// Maps a crate-name path segment (`st_trace`) to a crate dir (`trace`).
+fn crate_dir_of_segment(seg: &str) -> Option<&str> {
+    seg.strip_prefix("st_")
+}
+
+/// Appends the candidate callees of one call site.
+fn resolve(
+    sym: &Symbols,
+    caller_crate: &str,
+    impl_type: Option<&str>,
+    call: &CallSite,
+    out: &mut Vec<usize>,
+) {
+    let by_crate = |krate: &str, name: &str, out: &mut Vec<usize>| {
+        if let Some(v) = sym
+            .by_crate_name
+            .get(&(krate.to_string(), name.to_string()))
+        {
+            out.extend(v.iter().copied());
+            true
+        } else {
+            false
+        }
+    };
+    match call {
+        CallSite::Method(name) => {
+            if let Some(v) = sym.methods_by_name.get(name) {
+                out.extend(v.iter().copied());
+            }
+        }
+        CallSite::Bare(name) => {
+            // Same crate wins; otherwise any crate (a `use`d import).
+            if !by_crate(caller_crate, name, out) {
+                if let Some(v) = sym.by_name.get(name) {
+                    out.extend(v.iter().copied());
+                }
+            }
+        }
+        CallSite::Path(segs) => {
+            let name = segs.last().cloned().unwrap_or_default();
+            let first = segs.first().map(String::as_str).unwrap_or_default();
+            // Standard-library paths never resolve into the workspace.
+            if matches!(first, "std" | "core" | "alloc") {
+                return;
+            }
+            // `Self::helper` and `<Type>::helper`: the last capitalized
+            // segment before the name is the type.
+            let type_seg = segs[..segs.len().saturating_sub(1)]
+                .iter()
+                .rev()
+                .find(|s| s.chars().next().is_some_and(char::is_uppercase));
+            if first == "Self" {
+                if let Some(t) = impl_type {
+                    if let Some(v) = sym.by_type_method.get(&(t.to_string(), name.clone())) {
+                        out.extend(v.iter().copied());
+                        return;
+                    }
+                }
+                // Unknown impl type: any method of that name.
+                if let Some(v) = sym.methods_by_name.get(&name) {
+                    out.extend(v.iter().copied());
+                }
+                return;
+            }
+            if let Some(t) = type_seg {
+                if t != "Self" {
+                    if let Some(v) = sym.by_type_method.get(&(t.clone(), name.clone())) {
+                        out.extend(v.iter().copied());
+                    }
+                    // A type path that resolves to nothing is a std or
+                    // external type (Vec::new): no edge.
+                    return;
+                }
+            }
+            if let Some(dir) = crate_dir_of_segment(first) {
+                if by_crate(dir, &name, out) {
+                    return;
+                }
+            }
+            if matches!(first, "self" | "crate" | "super") || crate_dir_of_segment(first).is_none()
+            {
+                // Module-relative path: same crate, else anywhere.
+                if !by_crate(caller_crate, &name, out) {
+                    if let Some(v) = sym.by_name.get(&name) {
+                        out.extend(v.iter().copied());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn call_site_kinds() {
+        let lexed =
+            lex("fn f() { helper(); x.poke(); st_trace::emit(1); Self::tick(); if (a) {} }");
+        let open = lexed
+            .tokens
+            .iter()
+            .position(|t| matches!(t.tok, Tok::Punct('{')))
+            .unwrap();
+        let sites = call_sites(&lexed.tokens, (open, lexed.tokens.len() - 1));
+        assert_eq!(
+            sites,
+            vec![
+                CallSite::Bare("helper".into()),
+                CallSite::Method("poke".into()),
+                CallSite::Path(vec!["st_trace".into(), "emit".into()]),
+                CallSite::Path(vec!["Self".into(), "tick".into()]),
+            ]
+        );
+    }
+}

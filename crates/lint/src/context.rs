@@ -137,6 +137,25 @@ impl FileContext {
             && (BOUND_MATH.contains(&self.path.as_str())
                 || BOUND_MATH_PREFIXES.iter().any(|p| self.path.starts_with(p)))
     }
+
+    /// Unit-taint dataflow: the crates where tick/ns/byte arithmetic is
+    /// load-bearing — the deterministic set plus the wheel and profiler.
+    pub(crate) fn applies_unit_taint(&self) -> bool {
+        self.kind != FileKind::Test
+            && self.kind != FileKind::Example
+            && (DETERMINISTIC_CRATES.contains(&self.crate_dir.as_str())
+                || self.crate_dir == "wheel"
+                || self.crate_dir == "prof")
+    }
+
+    /// Shared-state audit: library code of the deterministic crates. The
+    /// real-time runtime is exempt — it is the declared OS-thread boundary
+    /// and owns its synchronization by design.
+    pub(crate) fn applies_shared_state(&self) -> bool {
+        self.kind == FileKind::Lib
+            && DETERMINISTIC_CRATES.contains(&self.crate_dir.as_str())
+            && self.path != WALL_CLOCK_HOME
+    }
 }
 
 /// Finds line ranges of items marked `#[test]` or `#[cfg(test)]` (or any

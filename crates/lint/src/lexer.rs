@@ -17,8 +17,10 @@ pub enum Tok {
     Ident(String),
     /// A lifetime such as `'a` (without the quote).
     Lifetime(String),
-    /// Integer literal (including suffixed forms such as `1u64`).
-    Int,
+    /// Integer literal (including suffixed forms such as `1u64`), with its
+    /// parsed value when it fits in a `u64` (the unit-taint analysis
+    /// recognizes raw power-of-ten conversion constants by value).
+    Int(Option<u64>),
     /// Floating literal: has a fraction part, an exponent, or an
     /// `f32`/`f64` suffix.
     Float,
@@ -60,6 +62,11 @@ pub struct Lexed {
     pub tokens: Vec<Spanned>,
     /// All comments in source order.
     pub comments: Vec<Comment>,
+    /// The source with every string/char/comment content byte replaced by a
+    /// space (newlines kept, so line numbers are preserved). Line-based
+    /// heuristics must read this, never the raw source: a timing word
+    /// inside a raw string or a block comment is prose, not code.
+    pub masked: String,
 }
 
 /// Tokenizes `src`. Invalid input never panics: unrecognized bytes are
@@ -72,6 +79,7 @@ pub fn lex(src: &str) -> Lexed {
         pos: 0,
         line: 1,
         line_has_tokens: false,
+        mask_ranges: Vec::new(),
         out: Lexed::default(),
     }
     .run()
@@ -84,6 +92,8 @@ struct Lexer<'a> {
     line: u32,
     /// Whether a non-comment token has been emitted on the current line.
     line_has_tokens: bool,
+    /// Byte ranges of string/char/comment content, blanked in `masked`.
+    mask_ranges: Vec<(usize, usize)>,
     out: Lexed,
 }
 
@@ -122,6 +132,7 @@ impl<'a> Lexer<'a> {
                 b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
                 b'"' => self.string(),
                 b'\'' => self.char_or_lifetime(),
+                b'r' if self.raw_identifier() => {}
                 b'r' | b'b' if self.raw_or_byte_literal() => {}
                 c if c.is_ascii_digit() => self.number(),
                 c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
@@ -136,7 +147,23 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
+        self.out.masked = self.build_masked();
         self.out
+    }
+
+    /// The source with every masked range blanked to spaces, newlines kept.
+    fn build_masked(&self) -> String {
+        let mut bytes = self.b.to_vec();
+        for &(lo, hi) in &self.mask_ranges {
+            for b in &mut bytes[lo..hi] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+        // Masked ranges cover whole literals/comments, so any multi-byte
+        // character is either fully blanked or fully untouched.
+        String::from_utf8(bytes).unwrap_or_default()
     }
 
     fn line_comment(&mut self) {
@@ -149,6 +176,7 @@ impl<'a> Lexer<'a> {
             }
             self.bump();
         }
+        self.mask_ranges.push((start, self.pos));
         self.out.comments.push(Comment {
             line,
             end_line: line,
@@ -182,12 +210,30 @@ impl<'a> Lexer<'a> {
                 (None, _) => break,
             }
         }
+        self.mask_ranges.push((start, self.pos));
         self.out.comments.push(Comment {
             line,
             end_line: self.line,
             text: self.src[start..self.pos].to_string(),
             owns_line,
         });
+    }
+
+    /// Handles raw identifiers (`r#match`): lexed as the bare identifier so
+    /// the `r` and `#` never leak into the token stream as separate tokens.
+    /// Returns whether one was consumed.
+    fn raw_identifier(&mut self) -> bool {
+        if self.peek(1) != Some(b'#')
+            || !self
+                .peek(2)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphabetic() || c >= 0x80)
+        {
+            return false;
+        }
+        self.bump(); // r
+        self.bump(); // #
+        self.ident();
+        true
     }
 
     /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'…'`. Returns
@@ -207,6 +253,7 @@ impl<'a> Lexer<'a> {
                 off += 1;
             }
         }
+        let start = self.pos;
         match self.peek(off) {
             Some(b'"') => {
                 for _ in 0..=off {
@@ -217,6 +264,7 @@ impl<'a> Lexer<'a> {
                 } else {
                     self.string_body();
                 }
+                self.mask_ranges.push((start, self.pos));
                 self.push(Tok::Str);
                 true
             }
@@ -224,6 +272,7 @@ impl<'a> Lexer<'a> {
                 self.bump(); // b
                 self.bump(); // '
                 self.char_body();
+                self.mask_ranges.push((start, self.pos));
                 self.push(Tok::Char);
                 true
             }
@@ -232,8 +281,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn string(&mut self) {
+        let start = self.pos;
         self.bump(); // opening quote
         self.string_body();
+        self.mask_ranges.push((start, self.pos));
         self.push(Tok::Str);
     }
 
@@ -284,11 +335,13 @@ impl<'a> Lexer<'a> {
     fn char_or_lifetime(&mut self) {
         // Disambiguate 'a' (char) from 'a (lifetime): a lifetime is a
         // quote, an identifier, and *no* closing quote right after.
+        let start = self.pos;
         let mut off = 1;
         if self.peek(off).is_some_and(|c| c == b'\\') {
             // Escaped char literal, e.g. '\n'.
             self.bump();
             self.char_body();
+            self.mask_ranges.push((start, self.pos));
             self.push(Tok::Char);
             return;
         }
@@ -308,6 +361,7 @@ impl<'a> Lexer<'a> {
         } else {
             self.bump(); // opening quote
             self.char_body();
+            self.mask_ranges.push((start, self.pos));
             self.push(Tok::Char);
         }
     }
@@ -317,23 +371,36 @@ impl<'a> Lexer<'a> {
         let radix_prefix = self.peek(0) == Some(b'0')
             && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
         if radix_prefix {
+            let radix = match self.peek(1) {
+                Some(b'x' | b'X') => 16,
+                Some(b'o' | b'O') => 8,
+                _ => 2,
+            };
             self.bump();
             self.bump();
+            let digits_start = self.pos;
             while self
                 .peek(0)
                 .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
             {
                 self.bump();
             }
-            self.push(Tok::Int);
+            let digits: String = self.src[digits_start..self.pos]
+                .chars()
+                .take_while(|c| c.is_digit(radix) || *c == '_')
+                .filter(|c| *c != '_')
+                .collect();
+            self.push(Tok::Int(u64::from_str_radix(&digits, radix).ok()));
             return;
         }
+        let digits_start = self.pos;
         while self
             .peek(0)
             .is_some_and(|c| c.is_ascii_digit() || c == b'_')
         {
             self.bump();
         }
+        let digits_end = self.pos;
         // A fraction part only if the dot is followed by a digit or ends
         // the literal (so `1.max(2)` and `0..n` stay integers).
         if self.peek(0) == Some(b'.')
@@ -377,7 +444,15 @@ impl<'a> Lexer<'a> {
         if suffix == "f32" || suffix == "f64" {
             is_float = true;
         }
-        self.push(if is_float { Tok::Float } else { Tok::Int });
+        if is_float {
+            self.push(Tok::Float);
+        } else {
+            let digits: String = self.src[digits_start..digits_end]
+                .chars()
+                .filter(|c| *c != '_')
+                .collect();
+            self.push(Tok::Int(digits.parse().ok()));
+        }
     }
 
     fn ident(&mut self) {
@@ -443,22 +518,77 @@ mod tests {
         let kinds: Vec<_> = lexed
             .tokens
             .iter()
-            .filter(|s| matches!(s.tok, Tok::Int | Tok::Float))
+            .filter(|s| matches!(s.tok, Tok::Int(_) | Tok::Float))
             .map(|s| s.tok.clone())
             .collect();
         assert_eq!(
             kinds,
             vec![
-                Tok::Int,   // 1
+                Tok::Int(Some(1)),
                 Tok::Float, // 1.5
                 Tok::Float, // 1e3
-                Tok::Int,   // 0x2F
-                Tok::Int,   // 1 (in 1.max)
-                Tok::Int,   // 2 (arg)
-                Tok::Float, // 2f64
-                Tok::Int,   // 0
-                Tok::Int,   // 9
+                Tok::Int(Some(0x2F)),
+                Tok::Int(Some(1)), // 1 (in 1.max)
+                Tok::Int(Some(2)), // 2 (arg)
+                Tok::Float,        // 2f64
+                Tok::Int(Some(0)),
+                Tok::Int(Some(9)),
             ]
+        );
+    }
+
+    #[test]
+    fn int_values_parse_through_underscores_and_suffixes() {
+        let lexed = lex("let a = 1_000_000; let b = 1_000u64; let c = 0b1010; let d = 0o17;");
+        let vals: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|s| match s.tok {
+                Tok::Int(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            vals,
+            vec![Some(1_000_000), Some(1_000), Some(0b1010), Some(0o17)]
+        );
+    }
+
+    #[test]
+    fn masked_source_blanks_literals_and_comments_but_keeps_lines() {
+        let src = "let a = \"deadline inside\"; // timeout prose\nlet b = r#\"expiry\nraw line two\"#; let tick = 1;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.masked.lines().count(), src.lines().count());
+        assert!(!lexed.masked.contains("deadline"));
+        assert!(!lexed.masked.contains("timeout"));
+        assert!(!lexed.masked.contains("expiry"));
+        assert!(lexed.masked.contains("let tick = 1;"));
+    }
+
+    #[test]
+    fn masked_source_blanks_nested_block_comments() {
+        let src = "/* outer /* interval */ still comment */ let x = 1;\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("interval"));
+        assert!(!lexed.masked.contains("still comment"));
+        assert!(lexed.masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_identifiers() {
+        let lexed = lex("let r#match = r#\"due\"#; fn r#fn() {}");
+        let ids = lexed
+            .tokens
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(i) => Some(i.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(ids, vec!["let", "match", "fn", "fn"]);
+        assert!(
+            !lexed.tokens.iter().any(|s| s.tok == Tok::Punct('#')),
+            "raw identifier hash must not leak into the token stream"
         );
     }
 

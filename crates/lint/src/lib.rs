@@ -7,9 +7,19 @@
 //! on seed-replayable simulation. Neither property is checkable by
 //! `rustc` or clippy — both were, until this crate, enforced only by
 //! convention. `st-lint` walks every `.rs` file in the workspace with a
-//! hand-rolled token scanner ([`lexer`]) and a rule engine ([`rules`]),
-//! in the same hermetic spirit as the repo's in-tree SimRng, criterion
-//! shim, and JSON writer: no `syn`, no registry dependencies.
+//! hand-rolled token scanner ([`lexer`]), an item-level parser
+//! ([`parse`]), and a rule engine ([`rules`]), in the same hermetic
+//! spirit as the repo's in-tree SimRng, criterion shim, and JSON writer:
+//! no `syn`, no registry dependencies.
+//!
+//! On top of the per-file rules, three whole-workspace analyses run over
+//! a symbol-resolved [`model::Model`] ([`analyses`]): **unit-taint**
+//! (arithmetic must not mix ns/us/ms/tick/byte quantities or fold raw
+//! conversion constants into time math), **hot-path-cost** (a function
+//! annotated `// st-lint: hot-path` must not reach allocation, locking,
+//! formatting, or unsealed emit through any callee in the [`callgraph`]),
+//! and **shared-state** (every static/thread-local/interior-mutability
+//! cell in the deterministic crates carries a declared owner).
 //!
 //! Findings are suppressible only with a reasoned annotation:
 //!
@@ -23,16 +33,20 @@
 //! The JSON report is emitted through `st-trace`'s hand-rolled writer and
 //! checked by its validator before it is ever written.
 
+pub mod analyses;
+pub mod callgraph;
 pub mod context;
 pub mod lexer;
+pub mod model;
+pub mod parse;
 pub mod rules;
 pub mod suppress;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use context::FileContext;
-use rules::RuleId;
+use model::Model;
+use rules::{RawFinding, RuleId};
 
 /// One finding, after suppression processing.
 #[derive(Debug, Clone)]
@@ -155,16 +169,55 @@ impl Report {
     }
 }
 
-/// Lints one file's source under a workspace-relative path.
+/// Lints a set of `(workspace-relative path, source)` pairs as one
+/// workspace: the per-file rules run over each file, then the
+/// model-wide analyses (unit-taint, hot-path reachability, shared-state)
+/// run over the whole set, and suppressions are applied uniformly.
+pub fn lint_sources<S: AsRef<str>, T: AsRef<str>>(sources: &[(S, T)]) -> Report {
+    let model = Model::from_sources(sources);
+    let mut raw: Vec<Vec<RawFinding>> = model
+        .files
+        .iter()
+        .map(|unit| {
+            // Rules consume *masked* lines: string/comment content is
+            // blanked, so prose can never trip a code heuristic.
+            let lines: Vec<&str> = unit.lexed.masked.lines().collect();
+            rules::scan(&unit.ctx, &unit.lexed.tokens, &lines)
+        })
+        .collect();
+    analyses::unit_taint(&model, &mut raw);
+    analyses::hot_path(&model, &mut raw);
+    analyses::shared_state(&model, &mut raw);
+
+    let mut report = Report {
+        files_scanned: model.files.len(),
+        findings: Vec::new(),
+    };
+    for (unit, file_raw) in model.files.iter().zip(raw) {
+        let mut findings = apply_suppressions(unit, file_raw);
+        findings.sort_by_key(|f| (f.line, f.rule));
+        report.findings.extend(findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Lints one file's source under a workspace-relative path (a
+/// single-file workspace).
 ///
 /// The path decides which rules apply (see [`context::FileContext`]), so
 /// fixtures can impersonate any location.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let ctx = FileContext::new(rel_path, &lexed.tokens);
-    let lines: Vec<&str> = src.lines().collect();
-    let raw = rules::scan(&ctx, &lexed.tokens, &lines);
-    let sup = suppress::parse(&lexed.comments, lines.len() as u32);
+    lint_sources(&[(rel_path, src)]).findings
+}
+
+/// Matches raw findings against a file's suppressions and appends the
+/// allow-hygiene findings (malformed, stale, dangling hot-path).
+fn apply_suppressions(unit: &model::FileUnit, raw: Vec<RawFinding>) -> Vec<Finding> {
+    let rel_path = unit.rel.as_str();
+    let sup = suppress::parse(&unit.lexed.comments, unit.line_count);
 
     let mut used = vec![false; sup.ok.len()];
     let mut findings: Vec<Finding> = raw
@@ -222,7 +275,25 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
             });
         }
     }
-    findings.sort_by_key(|f| (f.line, f.rule));
+    // A hot-path annotation that attached to no function is as stale as a
+    // suppression that covers nothing.
+    for h in &unit.items.hot_annotations {
+        if !h.attached {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: h.line,
+                rule: RuleId::AllowHygiene,
+                message: format!(
+                    "dangling `st-lint: hot-path` annotation: no fn starts within {} line(s) \
+                     [{}: {}]",
+                    parse::HOT_ATTACH_WINDOW,
+                    RuleId::AllowHygiene.name(),
+                    RuleId::AllowHygiene.fix_hint()
+                ),
+                suppressed: None,
+            });
+        }
+    }
     findings
 }
 
@@ -263,25 +334,28 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Resul
     Ok(())
 }
 
-/// Lints every `.rs` file under `root` (the workspace).
-pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+/// Reads every workspace `.rs` file under `root` as `(relative path,
+/// source)` pairs, in deterministic path order. Separated from
+/// [`lint_workspace`] so the bench suite can time the analysis alone,
+/// free of disk I/O.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(root, root, &mut files)?;
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(&path)?;
-        report.findings.extend(lint_source(&rel, &src));
-        report.files_scanned += 1;
+        sources.push((rel, std::fs::read_to_string(&path)?));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    Ok(sources)
+}
+
+/// Lints every `.rs` file under `root` (the workspace).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    Ok(lint_sources(&workspace_sources(root)?))
 }
 
 /// Walks upward from `start` to the directory whose `Cargo.toml` declares

@@ -1,0 +1,139 @@
+//! The whole-workspace model: every file lexed, classified, and parsed,
+//! plus a per-crate symbol table over the `fn` items.
+//!
+//! The per-file rules only ever needed one file at a time; the v2 analyses
+//! (unit-taint, hot-path reachability, shared-state audit) need to see the
+//! workspace at once — a hot path in `st-kernel` reaches allocation through
+//! a callee in `st-trace`. The model is built once per lint run and shared
+//! by every analysis.
+
+use std::collections::BTreeMap;
+
+use crate::context::{FileContext, FileKind};
+use crate::lexer::{self, Lexed};
+use crate::parse::{self, Items};
+
+/// One file: tokens, comments, masked source, context, and parsed items.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Lexer output (tokens, comments, masked source).
+    pub lexed: Lexed,
+    /// Path-derived rule context.
+    pub ctx: FileContext,
+    /// Item-level parse (fns, hot-path annotations).
+    pub items: Items,
+    /// Number of source lines.
+    pub line_count: u32,
+}
+
+/// Identifies one `fn` item: `(file index, index into that file's fns)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnId {
+    /// Index into [`Model::files`].
+    pub file: usize,
+    /// Index into that file's `items.fns`.
+    pub item: usize,
+}
+
+/// The workspace under analysis.
+#[derive(Debug)]
+pub struct Model {
+    /// All files, in the order given (workspace walks sort by path).
+    pub files: Vec<FileUnit>,
+}
+
+impl Model {
+    /// Builds the model from `(relative path, source)` pairs.
+    pub fn from_sources<S: AsRef<str>, T: AsRef<str>>(sources: &[(S, T)]) -> Model {
+        let files = sources
+            .iter()
+            .map(|(rel, src)| {
+                let rel = rel.as_ref().to_string();
+                let src = src.as_ref();
+                let lexed = lexer::lex(src);
+                let ctx = FileContext::new(&rel, &lexed.tokens);
+                let line_count = src.lines().count() as u32;
+                let items = parse::parse(&lexed.tokens, &lexed.comments, line_count);
+                FileUnit {
+                    rel,
+                    lexed,
+                    ctx,
+                    items,
+                    line_count,
+                }
+            })
+            .collect();
+        Model { files }
+    }
+
+    /// Whether a file contributes symbols to the call graph: library and
+    /// binary code only — test helpers must never satisfy (or pollute) a
+    /// hot-path reachability query.
+    pub fn is_symbol_file(&self, file: usize) -> bool {
+        matches!(self.files[file].ctx.kind, FileKind::Lib | FileKind::Bin)
+    }
+
+    /// Iterates the symbol-eligible `fn` items (outside test regions).
+    pub fn symbol_fns(&self) -> impl Iterator<Item = FnId> + '_ {
+        self.files.iter().enumerate().flat_map(move |(fi, u)| {
+            u.items
+                .fns
+                .iter()
+                .enumerate()
+                .filter(move |(_, f)| self.is_symbol_file(fi) && !u.ctx.in_test_region(f.line))
+                .map(move |(ii, _)| FnId { file: fi, item: ii })
+        })
+    }
+
+    /// The `fn` item behind an id.
+    pub fn fn_item(&self, id: FnId) -> &parse::FnItem {
+        &self.files[id.file].items.fns[id.item]
+    }
+}
+
+/// Name-indexed views over the model's symbol-eligible `fn` items.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// Every eligible fn, densely numbered; indices into this vec are the
+    /// node ids of the call graph.
+    pub fns: Vec<FnId>,
+    /// Free functions and methods by bare name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Methods (fns with an impl type) by bare name.
+    pub methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Fns by `(crate dir, name)`.
+    pub by_crate_name: BTreeMap<(String, String), Vec<usize>>,
+    /// Methods by `(impl type, name)`.
+    pub by_type_method: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl Symbols {
+    /// Builds the symbol table for a model.
+    pub fn build(model: &Model) -> Symbols {
+        let mut sym = Symbols::default();
+        for id in model.symbol_fns() {
+            let idx = sym.fns.len();
+            sym.fns.push(id);
+            let f = model.fn_item(id);
+            let crate_dir = model.files[id.file].ctx.crate_dir.clone();
+            sym.by_name.entry(f.name.clone()).or_default().push(idx);
+            sym.by_crate_name
+                .entry((crate_dir, f.name.clone()))
+                .or_default()
+                .push(idx);
+            if let Some(t) = &f.impl_type {
+                sym.methods_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(idx);
+                sym.by_type_method
+                    .entry((t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        sym
+    }
+}

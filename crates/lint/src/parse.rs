@@ -1,0 +1,324 @@
+//! A lightweight item-level parser over the token stream.
+//!
+//! The workspace analyses (unit-taint, hot-path cost, shared-state) need
+//! more structure than a flat token stream: which `fn` items exist, which
+//! impl type owns them, where their bodies start and end, and which carry
+//! a `// st-lint: hot-path` annotation. This module recovers exactly that
+//! much structure — no expressions, no types, no full grammar — in the
+//! same hand-rolled, hermetic spirit as the lexer. It only has to agree
+//! with `rustc` on well-formed files; on malformed input it degrades to
+//! fewer recognized items, never a panic.
+
+use crate::lexer::{Comment, Spanned, Tok};
+
+/// One `fn` item (free function, inherent/trait method, or trait default).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` self type, for methods (`SoftTimerCore`, …).
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body: `(open_brace, close_brace)`,
+    /// inclusive. `None` for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether a `// st-lint: hot-path` annotation covers this function.
+    pub is_hot: bool,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, bare `name` otherwise.
+    pub fn qual(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `// st-lint: hot-path` annotation found in the comments.
+#[derive(Debug, Clone)]
+pub struct HotAnnotation {
+    /// Line of the comment.
+    pub line: u32,
+    /// Whether it attached to a function (an unattached annotation is an
+    /// `allow-hygiene` finding: a hot-path contract nobody carries).
+    pub attached: bool,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Debug, Default)]
+pub struct Items {
+    /// All `fn` items in source order.
+    pub fns: Vec<FnItem>,
+    /// All hot-path annotations, attached or not.
+    pub hot_annotations: Vec<HotAnnotation>,
+}
+
+/// Keywords that rule out a `fn`/`impl` token being an item keyword
+/// (e.g. `impl Trait` in return position is preceded by `>` of `->`).
+fn at_item_position(prev: Option<&Tok>) -> bool {
+    match prev {
+        None => true,
+        Some(Tok::Punct(c)) => matches!(c, ';' | '{' | '}' | ']'),
+        Some(Tok::Ident(id)) => matches!(
+            id.as_str(),
+            "pub" | "const" | "async" | "unsafe" | "extern" | "default"
+        ),
+        Some(Tok::Str) => true, // extern "C"
+        _ => false,
+    }
+}
+
+/// Parses the items of one file. `comments` supplies hot-path annotations;
+/// `line_count` bounds annotation targets.
+pub fn parse(toks: &[Spanned], comments: &[Comment], line_count: u32) -> Items {
+    let mut items = Items::default();
+    // Innermost-first stack of `(impl_type, brace_depth_at_open)` frames
+    // for `impl` and `trait` blocks.
+    let mut frames: Vec<(Option<String>, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let prev = if i == 0 { None } else { Some(&toks[i - 1].tok) };
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                while frames.last().is_some_and(|&(_, d)| d >= depth) {
+                    frames.pop();
+                }
+            }
+            Tok::Ident(kw) if (kw == "impl" || kw == "trait") && at_item_position(prev) => {
+                // Self-type: the last capitalizable path segment before the
+                // body (after `for` when present, skipping generic groups).
+                let mut name: Option<String> = None;
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('<') => angle += 1,
+                        // `->` inside generic bounds does not close.
+                        Tok::Punct('>') if !matches!(toks[j - 1].tok, Tok::Punct('-')) => {
+                            angle -= 1;
+                        }
+                        Tok::Punct('{') | Tok::Punct(';') if angle <= 0 => break,
+                        Tok::Ident(id) if angle == 0 => match id.as_str() {
+                            "for" => name = None,
+                            "where" => break,
+                            _ => name = Some(id.clone()),
+                        },
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('{'))) {
+                    frames.push((name, depth));
+                    depth += 1;
+                    i = j;
+                }
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else {
+                    i += 1;
+                    continue;
+                };
+                let impl_type = frames.iter().rev().find_map(|(t, _)| t.clone());
+                // Find the body open brace or the `;` of a bodiless decl:
+                // scan past generics/params/return type, tracking nesting
+                // so `where F: Fn(u64) -> u64` cannot end the search early.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                let mut body = None;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('<') => angle += 1,
+                        Tok::Punct('>') if !matches!(toks[j - 1].tok, Tok::Punct('-')) => {
+                            angle = (angle - 1).max(0);
+                        }
+                        Tok::Punct('(') => paren += 1,
+                        Tok::Punct(')') => paren -= 1,
+                        Tok::Punct('{') if angle == 0 && paren == 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        Tok::Punct(';') if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let body = body.map(|open| {
+                    let mut d = 0i32;
+                    let mut m = open;
+                    while m < toks.len() {
+                        match &toks[m].tok {
+                            Tok::Punct('{') => d += 1,
+                            Tok::Punct('}') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    (open, m.min(toks.len() - 1))
+                });
+                items.fns.push(FnItem {
+                    name: name.clone(),
+                    impl_type,
+                    line: toks[i].line,
+                    body,
+                    is_hot: false,
+                });
+                // Continue from the signature; the main loop's depth
+                // tracking consumes the body braces naturally.
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    attach_hot_annotations(&mut items, comments, line_count);
+    items
+}
+
+const MARKER: &str = "st-lint:";
+
+/// How many lines below its target an annotation may sit from the `fn`
+/// keyword (room for a couple of attributes).
+pub const HOT_ATTACH_WINDOW: u32 = 3;
+
+/// Finds `// st-lint: hot-path` comments and marks the function each one
+/// covers (the next `fn` within a few lines, like a suppression's target).
+fn attach_hot_annotations(items: &mut Items, comments: &[Comment], line_count: u32) {
+    // Lines fully occupied by own-line comments (annotation prose may wrap).
+    let mut comment_lines = std::collections::BTreeSet::new();
+    for c in comments {
+        if c.owns_line {
+            for l in c.line..=c.end_line {
+                comment_lines.insert(l);
+            }
+        }
+    }
+    for c in comments {
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = c.text.find(MARKER) else {
+            continue;
+        };
+        let body = c.text[at + MARKER.len()..].trim();
+        if body != "hot-path" {
+            continue;
+        }
+        let target = if c.owns_line {
+            let mut t = c.end_line + 1;
+            while comment_lines.contains(&t) {
+                t += 1;
+            }
+            t.min(line_count.max(1))
+        } else {
+            c.line
+        };
+        let hit = items
+            .fns
+            .iter_mut()
+            .find(|f| f.line >= target && f.line <= target + HOT_ATTACH_WINDOW);
+        let attached = match hit {
+            Some(f) => {
+                f.is_hot = true;
+                true
+            }
+            None => false,
+        };
+        items.hot_annotations.push(HotAnnotation {
+            line: c.line,
+            attached,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Items {
+        let lexed = lex(src);
+        parse(&lexed.tokens, &lexed.comments, src.lines().count() as u32)
+    }
+
+    #[test]
+    fn free_fns_and_methods() {
+        let src = "fn free() { body(); }\n\
+                   impl Widget {\n\
+                       pub fn poke(&self) -> u64 { 1 }\n\
+                   }\n\
+                   impl fmt::Display for Widget {\n\
+                       fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n\
+                   }\n";
+        let items = parse_src(src);
+        let quals: Vec<String> = items.fns.iter().map(|f| f.qual()).collect();
+        assert_eq!(quals, vec!["free", "Widget::poke", "Widget::fmt"]);
+        assert!(items.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn generic_impl_and_where_clause() {
+        let src = "impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {\n\
+                   fn fire<F>(&mut self, f: F) -> u64 where F: FnMut(u64) -> u64 { f(0) }\n\
+                   }\n";
+        let items = parse_src(src);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].qual(), "SoftTimerCore::fire");
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_an_impl_block() {
+        let src = "fn iter() -> impl Iterator<Item = u64> { 0..3 }\nfn after() {}\n";
+        let items = parse_src(src);
+        let quals: Vec<String> = items.fns.iter().map(|f| f.qual()).collect();
+        assert_eq!(quals, vec!["iter", "after"]);
+    }
+
+    #[test]
+    fn bodiless_trait_decl() {
+        let src = "trait Queue {\n    fn len(&self) -> usize;\n    fn clear(&mut self) {}\n}\n";
+        let items = parse_src(src);
+        assert_eq!(items.fns.len(), 2);
+        assert!(items.fns[0].body.is_none());
+        assert!(items.fns[1].body.is_some());
+        assert_eq!(items.fns[0].qual(), "Queue::len");
+    }
+
+    #[test]
+    fn hot_annotation_attaches_and_dangles() {
+        let src = "// st-lint: hot-path\n\
+                   #[inline]\n\
+                   pub fn poll() {}\n\
+                   \n\
+                   // st-lint: hot-path\n\
+                   const X: u64 = 1;\n";
+        let items = parse_src(src);
+        assert!(items.fns[0].is_hot);
+        assert_eq!(items.hot_annotations.len(), 2);
+        assert!(items.hot_annotations[0].attached);
+        assert!(!items.hot_annotations[1].attached);
+    }
+
+    #[test]
+    fn trailing_hot_annotation_attaches_to_its_own_line() {
+        let src = "pub fn trigger() { // st-lint: hot-path\n}\n";
+        let items = parse_src(src);
+        assert!(items.fns[0].is_hot);
+    }
+}

@@ -32,13 +32,22 @@ pub enum RuleId {
     SealedTraceOnly,
     /// The firing-bound math stays in integers.
     NoFloatInBounds,
+    /// Arithmetic must not mix time/tick/byte units or fold raw
+    /// conversion constants into unit-tainted math.
+    UnitTaint,
+    /// `// st-lint: hot-path` functions must not reach allocation,
+    /// locking, formatting, or unsealed emit through any callee.
+    HotPathCost,
+    /// Every `static`/`thread_local`/interior-mutability cell in the
+    /// deterministic crates needs a declared owner.
+    SharedState,
     /// Suppressions must be well-formed, reasoned, and still firing.
     AllowHygiene,
 }
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::NoWallClock,
         RuleId::NoUnorderedIteration,
         RuleId::NoSilentCast,
@@ -46,6 +55,9 @@ impl RuleId {
         RuleId::ForbidUnsafeEverywhere,
         RuleId::SealedTraceOnly,
         RuleId::NoFloatInBounds,
+        RuleId::UnitTaint,
+        RuleId::HotPathCost,
+        RuleId::SharedState,
         RuleId::AllowHygiene,
     ];
 
@@ -59,6 +71,9 @@ impl RuleId {
             RuleId::ForbidUnsafeEverywhere => "forbid-unsafe-everywhere",
             RuleId::SealedTraceOnly => "sealed-trace-only",
             RuleId::NoFloatInBounds => "no-float-in-bounds",
+            RuleId::UnitTaint => "unit-taint",
+            RuleId::HotPathCost => "hot-path-cost",
+            RuleId::SharedState => "shared-state",
             RuleId::AllowHygiene => "allow-hygiene",
         }
     }
@@ -100,6 +115,19 @@ impl RuleId {
                 "delay bound: the (S+T, S+T+X+1) firing-bound math is exact integer \
                  arithmetic; floats would make the bound approximate"
             }
+            RuleId::UnitTaint => {
+                "delay bound: mixing ns/us/ms/tick/byte quantities or folding a raw \
+                 power-of-ten constant into time math silently rescales a deadline"
+            }
+            RuleId::HotPathCost => {
+                "cost model: the paper's argument is a ~20ns trigger check vs a 4.45us \
+                 interrupt; an allocation, lock, or format anywhere a hot path can \
+                 reach costs more than the operation being modeled"
+            }
+            RuleId::SharedState => {
+                "SMP readiness: per-CPU facilities (ROADMAP item 2) need a machine- \
+                 checked map of every shared mutable cell with a declared owner"
+            }
             RuleId::AllowHygiene => {
                 "suppressions are debts: each carries a reason, and one that no longer \
                  fires must be deleted, not inherited"
@@ -121,6 +149,16 @@ impl RuleId {
                 "emit via st_trace::emit/count/observe or st_scope::gauge/observe/fire_delay"
             }
             RuleId::NoFloatInBounds => "keep tick math in u64; floats only in reporting",
+            RuleId::UnitTaint => {
+                "convert at the boundary and bind conversion factors to named constants"
+            }
+            RuleId::HotPathCost => {
+                "hoist the allocation out of the path, or suppress with the enabled-path \
+                 justification"
+            }
+            RuleId::SharedState => {
+                "declare ownership: `st-lint: allow(shared-state) -- owner: <who>, <why>`"
+            }
             RuleId::AllowHygiene => "fix the reason, or delete the stale suppression",
         }
     }
@@ -137,7 +175,7 @@ pub struct RawFinding {
     pub message: String,
 }
 
-fn finding(rule: RuleId, line: u32, what: &str) -> RawFinding {
+pub(crate) fn finding(rule: RuleId, line: u32, what: &str) -> RawFinding {
     RawFinding {
         rule,
         line,

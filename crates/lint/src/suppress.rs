@@ -72,6 +72,11 @@ pub fn parse(comments: &[Comment], line_count: u32) -> Suppressions {
             continue;
         };
         let body = c.text[at + MARKER.len()..].trim();
+        // A `hot-path` body is an annotation for the hot-path analysis
+        // (see `crate::parse`), not a suppression.
+        if body == "hot-path" {
+            continue;
+        }
         let target_line = if c.owns_line {
             // Own-line comments cover the next source line, skipping any
             // intervening comment-only lines (stacked suppressions, or a
@@ -121,6 +126,14 @@ fn parse_body(body: &str) -> Result<(RuleId, &str), String> {
     if reason.is_empty() {
         return Err(format!(
             "allow({rule_name}) needs a reason: `st-lint: allow({rule_name}) -- <why>`"
+        ));
+    }
+    // The shared-state whitelist is an ownership declaration, not a mere
+    // excuse: the reason must name the owner.
+    if rule == RuleId::SharedState && !reason.starts_with("owner:") {
+        return Err(format!(
+            "allow({rule_name}) must declare an owner: \
+             `st-lint: allow({rule_name}) -- owner: <who>, <why>`"
         ));
     }
     Ok((rule, reason))
@@ -192,6 +205,25 @@ mod tests {
              /// st-lint: allow(bogus-rule)\n",
         );
         assert!(s.ok.is_empty() && s.bad.is_empty());
+    }
+
+    #[test]
+    fn hot_path_annotation_is_not_a_suppression() {
+        let s = parse_src("// st-lint: hot-path\nfn fire() {}\n");
+        assert!(s.ok.is_empty() && s.bad.is_empty());
+    }
+
+    #[test]
+    fn shared_state_allow_requires_an_owner() {
+        let s = parse_src("// st-lint: allow(shared-state) -- it is fine\nstatic X: u32 = 0;\n");
+        assert_eq!(s.bad.len(), 1);
+        assert!(s.bad[0].why.contains("owner"), "{}", s.bad[0].why);
+        let s = parse_src(
+            "// st-lint: allow(shared-state) -- owner: rt thread, handoff cell\n\
+             static X: u32 = 0;\n",
+        );
+        assert_eq!(s.ok.len(), 1);
+        assert!(s.bad.is_empty());
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Call-graph resolution over a small multi-file fixture crate: bare
+//! calls, method calls, `Self::` paths, cross-module `crate::` paths and
+//! cross-crate `st_*::` paths all resolve to workspace symbols, while
+//! std paths never grow edges.
+
+use st_lint::callgraph::Graph;
+use st_lint::model::Model;
+
+fn fixture() -> Model {
+    Model::from_sources(&[
+        (
+            "crates/app/src/lib.rs",
+            r#"
+pub struct Engine;
+
+impl Engine {
+    pub fn run(&self) {
+        step();
+        self.finish();
+    }
+    fn finish(&self) {
+        Self::cleanup();
+    }
+    fn cleanup() {}
+}
+
+fn step() {
+    crate::worker::spin();
+    std::mem::drop(1);
+}
+"#,
+        ),
+        (
+            "crates/app/src/worker.rs",
+            r#"
+pub fn spin() {
+    st_util::tick();
+}
+"#,
+        ),
+        (
+            "crates/util/src/lib.rs",
+            r#"
+pub fn tick() {}
+
+pub fn untouched() {
+    tick();
+}
+"#,
+        ),
+    ])
+}
+
+#[test]
+fn cross_module_reachability() {
+    let model = fixture();
+    let graph = Graph::build(&model);
+    let root = graph.node(&model, "Engine::run").expect("root resolves");
+    let parents = graph.reachable(root);
+    let quals: Vec<String> = parents
+        .keys()
+        .map(|&n| model.fn_item(graph.symbols.fns[n]).qual())
+        .collect();
+    // Everything on the run path, nothing else: `untouched` stays out and
+    // the `std::mem::drop` path grows no edge.
+    let mut sorted = quals.clone();
+    sorted.sort();
+    assert_eq!(
+        sorted,
+        vec![
+            "Engine::cleanup",
+            "Engine::finish",
+            "Engine::run",
+            "spin",
+            "step",
+            "tick"
+        ]
+    );
+}
+
+#[test]
+fn sample_chain_spans_modules_and_crates() {
+    let model = fixture();
+    let graph = Graph::build(&model);
+    let root = graph.node(&model, "Engine::run").unwrap();
+    let parents = graph.reachable(root);
+    let tick = graph.node(&model, "tick").unwrap();
+    assert_eq!(
+        graph.chain(&model, &parents, tick),
+        "Engine::run -> step -> spin -> tick"
+    );
+}
+
+#[test]
+fn unreferenced_fn_reaches_only_itself_and_callees() {
+    let model = fixture();
+    let graph = Graph::build(&model);
+    let root = graph.node(&model, "untouched").unwrap();
+    let parents = graph.reachable(root);
+    assert_eq!(parents.len(), 2, "untouched -> tick and nothing more");
+}

@@ -1,0 +1,24 @@
+//! Fixture: linted under the pretend path `crates/core/src/fixture.rs`.
+
+// st-lint: hot-path
+fn hot_root() {
+    let _direct = format!("per-event cost");
+    helper();
+}
+
+fn helper() {
+    let _indirect = String::new();
+}
+
+// st-lint: hot-path
+fn suppressed_root() {
+    // st-lint: allow(hot-path-cost) -- fixture: amortized cold start
+    let _ok = vec![1];
+}
+
+// st-lint: allow(hot-path-cost) -- fixture: stale annotation
+fn cold() {}
+
+// st-lint: hot-path
+
+struct NotAFn;

@@ -1,0 +1,12 @@
+//! Fixture: linted under the pretend path `crates/sim/src/fixture.rs`.
+//! Timing words, casts, and denied-looking calls inside raw strings and
+//! nested block comments are prose — no rule may fire anywhere here.
+
+fn clean() -> &'static str {
+    /* An interval timer /* nested: deadline as f64, Instant::now() */
+    still one comment: HashMap iteration order, delay_us + period_ms */
+    let doc = r#"timeout math: delay_us + budget_ms as f64; "quoted" Instant::now()"#;
+    let bytes = br##"expiry tick "#fence" vec![] String::new()"##;
+    let _ = bytes;
+    doc
+}

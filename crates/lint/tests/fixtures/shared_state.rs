@@ -1,0 +1,17 @@
+//! Fixture: linted under the pretend path `crates/sim/src/fixture.rs`.
+
+static POSITIVE: u64 = 0;
+
+thread_local! {
+    static PER_CPU: u64 = 0;
+}
+
+struct Holder {
+    cell: std::cell::RefCell<u64>,
+}
+
+// st-lint: allow(shared-state) -- owner: the single fixture thread
+static SUPPRESSED: u64 = 0;
+
+// st-lint: allow(shared-state) -- owner: nobody, this one is stale
+fn stale() {}

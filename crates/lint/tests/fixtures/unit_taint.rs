@@ -1,0 +1,14 @@
+//! Fixture: linted under the pretend path `crates/sim/src/fixture.rs`.
+
+fn positive(delay_us: u64, period_ms: u64) -> u64 {
+    let skew = delay_us + period_ms;
+    skew + delay_us * 1_000_000
+}
+
+fn suppressed(window_ticks: u64, grace_ns: u64) -> u64 {
+    // st-lint: allow(unit-taint) -- fixture: deliberate cross-unit probe
+    window_ticks + grace_ns
+}
+
+// st-lint: allow(unit-taint) -- fixture: stale annotation
+fn stale() {}

@@ -121,6 +121,61 @@ fn no_float_in_bounds_fixture() {
 }
 
 #[test]
+fn unit_taint_fixture() {
+    check(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/unit_taint.rs"),
+        &[
+            (RuleId::UnitTaint, 4, false),
+            (RuleId::UnitTaint, 5, false),
+            (RuleId::UnitTaint, 10, true),
+            (RuleId::AllowHygiene, 13, false),
+        ],
+    );
+}
+
+#[test]
+fn hot_path_fixture() {
+    check(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/hot_path.rs"),
+        &[
+            (RuleId::HotPathCost, 5, false),
+            (RuleId::HotPathCost, 10, false),
+            (RuleId::HotPathCost, 16, true),
+            (RuleId::AllowHygiene, 19, false),
+            (RuleId::AllowHygiene, 22, false),
+        ],
+    );
+}
+
+#[test]
+fn shared_state_fixture() {
+    check(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/shared_state.rs"),
+        &[
+            (RuleId::SharedState, 3, false),
+            (RuleId::SharedState, 6, false),
+            (RuleId::SharedState, 10, false),
+            (RuleId::SharedState, 14, true),
+            (RuleId::AllowHygiene, 16, false),
+        ],
+    );
+}
+
+/// Timing words, casts, and denied-looking calls inside raw strings and
+/// nested block comments must never fire any rule (the lexer masks them).
+#[test]
+fn lexer_edges_fixture() {
+    check(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/lexer_edges.rs"),
+        &[],
+    );
+}
+
+#[test]
 fn allow_hygiene_fixture() {
     check(
         "crates/core/src/fixture.rs",
@@ -192,6 +247,18 @@ fn corpus_covers_every_rule() {
         (
             "crates/core/src/fixture.rs",
             include_str!("fixtures/allow_hygiene.rs"),
+        ),
+        (
+            "crates/sim/src/fixture.rs",
+            include_str!("fixtures/unit_taint.rs"),
+        ),
+        (
+            "crates/core/src/fixture.rs",
+            include_str!("fixtures/hot_path.rs"),
+        ),
+        (
+            "crates/sim/src/fixture.rs",
+            include_str!("fixtures/shared_state.rs"),
         ),
     ] {
         hit.extend(lint_source(path, src).iter().map(|f| f.rule));

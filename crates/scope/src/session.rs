@@ -36,6 +36,9 @@ struct Inner {
 }
 
 thread_local! {
+    // st-lint: allow(shared-state) -- owner: each thread owns its private
+    // scope session; thread_local is the per-CPU pattern the SMP roadmap
+    // item calls for, never cross-thread
     static SCOPE: RefCell<Option<Inner>> = const { RefCell::new(None) };
 }
 
@@ -141,6 +144,7 @@ pub fn active() -> bool {
 }
 
 /// Appends a gauge point (no-op without an active session).
+// st-lint: hot-path
 pub fn gauge(tick: u64, name: &'static str, value: f64) {
     SCOPE.with(|t| {
         if let Some(inner) = t.borrow_mut().as_mut() {
@@ -150,6 +154,7 @@ pub fn gauge(tick: u64, name: &'static str, value: f64) {
 }
 
 /// Records a windowed observation (no-op without an active session).
+// st-lint: hot-path
 pub fn observe(name: &'static str, value: f64) {
     SCOPE.with(|t| {
         if let Some(inner) = t.borrow_mut().as_mut() {
@@ -172,6 +177,7 @@ pub fn sample(tick: u64) {
 
 /// Records one fire's decomposed lateness on `lane` (no-op without an
 /// active session).
+// st-lint: hot-path
 pub fn fire_delay(lane: &'static str, trigger_wait: u64, cascade: u64) {
     SCOPE.with(|t| {
         if let Some(inner) = t.borrow_mut().as_mut() {

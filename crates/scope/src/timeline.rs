@@ -55,7 +55,7 @@ impl Series {
         Series {
             kind,
             capacity: capacity.max(1),
-            points: VecDeque::new(),
+            points: VecDeque::new(), // st-lint: allow(hot-path-cost) -- enabled path: built once per series name, and only while a scope session is recording
             dropped: 0,
         }
     }
@@ -128,7 +128,7 @@ impl Timeline {
     fn series_mut(&mut self, name: &str, kind: SeriesKind) -> &mut Series {
         let capacity = self.capacity;
         self.series
-            .entry(name.to_string())
+            .entry(name.to_string()) // st-lint: allow(hot-path-cost) -- enabled path: interns a first-seen series name while a scope session is recording
             .or_insert_with(|| Series::new(kind, capacity))
     }
 

@@ -1,6 +1,6 @@
 //! Link bandwidth and serialization delays.
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, NANOS_PER_SEC};
 
 /// A transmission rate in bits per second.
 ///
@@ -66,13 +66,13 @@ impl Bandwidth {
         let bits = bytes as u128 * 8;
         // ns = bits * 1e9 / bps; 128-bit intermediate avoids overflow for
         // any realistic byte count.
-        let exact = (bits * 1_000_000_000u128).div_ceil(self.bits_per_sec as u128);
+        let exact = (bits * NANOS_PER_SEC as u128).div_ceil(self.bits_per_sec as u128);
         SimDuration::from_nanos(exact as u64)
     }
 
     /// The byte count that can be serialized in `d` (truncating).
     pub fn bytes_in(self, d: SimDuration) -> u64 {
-        (d.as_nanos() as u128 * self.bits_per_sec as u128 / 8 / 1_000_000_000) as u64
+        (d.as_nanos() as u128 * self.bits_per_sec as u128 / 8 / NANOS_PER_SEC as u128) as u64
     }
 
     /// Bandwidth-delay product in bytes for a path with round-trip time

@@ -9,6 +9,15 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
+/// Nanoseconds per microsecond.
+pub const NANOS_PER_MICRO: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+/// Microseconds per second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
 /// A point in virtual time, in nanoseconds since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
@@ -30,17 +39,17 @@ impl SimTime {
 
     /// Constructs from microseconds.
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us * NANOS_PER_MICRO)
     }
 
     /// Constructs from milliseconds.
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms * NANOS_PER_MILLI)
     }
 
     /// Constructs from seconds.
-    pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
     }
 
     /// Raw nanoseconds since the epoch.
@@ -50,7 +59,7 @@ impl SimTime {
 
     /// Whole microseconds since the epoch (truncating).
     pub const fn as_micros(self) -> u64 {
-        self.0 / 1_000
+        self.0 / NANOS_PER_MICRO
     }
 
     /// Seconds since the epoch as a float (for reporting only).
@@ -74,9 +83,9 @@ impl SimTime {
     /// clock.
     pub fn ticks(self, hz: u64) -> u64 {
         // Split to avoid overflow: ns * hz can exceed u64 for long runs.
-        let secs = self.0 / 1_000_000_000;
-        let rem = self.0 % 1_000_000_000;
-        secs * hz + rem * hz / 1_000_000_000
+        let secs = self.0 / NANOS_PER_SEC;
+        let rem = self.0 % NANOS_PER_SEC;
+        secs * hz + rem * hz / NANOS_PER_SEC
     }
 }
 
@@ -93,17 +102,17 @@ impl SimDuration {
 
     /// Constructs from microseconds.
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us * NANOS_PER_MICRO)
     }
 
     /// Constructs from milliseconds.
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms * NANOS_PER_MILLI)
     }
 
     /// Constructs from seconds.
-    pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
     }
 
     /// Constructs from a float number of microseconds (rounds to ns).
@@ -123,7 +132,7 @@ impl SimDuration {
 
     /// Whole microseconds (truncating).
     pub const fn as_micros(self) -> u64 {
-        self.0 / 1_000
+        self.0 / NANOS_PER_MICRO
     }
 
     /// Microseconds as a float (for statistics).
@@ -153,7 +162,7 @@ impl SimDuration {
     /// Panics when `hz` is zero.
     pub fn from_hz(hz: u64) -> SimDuration {
         assert!(hz > 0, "frequency must be non-zero");
-        SimDuration(1_000_000_000 / hz)
+        SimDuration(NANOS_PER_SEC / hz)
     }
 }
 
@@ -246,11 +255,11 @@ impl fmt::Display for SimTime {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000_000 {
+        if self.0 >= NANOS_PER_SEC {
             write!(f, "{:.3}s", self.as_secs_f64())
-        } else if self.0 >= 1_000_000 {
+        } else if self.0 >= NANOS_PER_MILLI {
             write!(f, "{:.3}ms", self.0 as f64 / 1e6)
-        } else if self.0 >= 1_000 {
+        } else if self.0 >= NANOS_PER_MICRO {
             write!(f, "{:.3}us", self.0 as f64 / 1e3)
         } else {
             write!(f, "{}ns", self.0)

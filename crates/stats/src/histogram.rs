@@ -41,7 +41,7 @@ impl Histogram {
         assert!(buckets > 0, "need at least one bucket");
         Histogram {
             bucket_width,
-            counts: vec![0; buckets],
+            counts: vec![0; buckets], // st-lint: allow(hot-path-cost) -- enabled path: built once per metric name, and only while a trace session is recording
             overflow: 0,
             underflow: 0,
             total: 0,

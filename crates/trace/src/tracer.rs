@@ -135,11 +135,13 @@ pub fn resume(s: Suspended) {
 ///
 /// Instrumentation sites may use this to skip argument computation
 /// that is only needed for tracing.
+// st-lint: hot-path
 pub fn active() -> bool {
     TRACER.with(|t| t.borrow().is_some())
 }
 
 /// Records a structured event (no-op without an active session).
+// st-lint: hot-path
 pub fn emit(cat: Category, name: &'static str, ts: u64, a: u64, b: u64) {
     TRACER.with(|t| {
         if let Some(inner) = t.borrow_mut().as_mut() {
@@ -155,6 +157,7 @@ pub fn emit(cat: Category, name: &'static str, ts: u64, a: u64, b: u64) {
 }
 
 /// Adds `n` to a named counter (no-op without an active session).
+// st-lint: hot-path
 pub fn count(name: &'static str, n: u64) {
     TRACER.with(|t| {
         if let Some(inner) = t.borrow_mut().as_mut() {
@@ -179,6 +182,7 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
 }
 
 /// Records a histogram observation (no-op without an active session).
+// st-lint: hot-path
 pub fn observe(name: &'static str, value: f64) {
     TRACER.with(|t| {
         if let Some(inner) = t.borrow_mut().as_mut() {

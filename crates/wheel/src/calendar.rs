@@ -33,6 +33,8 @@ pub struct CalendarQueue<P> {
     /// Ticks covered by one bucket (>= 1).
     bucket_width: u64,
     past_due: Vec<Entry>,
+    /// Reusable sweep buffer; keeps `advance` allocation-free once warm.
+    sweep: Vec<(u64, u64, P)>,
     slab: TimerSlab<P>,
     now: u64,
     seq: u64,
@@ -46,6 +48,7 @@ impl<P> CalendarQueue<P> {
             buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
             bucket_width: 64,
             past_due: Vec::new(),
+            sweep: Vec::new(),
             slab: TimerSlab::new(),
             now: 0,
             seq: 0,
@@ -85,10 +88,10 @@ impl<P> CalendarQueue<P> {
 
     /// Re-sizes to `n` buckets, re-estimating the width from live
     /// deadlines (Brown's heuristic: average spacing of a sample).
-    fn resize(&mut self, n: usize) {
+    fn rebucket(&mut self, n: usize) {
         self.resizes += 1;
         // Collect the live entries.
-        let mut live: Vec<(u64, Entry)> = Vec::with_capacity(self.slab.len());
+        let mut live: Vec<(u64, Entry)> = Vec::with_capacity(self.slab.len()); // st-lint: allow(hot-path-cost) -- amortized rebucket is the calendar queue's defining trade-off; it is the ablation queue, not the default wheel
         for bucket in &self.buckets {
             for &entry in bucket {
                 if let Some(d) = self.slab.deadline_of(entry.index, entry.generation) {
@@ -98,7 +101,7 @@ impl<P> CalendarQueue<P> {
         }
         // Width estimate: average gap across a sorted sample's middle
         // half; falls back to the old width when too few samples.
-        let mut sample: Vec<u64> = live.iter().map(|&(d, _)| d).take(64).collect();
+        let mut sample: Vec<u64> = live.iter().map(|&(d, _)| d).take(64).collect(); // st-lint: allow(hot-path-cost) -- amortized rebucket (see above); bounded to 64 samples
         sample.sort_unstable();
         if sample.len() >= 4 {
             let lo = sample.len() / 4;
@@ -107,7 +110,7 @@ impl<P> CalendarQueue<P> {
             let gaps = (hi - lo).max(1) as u64;
             self.bucket_width = (span / gaps).clamp(1, 1 << 32);
         }
-        self.buckets = (0..n.max(MIN_BUCKETS)).map(|_| Vec::new()).collect();
+        self.buckets = (0..n.max(MIN_BUCKETS)).map(|_| Vec::new()).collect(); // st-lint: allow(hot-path-cost) -- amortized rebucket (see above)
         for (d, entry) in live {
             self.place(d, entry);
         }
@@ -117,9 +120,9 @@ impl<P> CalendarQueue<P> {
         let live = self.slab.len();
         let n = self.buckets.len();
         if live > 2 * n {
-            self.resize(n * 2);
+            self.rebucket(n * 2);
         } else if n > MIN_BUCKETS && live < n / 2 {
-            self.resize((n / 2).max(MIN_BUCKETS));
+            self.rebucket((n / 2).max(MIN_BUCKETS));
         }
     }
 }
@@ -158,7 +161,7 @@ impl<P> TimerQueue<P> for CalendarQueue<P> {
         let old = self.now;
         self.now = now;
 
-        let mut due: Vec<(u64, u64, P)> = Vec::new();
+        let mut due = std::mem::take(&mut self.sweep);
         let past = std::mem::take(&mut self.past_due);
         for entry in past {
             if let Some((d, s, p)) = self.slab.remove_index(entry.index, entry.generation) {
@@ -193,7 +196,8 @@ impl<P> TimerQueue<P> for CalendarQueue<P> {
         }
 
         due.sort_by_key(|&(d, s, _)| (d, s));
-        out.extend(due.into_iter().map(|(d, _, p)| (d, p)));
+        out.extend(due.drain(..).map(|(d, _, p)| (d, p)));
+        self.sweep = due;
         self.maybe_resize();
     }
 

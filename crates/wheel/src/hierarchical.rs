@@ -39,6 +39,8 @@ pub struct HierarchicalWheel<P> {
     levels: Vec<Vec<Vec<Entry>>>,
     overflow: Vec<Entry>,
     past_due: Vec<Entry>,
+    /// Reusable sweep buffer; keeps `advance` allocation-free once warm.
+    sweep: Vec<(u64, u64, P)>,
     slab: TimerSlab<P>,
     now: u64,
 }
@@ -52,6 +54,7 @@ impl<P> HierarchicalWheel<P> {
                 .collect(),
             overflow: Vec::new(),
             past_due: Vec::new(),
+            sweep: Vec::new(),
             slab: TimerSlab::new(),
             now: 0,
         }
@@ -130,7 +133,7 @@ impl<P> TimerQueue<P> for HierarchicalWheel<P> {
         let old = self.now;
         self.now = now;
 
-        let mut due: Vec<(u64, u64, P)> = Vec::new();
+        let mut due = std::mem::take(&mut self.sweep);
 
         let past = std::mem::take(&mut self.past_due);
         for entry in past {
@@ -193,7 +196,8 @@ impl<P> TimerQueue<P> for HierarchicalWheel<P> {
         }
 
         due.sort_by_key(|&(d, s, _)| (d, s));
-        out.extend(due.into_iter().map(|(d, _, p)| (d, p)));
+        out.extend(due.drain(..).map(|(d, _, p)| (d, p)));
+        self.sweep = due;
     }
 
     fn next_deadline(&self) -> Option<u64> {

@@ -6,9 +6,9 @@ use std::collections::BinaryHeap;
 use crate::slab::{Entry, TimerSlab};
 use crate::{TimerHandle, TimerQueue};
 
-fn drain_sorted<P>(mut due: Vec<(u64, u64, P)>, out: &mut Vec<(u64, P)>) {
+fn drain_sorted<P>(due: &mut Vec<(u64, u64, P)>, out: &mut Vec<(u64, P)>) {
     due.sort_by_key(|&(d, s, _)| (d, s));
-    out.extend(due.into_iter().map(|(d, _, p)| (d, p)));
+    out.extend(due.drain(..).map(|(d, _, p)| (d, p)));
 }
 
 /// Simple timing wheel: one slot per tick over a bounded horizon, with an
@@ -36,6 +36,8 @@ pub struct SimpleWheel<P> {
     slots: Vec<Vec<Entry>>,
     overflow: BinaryHeap<Reverse<(u64, u64, Entry)>>,
     past_due: Vec<Entry>,
+    /// Reusable sweep buffer; keeps `advance` allocation-free once warm.
+    sweep: Vec<(u64, u64, P)>,
     slab: TimerSlab<P>,
     now: u64,
     seq: u64,
@@ -53,6 +55,7 @@ impl<P> SimpleWheel<P> {
             slots: (0..horizon).map(|_| Vec::new()).collect(),
             overflow: BinaryHeap::new(),
             past_due: Vec::new(),
+            sweep: Vec::new(),
             slab: TimerSlab::new(),
             now: 0,
             seq: 0,
@@ -156,7 +159,7 @@ impl<P> TimerQueue<P> for SimpleWheel<P> {
         // advance land in `past_due` and fire below, not one call late.
         self.migrate_overflow();
 
-        let mut due: Vec<(u64, u64, P)> = Vec::new();
+        let mut due = std::mem::take(&mut self.sweep);
         let past = std::mem::take(&mut self.past_due);
         for entry in past {
             if let Some((d, s, p)) = self.slab.remove_index(entry.index, entry.generation) {
@@ -183,7 +186,8 @@ impl<P> TimerQueue<P> for SimpleWheel<P> {
                 self.slots[idx] = slot;
             }
         }
-        drain_sorted(due, out);
+        drain_sorted(&mut due, out);
+        self.sweep = due;
     }
 
     fn next_deadline(&self) -> Option<u64> {
@@ -246,6 +250,8 @@ pub struct HashedWheel<P> {
     slots: Vec<Vec<Entry>>,
     mask: u64,
     past_due: Vec<Entry>,
+    /// Reusable sweep buffer; keeps `advance` allocation-free once warm.
+    sweep: Vec<(u64, u64, P)>,
     slab: TimerSlab<P>,
     now: u64,
     seq: u64,
@@ -264,6 +270,7 @@ impl<P> HashedWheel<P> {
             slots: (0..n).map(|_| Vec::new()).collect(),
             mask: n as u64 - 1,
             past_due: Vec::new(),
+            sweep: Vec::new(),
             slab: TimerSlab::new(),
             now: 0,
             seq: 0,
@@ -316,7 +323,7 @@ impl<P> TimerQueue<P> for HashedWheel<P> {
             "time went backwards: {} -> {now}",
             self.now
         );
-        let mut due: Vec<(u64, u64, P)> = Vec::new();
+        let mut due = std::mem::take(&mut self.sweep);
 
         let past = std::mem::take(&mut self.past_due);
         for entry in past {
@@ -360,7 +367,8 @@ impl<P> TimerQueue<P> for HashedWheel<P> {
             }
         }
         self.now = now;
-        drain_sorted(due, out);
+        drain_sorted(&mut due, out);
+        self.sweep = due;
     }
 
     fn next_deadline(&self) -> Option<u64> {

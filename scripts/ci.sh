@@ -12,8 +12,21 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== st-lint: determinism & timing-safety invariants =="
 # Exits 1 on any unsuppressed finding; stale or reasonless suppressions
-# are findings too (allow-hygiene), so the allow-list cannot rot.
+# are findings too (allow-hygiene), so the allow-list cannot rot. The
+# pass itself is budgeted: the symbol-resolved analyses must stay cheap
+# enough to run before every build (the lint.full_workspace bench entry
+# tracks the analysis cost; this asserts the end-to-end step, binary
+# already built, never grows past LINT_BUDGET_SECS wall-clock seconds).
+cargo build --release --offline -p st-lint
+lint_budget="${LINT_BUDGET_SECS:-10}"
+lint_start=$(date +%s)
 cargo run --release --offline -p st-lint
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -gt "$lint_budget" ]; then
+    echo "st-lint exceeded its wall-clock budget: ${lint_elapsed}s > ${lint_budget}s" >&2
+    exit 1
+fi
+echo "st-lint wall clock: ${lint_elapsed}s (budget ${lint_budget}s)"
 
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline
