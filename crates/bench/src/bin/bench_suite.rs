@@ -4,6 +4,7 @@
 //! ```text
 //! bench-suite [--smoke] [--out PATH]          run the suite, write a snapshot
 //! bench-suite --compare OLD NEW [--tolerance F]   gate NEW against OLD
+//! bench-suite --trend FILE...                 per-bench trajectory table
 //! ```
 //!
 //! Run mode prints one summary line per entry and writes the snapshot
@@ -12,7 +13,10 @@
 //! per-bench delta table, and exits 1 when any bench's `min_ns`
 //! regressed beyond the tolerance (default 30 %, plus a 20 ns absolute
 //! floor to ignore clock-granularity noise). `scripts/perf_gate.sh`
-//! wraps compare mode for CI.
+//! wraps compare mode for CI. Trend mode reads an ordered series of
+//! snapshots (oldest first) and prints every bench's `min_ns` across the
+//! whole series — `scripts/bench_trend.sh` feeds it all committed
+//! `BENCH_PR*.json` files.
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +28,7 @@ fn main() {
     let mut smoke = false;
     let mut out_path = String::from("BENCH_PR4.json");
     let mut compare: Option<(String, String)> = None;
+    let mut trend_paths: Vec<String> = Vec::new();
     let mut tolerance = 0.30f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -46,6 +51,12 @@ fn main() {
                     .clone();
                 compare = Some((old, new));
             }
+            "--trend" => {
+                trend_paths.extend(it.by_ref().cloned());
+                if trend_paths.is_empty() {
+                    die("--trend needs at least one snapshot path");
+                }
+            }
             "--tolerance" => {
                 tolerance = it
                     .next()
@@ -56,15 +67,41 @@ fn main() {
                 println!(
                     "usage: bench-suite [--smoke] [--out PATH]\n\
                      \x20      bench-suite --compare OLD NEW [--tolerance F]\n\
+                     \x20      bench-suite --trend FILE...\n\
                      --smoke        5 samples per bench instead of 30 (CI default)\n\
                      --out PATH     snapshot path (default BENCH_PR4.json)\n\
                      --compare      gate snapshot NEW against snapshot OLD\n\
+                     --trend        print the per-bench min_ns trajectory across\n\
+                     \x20              the given snapshots, oldest first\n\
                      --tolerance F  allowed min_ns growth fraction (default 0.30)"
                 );
                 return;
             }
             other => die(&format!("unknown argument {other:?} (see --help)")),
         }
+    }
+
+    if !trend_paths.is_empty() {
+        let snapshots: Vec<(String, String)> = trend_paths
+            .iter()
+            .map(|p| {
+                let label = std::path::Path::new(p)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(p)
+                    .to_string();
+                let body = std::fs::read_to_string(p)
+                    .unwrap_or_else(|e| die(&format!("reading {p}: {e}")));
+                (label, body)
+            })
+            .collect();
+        let report = suite::trend(&snapshots).unwrap_or_else(|e| die(&e));
+        println!("perf trajectory ({} snapshots):", snapshots.len());
+        println!("{}", report.header);
+        for line in &report.lines {
+            println!("{line}");
+        }
+        return;
     }
 
     if let Some((old_path, new_path)) = compare {

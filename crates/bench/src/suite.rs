@@ -549,6 +549,72 @@ pub fn compare(old: &str, new: &str, tolerance: f64) -> Result<CompareReport, St
     Ok(report)
 }
 
+/// The per-bench perf trajectory across an ordered snapshot series.
+#[derive(Debug)]
+pub struct TrendReport {
+    /// Column header: one label per snapshot, oldest first.
+    pub header: String,
+    /// One row per bench (first-seen order): `min_ns` in each snapshot,
+    /// `-` where the bench does not exist yet (or was removed), and the
+    /// relative change from the bench's first to its last appearance.
+    pub lines: Vec<String>,
+}
+
+/// Builds the trajectory table across `snapshots` — ordered
+/// `(label, file contents)` pairs, oldest first. Every bench that appears
+/// in *any* snapshot gets a row; the trajectory is the point of the
+/// `BENCH_PR*.json` series, so nothing is dropped or truncated.
+pub fn trend(snapshots: &[(String, String)]) -> Result<TrendReport, String> {
+    if snapshots.is_empty() {
+        return Err("no snapshots to trend".into());
+    }
+    let mut parsed: Vec<(String, Vec<(String, f64)>)> = Vec::with_capacity(snapshots.len());
+    for (label, body) in snapshots {
+        let benches = snapshot_benches(&json::parse(body).map_err(|e| format!("{label}: {e}"))?)
+            .map_err(|e| format!("{label}: {e}"))?;
+        parsed.push((label.clone(), benches));
+    }
+
+    let mut names: Vec<String> = Vec::new();
+    for (_, benches) in &parsed {
+        for (name, _) in benches {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+    }
+
+    let mut header = format!("{:<42}", "bench (min ns)");
+    for (label, _) in &parsed {
+        header.push_str(&format!(" {label:>12}"));
+    }
+    header.push_str("   first->last");
+
+    let mut lines = Vec::with_capacity(names.len());
+    for name in &names {
+        let series: Vec<Option<f64>> = parsed
+            .iter()
+            .map(|(_, benches)| benches.iter().find(|(n, _)| n == name).map(|(_, v)| *v))
+            .collect();
+        let mut row = format!("{name:<42}");
+        for v in &series {
+            match v {
+                Some(v) => row.push_str(&format!(" {v:>12.1}")),
+                None => row.push_str(&format!(" {:>12}", "-")),
+            }
+        }
+        let present: Vec<f64> = series.iter().flatten().copied().collect();
+        match (present.first(), present.last()) {
+            (Some(first), Some(last)) if present.len() > 1 && *first > 0.0 => {
+                row.push_str(&format!("   {:+.1}%", (last / first - 1.0) * 100.0));
+            }
+            _ => row.push_str("   n/a"),
+        }
+        lines.push(row);
+    }
+    Ok(TrendReport { header, lines })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,5 +681,42 @@ mod tests {
         let good = r#"{"schema":"st-bench-v1","benches":[]}"#;
         assert!(compare(bad, good, 0.3).is_err());
         assert!(compare(good, good, 0.3).unwrap().regressions.is_empty());
+    }
+
+    #[test]
+    fn trend_tracks_every_bench_across_the_series() {
+        let pr1 = r#"{"schema":"st-bench-v1","mode":"full","benches":[
+            {"name":"a","min_ns":100.0,"median_ns":1,"mean_ns":1,"samples":5},
+            {"name":"gone","min_ns":9.0,"median_ns":1,"mean_ns":1,"samples":5}]}"#;
+        let pr2 = r#"{"schema":"st-bench-v1","mode":"full","benches":[
+            {"name":"a","min_ns":150.0,"median_ns":1,"mean_ns":1,"samples":5}]}"#;
+        let pr3 = r#"{"schema":"st-bench-v1","mode":"full","benches":[
+            {"name":"a","min_ns":50.0,"median_ns":1,"mean_ns":1,"samples":5},
+            {"name":"fresh","min_ns":3.0,"median_ns":1,"mean_ns":1,"samples":5}]}"#;
+        let r = trend(&[
+            ("PR1".to_string(), pr1.to_string()),
+            ("PR2".to_string(), pr2.to_string()),
+            ("PR3".to_string(), pr3.to_string()),
+        ])
+        .expect("well-formed snapshots");
+        assert!(r.header.contains("PR1") && r.header.contains("PR3"));
+        assert_eq!(r.lines.len(), 3, "{:#?}", r.lines);
+        // `a` appears in all three with a 100 -> 50 trajectory.
+        let a = &r.lines[0];
+        assert!(a.contains("100.0") && a.contains("150.0") && a.contains("50.0"));
+        assert!(a.contains("-50.0%"), "{a}");
+        // `gone` only ever had one point: no trajectory to compute.
+        let gone = r.lines.iter().find(|l| l.starts_with("gone")).unwrap();
+        assert!(gone.contains("n/a"), "{gone}");
+        // `fresh` arrives late but still gets a row with `-` gaps.
+        let fresh = r.lines.iter().find(|l| l.starts_with("fresh")).unwrap();
+        assert!(fresh.contains('-'), "{fresh}");
+    }
+
+    #[test]
+    fn trend_rejects_an_empty_series_and_bad_schemas() {
+        assert!(trend(&[]).is_err());
+        let bad = ("x".to_string(), r#"{"schema":"other"}"#.to_string());
+        assert!(trend(&[bad]).is_err());
     }
 }

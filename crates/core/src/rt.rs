@@ -42,6 +42,38 @@ use crate::facility::{Config, Expired, SoftTimerCore};
 
 const MICROS_PER_SEC: u64 = 1_000_000;
 
+/// Process-wide count of microsecond conversions that saturated at
+/// `u64::MAX` (see [`saturations`]).
+static SATURATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Converts a `u128` microsecond count to ticks, pinning at `u64::MAX` on
+/// overflow — but *audibly*: each clamp bumps a process-wide counter
+/// (readable via [`saturations`]) and, when a trace session is active on
+/// the calling thread, emits an `rt.time_saturations` trace count. A
+/// silently pinned clock reads as "time stopped" to the wheel; surfacing
+/// the clamp turns an impossible-looking hang into a diagnosable event.
+fn saturating_micros(micros: u128, what: &'static str) -> u64 {
+    match u64::try_from(micros) {
+        Ok(v) => v,
+        Err(_) => {
+            SATURATIONS.fetch_add(1, Ordering::Relaxed);
+            if st_trace::active() {
+                st_trace::count("rt.time_saturations", 1);
+                st_trace::emit(st_trace::Category::Rt, what, u64::MAX, 0, 0);
+            }
+            u64::MAX
+        }
+    }
+}
+
+/// How many microsecond conversions (clock reads, scheduling delays,
+/// backup periods) have saturated at `u64::MAX` process-wide. Nonzero
+/// means some duration exceeded ~584 000 years expressed in µs — i.e. a
+/// caller passed a nonsense `Duration` — and timer arithmetic is pinned.
+pub fn saturations() -> u64 {
+    SATURATIONS.load(Ordering::Relaxed)
+}
+
 /// Wall-clock measurement via [`Instant`], in microsecond ticks (1 MHz) —
 /// the paper's "typical" measurement resolution.
 ///
@@ -70,7 +102,7 @@ impl Default for MonotonicClock {
 
 impl Clock for MonotonicClock {
     fn measure_time(&self) -> u64 {
-        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+        saturating_micros(self.start.elapsed().as_micros(), "rt.clock_saturated")
     }
 
     fn measure_resolution(&self) -> u64 {
@@ -150,9 +182,11 @@ impl RtSoftTimers {
     pub fn start(config: RtConfig) -> Arc<Self> {
         let clock = MonotonicClock::new();
         let measure_hz = clock.measure_resolution();
-        let backup_us = u64::try_from(config.backup_period.as_micros())
-            .unwrap_or(u64::MAX)
-            .max(1);
+        let backup_us = saturating_micros(
+            config.backup_period.as_micros(),
+            "rt.backup_period_saturated",
+        )
+        .max(1);
         let core_config = Config {
             measure_hz,
             // Express the backup period as a frequency for `X` reporting.
@@ -234,7 +268,7 @@ impl RtSoftTimers {
         handler: impl FnOnce(&RtSoftTimers) + Send + 'static,
     ) -> TimerHandle {
         let now = self.clock.measure_time();
-        let ticks = u64::try_from(delay.as_micros()).unwrap_or(u64::MAX);
+        let ticks = saturating_micros(delay.as_micros(), "rt.delay_saturated");
         lock_recover(&self.core).schedule(now, ticks, Box::new(handler))
     }
 
@@ -256,7 +290,7 @@ impl RtSoftTimers {
         let state = Arc::new(PeriodicState {
             cancelled: AtomicBool::new(false),
         });
-        let period_ticks = u64::try_from(period.as_micros()).unwrap_or(u64::MAX).max(1);
+        let period_ticks = saturating_micros(period.as_micros(), "rt.period_saturated").max(1);
         let first_due = self.measure_time() + period_ticks;
         Self::arm_periodic(self, first_due, period_ticks, handler, Arc::clone(&state));
         RtPeriodic { state }
@@ -584,6 +618,42 @@ mod tests {
         // idempotent.
         rt.shutdown();
         rt.shutdown();
+    }
+
+    #[test]
+    fn saturated_duration_is_counted_not_silent() {
+        let rt = RtSoftTimers::start(RtConfig {
+            backup_period: Duration::from_millis(100),
+            record_stats: true,
+        });
+        let before = saturations();
+        // Duration::MAX in µs overflows u64; the clamp must be audible.
+        let h = rt.schedule_in(Duration::MAX, |_| {});
+        assert!(
+            saturations() > before,
+            "saturating conversion left no trace"
+        );
+        // The event is pinned at the far future, not lost or due now.
+        assert_eq!(rt.run_pending(), 0);
+        assert!(rt.cancel(h));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn saturation_emits_trace_counter_when_session_active() {
+        let session = st_trace::TraceSession::start(st_trace::TraceConfig::default());
+        let rt = RtSoftTimers::start(RtConfig {
+            backup_period: Duration::from_millis(100),
+            record_stats: true,
+        });
+        let h = rt.schedule_in(Duration::MAX, |_| {});
+        rt.cancel(h);
+        rt.shutdown();
+        let snapshot = session.finish();
+        assert!(
+            snapshot.counter("rt.time_saturations") >= 1,
+            "no rt.time_saturations counter recorded"
+        );
     }
 
     #[test]

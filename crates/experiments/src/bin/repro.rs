@@ -21,8 +21,8 @@
 
 use st_experiments::{
     ack_compression, appendix_a, congestion, fault_matrix, fig2_fig3, fig4_table1, fig5,
-    fig6_table2, latency, livelock, overload, profiler, profiler_overhead, scaling, sec52, table3,
-    table45, table67, table8, timeline, trace_overhead, Scale, CATALOG,
+    fig6_table2, latency, livelock, overload, profiler, profiler_overhead, rt_calibration, scaling,
+    sec52, table3, table45, table67, table8, timeline, trace_overhead, Scale, CATALOG,
 };
 use st_trace::json::ObjectBuilder;
 use st_trace::{json, TraceConfig, TraceSession};
@@ -300,6 +300,12 @@ fn main() {
         let r = profiler_overhead::run(scale, seed);
         emit("profiler_overhead", r.render(), r.key_metrics());
         write_csv("profiler_overhead", &r.series());
+    }
+    if want(&["rt_calibration", "rtcalibration", "rt"]) {
+        // The only experiment that measures the real machine: host-side
+        // numbers vary run to run; the sim-side replay does not.
+        let r = rt_calibration::run(scale, seed);
+        emit("rt_calibration", r.render(), r.key_metrics());
     }
 
     if let Some(path) = &json_path {

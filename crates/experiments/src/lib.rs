@@ -33,6 +33,7 @@
 //! | [`timeline`] | st-scope timeline telemetry: flash-crowd trajectory + fire-delay attribution (extension) |
 //! | [`profiler`] | st-prof sampled attribution vs exact context accounting (extension) |
 //! | [`profiler_overhead`] | hardware-interrupt vs soft-timer sampling cost sweep (extension) |
+//! | [`rt_calibration`] | host-runtime measurement + sim↔reality CostModel calibration (extension) |
 //!
 //! Every report additionally exposes `key_metrics()` — a flat list of
 //! `(name, value)` pairs — which the `repro --json` flag serializes as
@@ -56,6 +57,7 @@ pub mod livelock;
 pub mod overload;
 pub mod profiler;
 pub mod profiler_overhead;
+pub mod rt_calibration;
 pub mod scaling;
 pub mod sec52;
 pub mod table3;
@@ -370,6 +372,44 @@ pub const CATALOG: &[ExperimentInfo] = &[
             "hw_overhead_<khz>khz",
             "soft_overhead_<khz>khz",
             "soft_effective_<khz>khz",
+        ],
+    },
+    ExperimentInfo {
+        name: "rt_calibration",
+        aliases: &["rtcalibration", "rt"],
+        what: "host-runtime measurement + sim<->reality CostModel calibration (extension; runs on this machine)",
+        keys: &[
+            "host_<source>_density_hz",
+            "host_<source>_interval_p50_ns",
+            "host_<source>_interval_p99_ns",
+            "host_fired_trigger",
+            "host_fired_backup",
+            "host_fire_delay_p50_ns",
+            "host_fire_delay_p99_ns",
+            "host_backup_share",
+            "host_facility_cpu_fraction",
+            "host_facility_cpu_fraction_raw",
+            "host_check_cost_p50_ns",
+            "host_sleep_slack_p50_ns",
+            "host_spin_slack_p50_ns",
+            "fitted_trigger_check_ns",
+            "fitted_fire_dispatch_ns",
+            "fitted_clock_read_ns",
+            "fitted_max_idle_density_hz",
+            "model_prof_sample_ns",
+            "model_scope_sample_ns",
+            "sim_checks",
+            "sim_fired_trigger",
+            "sim_fired_backup",
+            "sim_fire_delay_p50_ns",
+            "sim_fire_delay_p99_ns",
+            "sim_backup_share",
+            "sim_facility_cpu_fraction",
+            "sim_replay_identical",
+            "err_fire_delay_p50",
+            "err_fire_delay_p99",
+            "err_backup_share",
+            "err_facility_cpu_fraction",
         ],
     },
 ];

@@ -1,0 +1,655 @@
+//! The `rt_calibration` experiment: measure the real machine, fit the
+//! sim's cost model to it, and report the sim-vs-reality error.
+//!
+//! Three phases:
+//!
+//! 1. **Measure** (st-rt): microbenchmark probes fit the host's
+//!    trigger-check / dispatch / clock-read costs and sleep-vs-spin
+//!    wake-up slack; then the host runtime runs `SoftTimerCore` on real
+//!    OS threads (worker task-returns + idle poller + backup sweeps) and
+//!    records trigger-interval and fire-delay distributions in
+//!    wall-clock nanoseconds.
+//! 2. **Fit**: the probed constants become
+//!    [`CostModel::calibrated_host`] — the simulator's machine model,
+//!    expressed in this machine's numbers instead of the paper's 1999
+//!    hardware.
+//! 3. **Replay**: a deterministic simulation replays the *measured*
+//!    trigger-interval distributions (inverse-CDF sampling from the
+//!    recorded histograms under [`SimRng`]) against the same
+//!    `SoftTimerCore` and periodic-timer workload, predicting fire
+//!    delays, backup share and facility CPU cost from the fitted
+//!    constants alone. The gap between prediction and the host's in-situ
+//!    measurement is the reported calibration error per metric.
+//!
+//! The determinism split: the sim side is replayed **twice** and must be
+//! byte-identical under the fixed seed (`sim_replay_identical` = 1);
+//! host-side numbers are real measurements and are only bounds-checked.
+//!
+//! [`CostModel::calibrated_host`]: st_kernel::CostModel::calibrated_host
+
+use std::time::Duration;
+
+use st_kernel::CostModel;
+use st_rt::{host, probe, Calibration, HostConfig, HostReport};
+use st_sim::SimRng;
+use st_stats::HdrHistogram;
+
+use crate::Scale;
+
+/// Histogram precision used on both sides (must match for fair replay).
+const BITS: u32 = 7;
+
+/// An interval distribution in replayable form: `(lower, upper, count)`
+/// buckets extracted from a measured [`HdrHistogram`].
+pub type Buckets = Vec<(u64, u64, u64)>;
+
+/// Everything the sim side needs — a pure value, so the replay is a
+/// deterministic function of `(inputs, seed)`.
+#[derive(Debug, Clone)]
+pub struct SimInputs {
+    /// Simulated duration (ns).
+    pub duration_ns: u64,
+    /// Worker streams replaying the task-return interval distribution.
+    pub workers: usize,
+    /// Measured task-return inter-check intervals (per worker thread).
+    pub task_intervals: Buckets,
+    /// Measured idle-poll intervals (`None` = no idle poller).
+    pub idle_intervals: Option<Buckets>,
+    /// Backup sweep period (ns).
+    pub backup_period_ns: u64,
+    /// Periodic timer workload (ns periods).
+    pub timer_periods_ns: Vec<u64>,
+    /// Fitted cost of one empty check (ns).
+    pub check_ns: f64,
+    /// Fitted cost of one dispatch (ns).
+    pub dispatch_ns: f64,
+}
+
+/// What the deterministic replay predicts.
+#[derive(Debug, Clone)]
+pub struct SimSide {
+    /// Trigger-state checks simulated.
+    pub checks: u64,
+    /// Events fired from trigger states.
+    pub fired_trigger: u64,
+    /// Events fired from backup sweeps.
+    pub fired_backup: u64,
+    /// Predicted fire-delay distribution (ns).
+    pub fire_delay: HdrHistogram,
+    /// Predicted backup share of fires.
+    pub backup_share: f64,
+    /// Predicted facility CPU fraction from the fitted constants.
+    pub facility_cpu_fraction: f64,
+    /// Canonical serialization: byte-compared across replays.
+    pub digest: String,
+}
+
+/// The full report.
+#[derive(Debug)]
+pub struct RtCalibration {
+    /// Host-side measurements.
+    pub host: HostReport,
+    /// Probe results.
+    pub calibration: Calibration,
+    /// The fitted cost model.
+    pub model: CostModel,
+    /// Sim-side replay (first run; the second only checks the digest).
+    pub sim: SimSide,
+    /// Whether two replays under the same seed were byte-identical.
+    pub sim_replay_identical: bool,
+    /// Relative error, sim vs host, fire-delay p50.
+    pub err_fire_delay_p50: f64,
+    /// Relative error, sim vs host, fire-delay p99.
+    pub err_fire_delay_p99: f64,
+    /// Absolute error, sim vs host, backup share of fires.
+    pub err_backup_share: f64,
+    /// Relative error, predicted vs in-situ facility CPU fraction.
+    pub err_facility_cpu_fraction: f64,
+}
+
+fn rel_err(sim: f64, host: f64) -> f64 {
+    (sim - host).abs() / host.abs().max(1e-9)
+}
+
+/// Inverse-CDF sample from a measured bucket list: pick a bucket by
+/// count, then uniform within it. Returns `fallback` for an empty list.
+fn sample_interval(buckets: &Buckets, rng: &mut SimRng, fallback: u64) -> u64 {
+    let total: u64 = buckets.iter().map(|(_, _, c)| c).sum();
+    if total == 0 {
+        return fallback;
+    }
+    let mut r = rng.range_u64(0, total - 1);
+    for &(lo, hi, c) in buckets {
+        if r < c {
+            let width = hi.saturating_sub(lo).max(1);
+            return lo + rng.range_u64(0, width - 1);
+        }
+        r -= c;
+    }
+    buckets.last().map_or(fallback, |&(lo, _, _)| lo)
+}
+
+/// The simulated periodic event payload (mirrors the host runtime's).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SimEvent {
+    period_ns: u64,
+}
+
+/// The deterministic replay: a three-source discrete-event loop over the
+/// same `SoftTimerCore`, ticking in nanoseconds. Pure in `(inputs, seed)`
+/// — no wall clock, no iteration-order dependence (ties between sources
+/// break in fixed priority order).
+pub fn sim_side(inputs: &SimInputs, seed: u64) -> SimSide {
+    use st_core::{Config, Expired, FireOrigin, SoftTimerCore};
+
+    let mut rng = SimRng::seed(seed ^ 0x057C_411B_8A7E);
+    let mut core: SoftTimerCore<SimEvent> = SoftTimerCore::new(Config {
+        measure_hz: 1_000_000_000,
+        interrupt_hz: (1_000_000_000 / inputs.backup_period_ns.max(1)).max(1),
+        record_stats: true,
+    });
+    for &period_ns in &inputs.timer_periods_ns {
+        let p = period_ns.max(1);
+        core.schedule(0, p - 1, SimEvent { period_ns: p });
+    }
+
+    // Next check time per stream; stream 0..workers are task-return
+    // workers, then optionally the idle poller. Backup is separate.
+    let far = inputs.duration_ns.saturating_add(1);
+    let mut streams: Vec<(u64, bool)> = Vec::new(); // (next_ns, is_idle)
+    for i in 0..inputs.workers.max(1) {
+        let first = sample_interval(&inputs.task_intervals, &mut rng, far).saturating_add(i as u64); // desynchronize worker phases
+        streams.push((first, false));
+    }
+    if let Some(idle) = &inputs.idle_intervals {
+        streams.push((sample_interval(idle, &mut rng, far), true));
+    }
+    // De-phase the backup sweeps by half a period: the host backup thread
+    // sleeps and always overshoots, so its sweeps are never phase-locked
+    // with timer deadlines. Exact alignment in the replay would hand
+    // phase-locked fires to the backup — an artifact, not a prediction.
+    let period_b = inputs.backup_period_ns.max(1);
+    let mut next_backup = period_b + period_b / 2;
+
+    let mut fire_delay = HdrHistogram::new(BITS);
+    let mut checks = 0u64;
+    let mut fired_trigger = 0u64;
+    let mut fired_backup = 0u64;
+    let mut buf: Vec<Expired<SimEvent>> = Vec::new();
+    loop {
+        // Earliest of backup and all check streams; ties break to the
+        // backup first, then lowest stream index — a fixed total order.
+        let mut t = next_backup;
+        let mut who: isize = -1;
+        for (i, &(next, _)) in streams.iter().enumerate() {
+            if next < t {
+                t = next;
+                who = i as isize;
+            }
+        }
+        if t > inputs.duration_ns {
+            break;
+        }
+        buf.clear();
+        if who < 0 {
+            core.interrupt_sweep(t, &mut buf);
+            next_backup += period_b;
+        } else {
+            core.poll(t, &mut buf);
+            checks += 1;
+            let (_, is_idle) = streams[who as usize];
+            let dist = if is_idle {
+                inputs.idle_intervals.as_ref().unwrap()
+            } else {
+                &inputs.task_intervals
+            };
+            let step = sample_interval(dist, &mut rng, far).max(1);
+            streams[who as usize].0 = t.saturating_add(step);
+        }
+        for ev in buf.drain(..) {
+            match ev.origin {
+                FireOrigin::TriggerState => fired_trigger += 1,
+                FireOrigin::BackupInterrupt => fired_backup += 1,
+            }
+            fire_delay.record(ev.delay());
+            // Drift-free rearm, same arithmetic as the host dispatcher.
+            let period = ev.payload.period_ns.max(1);
+            let mut next = ev.due.saturating_add(period);
+            if next <= ev.fired_at {
+                let behind = ev.fired_at - next;
+                next += (behind / period + 1) * period;
+            }
+            core.schedule(ev.fired_at, next - ev.fired_at - 1, ev.payload);
+        }
+    }
+
+    let fired = fired_trigger + fired_backup;
+    let backup_share = if fired > 0 {
+        fired_backup as f64 / fired as f64
+    } else {
+        0.0
+    };
+    // Predicted facility CPU share purely from the fitted constants: the
+    // check streams' owner threads are busy for the whole duration.
+    let busy_threads = inputs.workers.max(1) + usize::from(inputs.idle_intervals.is_some());
+    let facility_ns = checks as f64 * inputs.check_ns + fired as f64 * inputs.dispatch_ns;
+    let facility_cpu_fraction =
+        facility_ns / (busy_threads as f64 * inputs.duration_ns.max(1) as f64);
+
+    let q = |p: f64| fire_delay.quantile(p).unwrap_or(0);
+    let mut digest = format!(
+        "checks={checks} ft={fired_trigger} fb={fired_backup} \
+         p50={} p99={} share={backup_share:.9} cpu={facility_cpu_fraction:.12}",
+        q(0.5),
+        q(0.99)
+    );
+    for (lo, hi, c) in fire_delay.buckets() {
+        digest.push_str(&format!(";{lo}-{hi}:{c}"));
+    }
+    SimSide {
+        checks,
+        fired_trigger,
+        fired_backup,
+        fire_delay,
+        backup_share,
+        facility_cpu_fraction,
+        digest,
+    }
+}
+
+/// Wall-clock budget for the host-side phases, honouring the
+/// `RT_SMOKE_SECS` cap used by constrained CI environments.
+fn host_budget(scale: Scale) -> Duration {
+    let default = match scale {
+        Scale::Quick => Duration::from_millis(400),
+        Scale::Full => Duration::from_millis(2_500),
+    };
+    match std::env::var("RT_SMOKE_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        Some(secs) if secs > 0.0 => default.min(Duration::from_secs_f64(secs)),
+        _ => default,
+    }
+}
+
+/// Runs the full calibration loop.
+///
+/// # Panics
+///
+/// Panics when the sim replay is not byte-identical across two runs with
+/// the same seed, or when a probe reports a nonsensical constant.
+pub fn run(scale: Scale, seed: u64) -> RtCalibration {
+    let budget = host_budget(scale);
+    // ~30 % of the budget to the probes, the rest to the host run.
+    let probe_budget = budget.mul_f64(0.3);
+    let host_duration = budget.mul_f64(0.6);
+
+    let calibration = probe::calibrate(probe_budget);
+    assert!(
+        calibration.trigger_check_ns > 0.0 && calibration.fire_dispatch_ns > 0.0,
+        "probes returned non-positive costs"
+    );
+
+    let config = HostConfig {
+        duration: host_duration,
+        ..HostConfig::default()
+    };
+    let report = host::run(&config);
+    report.emit_telemetry();
+
+    let model = CostModel::calibrated_host(
+        st_sim::SimDuration::from_nanos(calibration.trigger_check_ns.round() as u64),
+        st_sim::SimDuration::from_nanos(calibration.fire_dispatch_ns.round() as u64),
+    );
+
+    // Replay the measured distributions deterministically. Cap the event
+    // count so an extremely fast idle poller cannot explode the replay.
+    let cap_events = match scale {
+        Scale::Quick => 300_000u64,
+        Scale::Full => 1_500_000u64,
+    };
+    let idle_density = report.idle_poll.as_ref().map_or(0.0, |s| s.density_hz);
+    let total_density =
+        (report.task_return.density_hz + idle_density + report.backup_sweep.density_hz).max(1.0);
+    let sim_duration_ns = (report.duration_ns as f64)
+        .min(cap_events as f64 / total_density * 1e9)
+        .round() as u64;
+    let inputs = SimInputs {
+        duration_ns: sim_duration_ns.max(1),
+        workers: report.workers,
+        task_intervals: report.task_return.intervals.buckets().collect(),
+        idle_intervals: report
+            .idle_poll
+            .as_ref()
+            .map(|s| s.intervals.buckets().collect()),
+        backup_period_ns: u64::try_from(config.backup_period.as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1),
+        timer_periods_ns: config
+            .timer_periods
+            .iter()
+            .map(|p| u64::try_from(p.as_nanos()).unwrap_or(u64::MAX).max(1))
+            .collect(),
+        check_ns: calibration.trigger_check_ns,
+        dispatch_ns: calibration.fire_dispatch_ns,
+    };
+    let sim = sim_side(&inputs, seed);
+    let replay = sim_side(&inputs, seed);
+    let sim_replay_identical = sim.digest == replay.digest;
+    assert!(
+        sim_replay_identical,
+        "sim replay diverged under fixed seed {seed}"
+    );
+
+    let host_q = |p: f64| {
+        let mut merged = report.fired_trigger.delay_ns.clone();
+        merged.merge(&report.fired_backup.delay_ns);
+        merged.quantile(p).unwrap_or(0) as f64
+    };
+    let sim_q = |p: f64| sim.fire_delay.quantile(p).unwrap_or(0) as f64;
+    RtCalibration {
+        err_fire_delay_p50: rel_err(sim_q(0.5), host_q(0.5)),
+        err_fire_delay_p99: rel_err(sim_q(0.99), host_q(0.99)),
+        err_backup_share: (sim.backup_share - report.backup_share).abs(),
+        err_facility_cpu_fraction: rel_err(sim.facility_cpu_fraction, report.facility_cpu_fraction),
+        host: report,
+        calibration,
+        model,
+        sim,
+        sim_replay_identical,
+    }
+}
+
+impl RtCalibration {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== rt_calibration: host measurement + sim calibration ==\n");
+        out.push_str(&format!(
+            "host run: {:.1} ms, {} workers | probes: check {:.0} ns, dispatch {:.0} ns, clock read {:.0} ns\n",
+            self.host.duration_ns as f64 / 1e6,
+            self.host.workers,
+            self.calibration.trigger_check_ns,
+            self.calibration.fire_dispatch_ns,
+            self.calibration.clock_read_ns,
+        ));
+        out.push_str("source       |   checks | density(Hz) | interval p50/p99 (ns)\n");
+        let mut row = |s: &st_rt::SourceReport| {
+            out.push_str(&format!(
+                "{:<12} | {:>8} | {:>11.0} | {} / {}\n",
+                s.source.name(),
+                s.checks,
+                s.density_hz,
+                s.intervals.quantile(0.5).unwrap_or(0),
+                s.intervals.quantile(0.99).unwrap_or(0),
+            ));
+        };
+        row(&self.host.task_return);
+        if let Some(idle) = &self.host.idle_poll {
+            row(idle);
+        }
+        row(&self.host.backup_sweep);
+        out.push_str(&format!(
+            "fires: {} trigger + {} backup (backup share {:.4}) | facility CPU {:.5} (raw {:.5})\n",
+            self.host.fired_trigger.count,
+            self.host.fired_backup.count,
+            self.host.backup_share,
+            self.host.facility_cpu_fraction,
+            self.host.facility_cpu_fraction_raw,
+        ));
+        out.push_str(&format!(
+            "in-situ check cost p50/p99: {} / {} ns (probe, uncontended: {:.0} ns)\n",
+            self.host.check_cost.quantile(0.5).unwrap_or(0),
+            self.host.check_cost.quantile(0.99).unwrap_or(0),
+            self.calibration.trigger_check_ns,
+        ));
+        out.push_str(&format!(
+            "wake-up slack p50: sleep(1ms) {} ns | spin(50us) {} ns\n",
+            self.calibration.sleep_slack_ns.quantile(0.5).unwrap_or(0),
+            self.calibration.spin_slack_ns.quantile(0.5).unwrap_or(0),
+        ));
+        out.push_str(&format!(
+            "fitted model: soft_check {} ns, soft_dispatch {} ns (prof {} / scope {} ns derived)\n",
+            self.model.soft_check.as_nanos(),
+            self.model.soft_dispatch.as_nanos(),
+            self.model.prof_sample.as_nanos(),
+            self.model.scope_sample.as_nanos(),
+        ));
+        out.push_str(&format!(
+            "sim replay: {} checks, {} fires, byte-identical under seed: {}\n",
+            self.sim.checks,
+            self.sim.fired_trigger + self.sim.fired_backup,
+            if self.sim_replay_identical {
+                "yes"
+            } else {
+                "NO"
+            },
+        ));
+        out.push_str("metric                  |       sim |      host | error\n");
+        let host_delay = {
+            let mut merged = self.host.fired_trigger.delay_ns.clone();
+            merged.merge(&self.host.fired_backup.delay_ns);
+            merged
+        };
+        out.push_str(&format!(
+            "fire delay p50 (ns)     | {:>9} | {:>9} | {:.3}\n",
+            self.sim.fire_delay.quantile(0.5).unwrap_or(0),
+            host_delay.quantile(0.5).unwrap_or(0),
+            self.err_fire_delay_p50,
+        ));
+        out.push_str(&format!(
+            "fire delay p99 (ns)     | {:>9} | {:>9} | {:.3}\n",
+            self.sim.fire_delay.quantile(0.99).unwrap_or(0),
+            host_delay.quantile(0.99).unwrap_or(0),
+            self.err_fire_delay_p99,
+        ));
+        out.push_str(&format!(
+            "backup share            | {:>9.4} | {:>9.4} | {:.4} (abs)\n",
+            self.sim.backup_share, self.host.backup_share, self.err_backup_share,
+        ));
+        out.push_str(&format!(
+            "facility CPU fraction   | {:>9.5} | {:>9.5} | {:.3}\n",
+            self.sim.facility_cpu_fraction,
+            self.host.facility_cpu_fraction,
+            self.err_facility_cpu_fraction,
+        ));
+        out
+    }
+
+    /// Flat `(name, value)` metric pairs for `repro --json`.
+    pub fn key_metrics(&self) -> Vec<(String, f64)> {
+        let mut m: Vec<(String, f64)> = Vec::new();
+        let mut source = |s: &st_rt::SourceReport| {
+            let n = s.source.name();
+            m.push((format!("host_{n}_density_hz"), s.density_hz));
+            m.push((
+                format!("host_{n}_interval_p50_ns"),
+                s.intervals.quantile(0.5).unwrap_or(0) as f64,
+            ));
+            m.push((
+                format!("host_{n}_interval_p99_ns"),
+                s.intervals.quantile(0.99).unwrap_or(0) as f64,
+            ));
+        };
+        source(&self.host.task_return);
+        if let Some(idle) = &self.host.idle_poll {
+            source(idle);
+        }
+        source(&self.host.backup_sweep);
+        let host_delay = {
+            let mut merged = self.host.fired_trigger.delay_ns.clone();
+            merged.merge(&self.host.fired_backup.delay_ns);
+            merged
+        };
+        m.extend([
+            (
+                "host_fired_trigger".to_string(),
+                self.host.fired_trigger.count as f64,
+            ),
+            (
+                "host_fired_backup".to_string(),
+                self.host.fired_backup.count as f64,
+            ),
+            (
+                "host_fire_delay_p50_ns".to_string(),
+                host_delay.quantile(0.5).unwrap_or(0) as f64,
+            ),
+            (
+                "host_fire_delay_p99_ns".to_string(),
+                host_delay.quantile(0.99).unwrap_or(0) as f64,
+            ),
+            ("host_backup_share".to_string(), self.host.backup_share),
+            (
+                "host_facility_cpu_fraction".to_string(),
+                self.host.facility_cpu_fraction,
+            ),
+            (
+                "host_facility_cpu_fraction_raw".to_string(),
+                self.host.facility_cpu_fraction_raw,
+            ),
+            (
+                "host_check_cost_p50_ns".to_string(),
+                self.host.check_cost.quantile(0.5).unwrap_or(0) as f64,
+            ),
+            (
+                "host_sleep_slack_p50_ns".to_string(),
+                self.calibration.sleep_slack_ns.quantile(0.5).unwrap_or(0) as f64,
+            ),
+            (
+                "host_spin_slack_p50_ns".to_string(),
+                self.calibration.spin_slack_ns.quantile(0.5).unwrap_or(0) as f64,
+            ),
+            (
+                "fitted_trigger_check_ns".to_string(),
+                self.calibration.trigger_check_ns,
+            ),
+            (
+                "fitted_fire_dispatch_ns".to_string(),
+                self.calibration.fire_dispatch_ns,
+            ),
+            (
+                "fitted_clock_read_ns".to_string(),
+                self.calibration.clock_read_ns,
+            ),
+            (
+                "fitted_max_idle_density_hz".to_string(),
+                self.calibration.max_idle_density_hz,
+            ),
+            (
+                "model_prof_sample_ns".to_string(),
+                self.model.prof_sample.as_nanos() as f64,
+            ),
+            (
+                "model_scope_sample_ns".to_string(),
+                self.model.scope_sample.as_nanos() as f64,
+            ),
+            ("sim_checks".to_string(), self.sim.checks as f64),
+            (
+                "sim_fired_trigger".to_string(),
+                self.sim.fired_trigger as f64,
+            ),
+            ("sim_fired_backup".to_string(), self.sim.fired_backup as f64),
+            (
+                "sim_fire_delay_p50_ns".to_string(),
+                self.sim.fire_delay.quantile(0.5).unwrap_or(0) as f64,
+            ),
+            (
+                "sim_fire_delay_p99_ns".to_string(),
+                self.sim.fire_delay.quantile(0.99).unwrap_or(0) as f64,
+            ),
+            ("sim_backup_share".to_string(), self.sim.backup_share),
+            (
+                "sim_facility_cpu_fraction".to_string(),
+                self.sim.facility_cpu_fraction,
+            ),
+            (
+                "sim_replay_identical".to_string(),
+                f64::from(u8::from(self.sim_replay_identical)),
+            ),
+            ("err_fire_delay_p50".to_string(), self.err_fire_delay_p50),
+            ("err_fire_delay_p99".to_string(), self.err_fire_delay_p99),
+            ("err_backup_share".to_string(), self.err_backup_share),
+            (
+                "err_facility_cpu_fraction".to_string(),
+                self.err_facility_cpu_fraction,
+            ),
+        ]);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_inputs() -> SimInputs {
+        // A fixed, machine-independent input set: ~30 µs task intervals,
+        // ~2 µs idle polls, 1 ms backups, two periodic timers.
+        let mut task = HdrHistogram::new(BITS);
+        let mut idle = HdrHistogram::new(BITS);
+        for i in 0..1000u64 {
+            task.record(25_000 + (i % 17) * 1_000);
+            idle.record(1_500 + (i % 7) * 300);
+        }
+        SimInputs {
+            duration_ns: 50_000_000,
+            workers: 2,
+            task_intervals: task.buckets().collect(),
+            idle_intervals: Some(idle.buckets().collect()),
+            backup_period_ns: 1_000_000,
+            timer_periods_ns: vec![200_000, 1_000_000],
+            check_ns: 45.0,
+            dispatch_ns: 400.0,
+        }
+    }
+
+    #[test]
+    fn sim_side_is_byte_identical_under_fixed_seed() {
+        let inputs = synthetic_inputs();
+        let a = sim_side(&inputs, 42);
+        let b = sim_side(&inputs, 42);
+        assert_eq!(a.digest, b.digest, "replay diverged");
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.fired_trigger, b.fired_trigger);
+        assert_eq!(a.fired_backup, b.fired_backup);
+        // A different seed samples different intervals — the digest is a
+        // real function of the randomness, not a constant.
+        let c = sim_side(&inputs, 43);
+        assert_ne!(a.digest, c.digest, "digest ignores the seed");
+    }
+
+    #[test]
+    fn sim_side_predictions_are_physical() {
+        let inputs = synthetic_inputs();
+        let s = sim_side(&inputs, 7);
+        // 50 ms of 200 µs + 1 ms timers ≈ 250 + 50 firings.
+        let fired = s.fired_trigger + s.fired_backup;
+        assert!((200..=400).contains(&fired), "{fired} fires");
+        // µs-dense idle polls catch nearly everything before the 1 ms
+        // backup sweep does.
+        assert!(s.backup_share < 0.2, "backup share {}", s.backup_share);
+        // Fire delays are bounded by the backup period + one interval.
+        let p99 = s.fire_delay.quantile(0.99).unwrap_or(0);
+        assert!(p99 < 2_100_000, "p99 delay {p99} ns");
+        assert!(s.facility_cpu_fraction > 0.0 && s.facility_cpu_fraction < 0.5);
+    }
+
+    #[test]
+    fn host_side_bounds_are_generous_not_bytes() {
+        // The real-machine half of the determinism split: assert only
+        // load-tolerant bounds on a quick run.
+        let r = run(Scale::Quick, 3);
+        assert!(r.sim_replay_identical);
+        assert!(r.host.task_return.checks > 10);
+        assert!(r.host.handler_runs > 5);
+        assert!(r.calibration.trigger_check_ns > 0.0);
+        assert!(r.calibration.trigger_check_ns < 1_000_000.0);
+        assert!((0.0..=1.0).contains(&r.host.backup_share));
+        assert!(r.err_fire_delay_p99.is_finite());
+        assert!(r.err_backup_share <= 1.0);
+        // The fitted model keeps the simulator's cost-ordering contract.
+        assert!(r.model.prof_sample.as_nanos() > r.model.soft_check.as_nanos());
+        assert!(r.model.scope_sample.as_nanos() < r.model.soft_dispatch.as_nanos());
+    }
+}

@@ -19,6 +19,10 @@ pub enum MachineKind {
     PentiumIII500,
     /// 500 MHz Alpha 21164 (AlphaStation 500au) running FreeBSD-4.0-beta.
     Alpha21164_500,
+    /// Constants fitted from st-rt microbenchmarks on the machine the
+    /// reproduction itself runs on (`repro rt_calibration`), rather than
+    /// transcribed from the paper.
+    CalibratedHost,
 }
 
 /// CPU cost constants for one machine.
@@ -185,6 +189,58 @@ impl CostModel {
         }
     }
 
+    /// Cost model fitted from host measurements (`repro rt_calibration`,
+    /// via st-rt's probes) instead of the paper's tables.
+    ///
+    /// Only the two constants the soft-timer facility itself exercises —
+    /// the empty trigger-state check and the event dispatch — are directly
+    /// measurable from userspace. The derived handler-body costs
+    /// (`prof_sample`, `scope_sample`, `admit_check`, `admit_update`) are
+    /// placed by *log-interpolating* between the measured check and
+    /// dispatch at the same relative positions they occupy on the PII-300
+    /// (e.g. `prof_sample` sits 55 % of the log-distance from check to
+    /// dispatch), which preserves every ordering invariant the simulator's
+    /// tests pin (`check < prof < scope < dispatch`,
+    /// `check <= admit_check < dispatch`, `admit_update <= dispatch`)
+    /// for any sane measured pair. Kernel-side constants that userspace
+    /// cannot observe (hardware interrupt cost, NIC costs, context
+    /// switches) keep the paper's PII-300 values and must be read as
+    /// provenance-labelled estimates, not measurements.
+    ///
+    /// A degenerate measurement (`dispatch` less than `4 x check`, which
+    /// leaves no integer room for the strictly-ordered derived constants)
+    /// is repaired by widening dispatch to `12.5 x check` (the PII-300
+    /// ratio) so the interpolation stays well-defined.
+    pub fn calibrated_host(soft_check: SimDuration, soft_dispatch: SimDuration) -> Self {
+        let base = Self::pentium_ii_300();
+        let check = soft_check.as_nanos().max(1);
+        let mut dispatch = soft_dispatch.as_nanos();
+        if dispatch < check * 4 {
+            dispatch = check * base.soft_dispatch.as_nanos() / base.soft_check.as_nanos();
+        }
+        // Log-position of a PII-300 constant between its check & dispatch.
+        let position = |value: SimDuration| -> f64 {
+            let lo = base.soft_check.as_nanos() as f64;
+            let hi = base.soft_dispatch.as_nanos() as f64;
+            (value.as_nanos() as f64 / lo).ln() / (hi / lo).ln()
+        };
+        let interpolate = |t: f64| -> SimDuration {
+            let lo = check as f64;
+            let hi = dispatch as f64;
+            SimDuration::from_nanos((lo * (hi / lo).powf(t)).round() as u64)
+        };
+        CostModel {
+            kind: MachineKind::CalibratedHost,
+            soft_check: SimDuration::from_nanos(check),
+            soft_dispatch: SimDuration::from_nanos(dispatch),
+            prof_sample: interpolate(position(base.prof_sample)),
+            scope_sample: interpolate(position(base.scope_sample)),
+            admit_check: interpolate(position(base.admit_check)),
+            admit_update: interpolate(position(base.admit_update)),
+            ..base
+        }
+    }
+
     /// Rough CPU clock ratio of this machine relative to the PII-300;
     /// used to scale *compute* (not interrupt) costs of workloads, as in
     /// the paper's Xeon comparison (Table 1 last row: the trigger interval
@@ -195,6 +251,9 @@ impl CostModel {
             MachineKind::PentiumII333 => 333.0 / 300.0,
             MachineKind::PentiumIII500 => 500.0 / 300.0,
             MachineKind::Alpha21164_500 => 500.0 / 300.0,
+            // Workload compute costs are expressed in the host's own
+            // measured terms, so no cross-machine scaling applies.
+            MachineKind::CalibratedHost => 1.0,
         }
     }
 
@@ -304,6 +363,57 @@ mod tests {
             // from trigger states (dispatch + body) stay under 1 % CPU.
             let per_sec = 1_000 * (m.soft_dispatch.as_nanos() + m.admit_update.as_nanos());
             assert!(per_sec < 10_000_000, "1 kHz updates cost {per_sec} ns/s");
+        }
+    }
+
+    #[test]
+    fn calibrated_host_preserves_ordering_invariants() {
+        for (check, dispatch) in [(20, 250), (8, 90), (150, 3_000), (1, 2)] {
+            let m = CostModel::calibrated_host(
+                SimDuration::from_nanos(check),
+                SimDuration::from_nanos(dispatch),
+            );
+            assert_eq!(m.kind, MachineKind::CalibratedHost);
+            assert_eq!(m.soft_check.as_nanos(), check);
+            assert!(m.prof_sample.as_nanos() > m.soft_check.as_nanos());
+            assert!(m.prof_sample.as_nanos() < m.scope_sample.as_nanos());
+            assert!(m.scope_sample.as_nanos() < m.soft_dispatch.as_nanos());
+            assert!(m.admit_check.as_nanos() >= m.soft_check.as_nanos());
+            assert!(m.admit_check.as_nanos() < m.soft_dispatch.as_nanos());
+            assert!(m.admit_update.as_nanos() <= m.soft_dispatch.as_nanos());
+            assert_eq!(m.compute_speedup(), 1.0);
+        }
+    }
+
+    #[test]
+    fn calibrated_host_repairs_degenerate_measurements() {
+        // dispatch <= check: impossible physically, but a loaded machine
+        // can produce it; the constructor must stay well-defined.
+        let m =
+            CostModel::calibrated_host(SimDuration::from_nanos(100), SimDuration::from_nanos(40));
+        assert!(m.soft_dispatch.as_nanos() > m.soft_check.as_nanos());
+        assert!(m.prof_sample.as_nanos() > m.soft_check.as_nanos());
+        assert!(m.prof_sample.as_nanos() < m.soft_dispatch.as_nanos());
+        // Zero check is clamped to 1 ns, not a division by zero.
+        let z = CostModel::calibrated_host(SimDuration::from_nanos(0), SimDuration::from_nanos(0));
+        assert!(z.soft_check.as_nanos() >= 1);
+        assert!(z.soft_dispatch.as_nanos() > z.soft_check.as_nanos());
+    }
+
+    #[test]
+    fn calibrated_host_matching_pii300_reproduces_pii300_derived_costs() {
+        let base = CostModel::pentium_ii_300();
+        let m = CostModel::calibrated_host(base.soft_check, base.soft_dispatch);
+        // Interpolating at the PII-300's own positions is the identity
+        // (up to rounding).
+        for (got, want) in [
+            (m.prof_sample, base.prof_sample),
+            (m.scope_sample, base.scope_sample),
+            (m.admit_check, base.admit_check),
+            (m.admit_update, base.admit_update),
+        ] {
+            let diff = got.as_nanos().abs_diff(want.as_nanos());
+            assert!(diff <= 1, "{got:?} vs {want:?}");
         }
     }
 

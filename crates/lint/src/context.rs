@@ -40,8 +40,12 @@ pub struct FileContext {
 /// Crates whose runs must replay byte-identically from a seed.
 const DETERMINISTIC_CRATES: [&str; 7] = ["sim", "kernel", "core", "net", "tcp", "admit", "scope"];
 
-/// The one file allowed to touch the wall clock: the real-time runtime.
+/// The sanctioned wall-clock homes: st-core's real-time embedding file,
+/// plus the whole st-rt crate — the host-measurement runtime whose entire
+/// purpose is reading the real clock. Everything else must stay on
+/// simulated time.
 const WALL_CLOCK_HOME: &str = "crates/core/src/rt.rs";
+const WALL_CLOCK_HOME_PREFIXES: [&str; 1] = ["crates/rt/src/"];
 
 /// Facility/kernel hot paths watched for panicking arithmetic.
 const UNWRAP_WATCHED: [&str; 2] = ["crates/core/src/facility.rs", "crates/core/src/rt.rs"];
@@ -106,6 +110,9 @@ impl FileContext {
         self.kind != FileKind::Test
             && self.kind != FileKind::Example
             && self.path != WALL_CLOCK_HOME
+            && !WALL_CLOCK_HOME_PREFIXES
+                .iter()
+                .any(|p| self.path.starts_with(p))
     }
 
     pub(crate) fn applies_unordered_iteration(&self) -> bool {

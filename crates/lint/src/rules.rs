@@ -88,7 +88,7 @@ impl RuleId {
         match self {
             RuleId::NoWallClock => {
                 "seed replay: simulated time comes from the engine, never the host clock \
-                 (only core/src/rt.rs, tests, and examples touch real time)"
+                 (only core/src/rt.rs, the st-rt crate, tests, and examples touch real time)"
             }
             RuleId::NoUnorderedIteration => {
                 "seed replay: HashMap/HashSet iteration order varies per process, so two \

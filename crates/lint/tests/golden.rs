@@ -39,6 +39,29 @@ fn no_wall_clock_fixture() {
 }
 
 #[test]
+fn wall_clock_homes_are_sanctioned() {
+    // st-core's rt.rs and the whole st-rt crate are the declared
+    // real-time boundary: the same source that flags under any other
+    // library path is clean there. The rule no longer applies, so the
+    // fixture's suppression comments turn stale and surface as
+    // AllowHygiene findings — stale allows are findings everywhere.
+    for path in [
+        "crates/core/src/rt.rs",
+        "crates/rt/src/host.rs",
+        "crates/rt/src/clock.rs",
+    ] {
+        check(
+            path,
+            include_str!("fixtures/no_wall_clock.rs"),
+            &[
+                (RuleId::AllowHygiene, 10, false),
+                (RuleId::AllowHygiene, 14, false),
+            ],
+        );
+    }
+}
+
+#[test]
 fn no_unordered_iteration_fixture() {
     check(
         "crates/sim/src/fixture.rs",

@@ -1,0 +1,31 @@
+//! st-rt: run the soft-timer facility on the real machine and measure it.
+//!
+//! Everything else in this workspace observes the *simulator*; the paper's
+//! central claims (Tables 1-2) are about distributions measured on real
+//! hardware. This crate closes that loop in userspace:
+//!
+//! - [`clock::NanoClock`] — nanosecond monotonic clock implementing
+//!   [`st_core::Clock`], so `SoftTimerCore` arithmetic runs directly in
+//!   wall-clock ns.
+//! - [`host`] — a worker-pool runtime whose task-return points act as
+//!   syscall-return shims, plus an idle-polling thread and a backup-sweep
+//!   thread; measures trigger-interval and fire-delay distributions per
+//!   source and the facility's in-situ CPU share.
+//! - [`probe`] — microbenchmarks fitting the machine's trigger-check /
+//!   dispatch / clock-read costs and sleep-vs-spin wake-up precision, the
+//!   inputs to `CostModel::calibrated_host` and `repro rt_calibration`.
+//!
+//! This is, deliberately, the **only** crate outside `core/src/rt.rs`
+//! allowed to read wall-clock time — the `no-wall-clock` lint pins host
+//! time here; the simulator stays deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod host;
+pub mod probe;
+
+pub use clock::NanoClock;
+pub use host::{FireReport, HostConfig, HostReport, SourceReport, TriggerSource};
+pub use probe::Calibration;

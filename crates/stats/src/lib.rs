@@ -8,6 +8,8 @@
 //! - [`Summary`] — streaming count/mean/variance/min/max (Welford).
 //! - [`Histogram`] — fixed-width linear histogram with quantile queries.
 //! - [`LogHistogram`] — power-of-two bucketed histogram for wide ranges.
+//! - [`HdrHistogram`] — log-bucketed histogram with bounded relative error
+//!   for wall-clock nanosecond ranges (host-runtime measurements).
 //! - [`Samples`] / [`Ecdf`] — exact sample sets and empirical CDFs.
 //! - [`P2Quantile`] — constant-space streaming quantile estimator.
 //! - [`WindowedMedian`] — per-interval medians over a time series.
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod cdf;
+pub mod hdr;
 pub mod histogram;
 pub mod p2;
 pub mod series;
@@ -27,6 +30,7 @@ pub mod summary;
 pub mod window;
 
 pub use cdf::{Ecdf, Samples};
+pub use hdr::HdrHistogram;
 pub use histogram::{Histogram, LogHistogram, QuantileSnapshot};
 pub use p2::P2Quantile;
 pub use series::Series;

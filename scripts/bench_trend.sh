@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Perf-trajectory report: feed every committed BENCH_PR*.json snapshot,
+# oldest first, to `bench-suite --trend` and print each bench's min_ns
+# across the whole PR series. Read-only — no gate, no measurement; pass
+# extra snapshot paths as arguments to append them to the series (e.g. a
+# fresh local run to preview where the next point would land).
+#
+# Usage: bench_trend.sh [EXTRA_SNAPSHOT...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Version sort so BENCH_PR10 follows BENCH_PR9, not BENCH_PR1.
+mapfile -t snapshots < <(git ls-files 'BENCH_PR*.json' | sort -V)
+if [ "${#snapshots[@]}" -eq 0 ] && [ "$#" -eq 0 ]; then
+    echo "bench trend: no committed BENCH_PR*.json snapshots yet"
+    exit 0
+fi
+
+exec cargo run --release --offline -q -p st-bench --bin bench-suite -- \
+    --trend "${snapshots[@]}" "$@"

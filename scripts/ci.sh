@@ -109,6 +109,39 @@ grep -q '"attribution_exact":1' "$SMOKE_DIR/timeline_a.json" \
 grep -q '"soft_sampling_cheaper":1' "$SMOKE_DIR/timeline_a.json" \
     || { echo "smoke: soft-timer sampling cost more than the hardware sampler" >&2; exit 1; }
 
+echo "== rt smoke: host runtime + sim<->reality calibration =="
+# rt_calibration runs the facility on real OS threads: probes the host's
+# check/dispatch/clock costs, measures trigger intervals and fire delays
+# in wall-clock ns, fits the sim's CostModel from the measurements, and
+# replays the measured run sim-side twice (byte-identity gated inside
+# the experiment; sim_replay_identical:1 asserts it from out here). The
+# host half is real measurement, so nothing gates on its magnitudes —
+# only on the artifact being present, valid, and complete. RT_SMOKE=0
+# skips the step (e.g. on a machine too loaded to run timing threads);
+# RT_SMOKE_SECS bounds the host measurement + probe budget.
+if [ "${RT_SMOKE:-1}" = "0" ]; then
+    echo "rt smoke: skipped (RT_SMOKE=0)"
+else
+    RT_SMOKE_SECS="${RT_SMOKE_SECS:-2}" \
+    cargo run --release --offline -p st-experiments --bin repro -- \
+        rt_calibration --quick --seed 1 --json - > "$SMOKE_DIR/rt.json"
+    [ "$(wc -l < "$SMOKE_DIR/rt.json")" -eq 1 ] \
+        || { echo "rt smoke: expected exactly one JSON line" >&2; exit 1; }
+    for key in host_task_return_density_hz host_fire_delay_p99_ns \
+               host_backup_share host_check_cost_p50_ns \
+               fitted_trigger_check_ns fitted_fire_dispatch_ns \
+               model_prof_sample_ns err_fire_delay_p99 \
+               err_facility_cpu_fraction; do
+        grep -q "\"$key\"" "$SMOKE_DIR/rt.json" \
+            || { echo "rt smoke: missing metric $key" >&2; exit 1; }
+    done
+    grep -q '"sim_replay_identical":1' "$SMOKE_DIR/rt.json" \
+        || { echo "rt smoke: sim replay diverged under a fixed seed" >&2; exit 1; }
+fi
+
+echo "== bench trend (informational) =="
+scripts/bench_trend.sh || true
+
 echo "== bench suite (smoke) + perf gate =="
 # Measures the hot-path suite at smoke precision, then gates it against
 # the newest committed BENCH_*.json (a no-op until one is committed).
