@@ -414,6 +414,59 @@ pub fn run_suite(smoke: bool) -> Vec<BenchStat> {
         }),
     ));
 
+    // st-guard heartbeat: the store every lane pays at the top of each
+    // work loop so the supervisor can see it's alive. Sits inside the
+    // host hot path next to the trigger check, so it must stay a single
+    // relaxed atomic store — single-digit nanoseconds.
+    out.push(stat(
+        "guard.heartbeat_beat",
+        measure(n, |b| {
+            let hb = st_rt::Heartbeat::starting_at(0);
+            let mut now = 1u64;
+            b.iter(|| {
+                now += 1;
+                hb.beat(std::hint::black_box(now));
+                hb.last()
+            });
+        }),
+    ));
+
+    // st-guard supervisor scan: one pass over a healthy 4-lane host —
+    // the periodic cost of supervision when nothing is wrong, paid once
+    // per scan period (5 ms default), so it must stay trivially below
+    // the period.
+    out.push(stat(
+        "guard.supervisor_scan",
+        measure(n, |b| {
+            use st_rt::{Action, LaneClass, SupervisorConfig, SupervisorCore};
+            let mut core = SupervisorCore::new(
+                SupervisorConfig {
+                    stall_window_ns: 25_000_000,
+                    restart_budget: 3,
+                    restart_backoff_ns: 10_000_000,
+                },
+                vec![
+                    LaneClass::Worker,
+                    LaneClass::Worker,
+                    LaneClass::IdlePoll,
+                    LaneClass::Backup,
+                ],
+            );
+            let mut actions: Vec<Action> = Vec::new();
+            let mut now = 1_000_000u64;
+            let mut beats = [0u64; 4];
+            b.iter(|| {
+                now += 5_000_000;
+                for b in beats.iter_mut() {
+                    *b = now - 1_000;
+                }
+                actions.clear();
+                core.scan(std::hint::black_box(now), &beats, &mut actions);
+                actions.len()
+            });
+        }),
+    ));
+
     // st-lint full-workspace pass: lex, parse, symbol tables, call graph,
     // and all three dataflow analyses over every workspace source,
     // pre-read so the number excludes disk I/O. Not a per-event path, but
@@ -622,7 +675,7 @@ mod tests {
     #[test]
     fn smoke_suite_runs_and_serializes_validly() {
         let stats = run_suite(true);
-        assert!(stats.len() >= 14, "suite shrank to {} entries", stats.len());
+        assert!(stats.len() >= 16, "suite shrank to {} entries", stats.len());
         let names: Vec<&str> = stats.iter().map(|s| s.name).collect();
         for expect in [
             "wheel.hashed.schedule_fire_cancel",
@@ -637,6 +690,8 @@ mod tests {
             "scope.sealed_noop_emit",
             "scope.sample_tick",
             "scope.delay_attribution",
+            "guard.heartbeat_beat",
+            "guard.supervisor_scan",
             "lint.full_workspace",
         ] {
             assert!(names.contains(&expect), "missing suite entry {expect}");

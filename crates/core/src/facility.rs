@@ -158,6 +158,21 @@ impl<P, Q: TimerQueue<P>> SoftTimerCore<P, Q> {
         self.stats.handler_panics += 1;
     }
 
+    /// Retunes the backup-interrupt frequency in place, clamped to at
+    /// least 1 Hz. Changes `x_ticks()` — and with it the `(S+T, S+T+X+1)`
+    /// firing bound — for every *subsequent* sweep; pending deadlines are
+    /// untouched. This is the hook st-guard's degradation policy uses to
+    /// tighten the backup grid while the trigger stream is starved, and
+    /// to restore it on recovery. Each effective change is counted in
+    /// [`FacilityStats::backup_retunes`]; a no-op retune is not.
+    pub fn set_interrupt_hz(&mut self, interrupt_hz: u64) {
+        let hz = interrupt_hz.max(1);
+        if hz != self.config.interrupt_hz {
+            self.config.interrupt_hz = hz;
+            self.stats.backup_retunes += 1;
+        }
+    }
+
     /// The paper's `schedule_soft_event(T, handler)`: schedules `payload`
     /// to fire at least `delta` ticks in the future, measured from `now`.
     ///
@@ -485,5 +500,27 @@ mod tests {
         assert_eq!(s.fired_backup, 1);
         assert_eq!(s.scheduled, 2);
         assert!(s.delay_ticks.mean() > 0.0);
+    }
+
+    #[test]
+    fn retuning_the_backup_grid_tightens_x_and_is_counted() {
+        let mut c = core();
+        let x0 = c.config().x_ticks();
+        c.set_interrupt_hz(c.config().interrupt_hz * 4);
+        assert_eq!(c.config().x_ticks(), x0 / 4, "X must tighten 4x");
+        assert_eq!(c.stats().backup_retunes, 1);
+        // No-op retunes and zero requests don't count / don't divide by
+        // zero: the clamp floors at 1 Hz.
+        c.set_interrupt_hz(c.config().interrupt_hz);
+        assert_eq!(c.stats().backup_retunes, 1);
+        c.set_interrupt_hz(0);
+        assert_eq!(c.config().interrupt_hz, 1);
+        assert_eq!(c.stats().backup_retunes, 2);
+        // Pending events survive a retune and still fire.
+        c.schedule(0, 10, 7);
+        let mut out = Vec::new();
+        c.set_interrupt_hz(1_000);
+        c.interrupt_sweep(100, &mut out);
+        assert_eq!(out.len(), 1);
     }
 }

@@ -29,6 +29,11 @@ pub struct FacilityStats {
     /// Event handlers that panicked while dispatched by an embedding
     /// runtime ([`crate::api::SoftTimers`], [`crate::rt::RtSoftTimers`]).
     pub handler_panics: u64,
+    /// Effective backup-frequency retunes via
+    /// [`crate::SoftTimerCore::set_interrupt_hz`] — how often a
+    /// supervising runtime moved the backup grid (degradation entries
+    /// and exits both count; no-op retunes do not).
+    pub backup_retunes: u64,
     /// Delay past the earliest legal tick, in measurement ticks.
     pub delay_ticks: Summary,
     /// Delay histogram (1-tick buckets).
@@ -53,6 +58,7 @@ impl FacilityStats {
             fired_backup: 0,
             clock_regressions: 0,
             handler_panics: 0,
+            backup_retunes: 0,
             delay_ticks: Summary::new(),
             delay_hist: Histogram::new(1.0, 2048),
             fired_total: 0,

@@ -21,8 +21,9 @@
 
 use st_experiments::{
     ack_compression, appendix_a, congestion, fault_matrix, fig2_fig3, fig4_table1, fig5,
-    fig6_table2, latency, livelock, overload, profiler, profiler_overhead, rt_calibration, scaling,
-    sec52, table3, table45, table67, table8, timeline, trace_overhead, Scale, CATALOG,
+    fig6_table2, latency, livelock, overload, profiler, profiler_overhead, rt_calibration,
+    rt_chaos, scaling, sec52, table3, table45, table67, table8, timeline, trace_overhead, Scale,
+    CATALOG,
 };
 use st_trace::json::ObjectBuilder;
 use st_trace::{json, TraceConfig, TraceSession};
@@ -300,6 +301,17 @@ fn main() {
         let r = profiler_overhead::run(scale, seed);
         emit("profiler_overhead", r.render(), r.key_metrics());
         write_csv("profiler_overhead", &r.series());
+    }
+    if want(&["rt_chaos", "rtchaos", "chaos"]) {
+        // Chaos runs inject handler panics that the dispatcher catches;
+        // keep the default hook from spraying backtraces over the
+        // report. Host-side numbers vary run to run; the sim twin and
+        // the injection schedule do not.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = rt_chaos::run(scale, seed);
+        std::panic::set_hook(hook);
+        emit("rt_chaos", r.render(), r.key_metrics());
     }
     if want(&["rt_calibration", "rtcalibration", "rt"]) {
         // The only experiment that measures the real machine: host-side

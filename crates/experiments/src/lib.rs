@@ -34,6 +34,7 @@
 //! | [`profiler`] | st-prof sampled attribution vs exact context accounting (extension) |
 //! | [`profiler_overhead`] | hardware-interrupt vs soft-timer sampling cost sweep (extension) |
 //! | [`rt_calibration`] | host-runtime measurement + sim↔reality CostModel calibration (extension) |
+//! | [`rt_chaos`] | supervised host runtime under chaos injection: detection, self-healing, degraded envelope (extension) |
 //!
 //! Every report additionally exposes `key_metrics()` — a flat list of
 //! `(name, value)` pairs — which the `repro --json` flag serializes as
@@ -58,6 +59,7 @@ pub mod overload;
 pub mod profiler;
 pub mod profiler_overhead;
 pub mod rt_calibration;
+pub mod rt_chaos;
 pub mod scaling;
 pub mod sec52;
 pub mod table3;
@@ -392,6 +394,7 @@ pub const CATALOG: &[ExperimentInfo] = &[
             "host_check_cost_p50_ns",
             "host_sleep_slack_p50_ns",
             "host_spin_slack_p50_ns",
+            "probe_retries",
             "fitted_trigger_check_ns",
             "fitted_fire_dispatch_ns",
             "fitted_clock_read_ns",
@@ -410,6 +413,35 @@ pub const CATALOG: &[ExperimentInfo] = &[
             "err_fire_delay_p99",
             "err_backup_share",
             "err_facility_cpu_fraction",
+        ],
+    },
+    ExperimentInfo {
+        name: "rt_chaos",
+        aliases: &["rtchaos", "chaos"],
+        what: "supervised host runtime under chaos injection: detection, restart, degraded envelope (extension; runs on this machine)",
+        keys: &[
+            "classes",
+            "<class>_stalls_injected",
+            "<class>_stalls_detected",
+            "<class>_detect_latency_p50_ns",
+            "<class>_restarts",
+            "<class>_recovered",
+            "<class>_giveups",
+            "<class>_degraded_windows",
+            "<class>_degraded_total_ns",
+            "<class>_degraded_delay_p99_ns",
+            "<class>_envelope_ns",
+            "<class>_envelope_ok",
+            "<class>_detected_in_window",
+            "<class>_panics_caught",
+            "<class>_clock_jumps",
+            "<class>_lock_recoveries",
+            "<class>_twin_actions",
+            "<class>_twin_identical",
+            "all_twin_replays_identical",
+            "any_stall_detected",
+            "any_stall_recovered",
+            "all_envelopes_ok",
         ],
     },
 ];

@@ -405,9 +405,10 @@ impl RtCalibration {
             self.calibration.trigger_check_ns,
         ));
         out.push_str(&format!(
-            "wake-up slack p50: sleep(1ms) {} ns | spin(50us) {} ns\n",
+            "wake-up slack p50: sleep(1ms) {} ns | spin(50us) {} ns | probe batch retries: {}\n",
             self.calibration.sleep_slack_ns.quantile(0.5).unwrap_or(0),
             self.calibration.spin_slack_ns.quantile(0.5).unwrap_or(0),
+            self.calibration.probe_retries,
         ));
         out.push_str(&format!(
             "fitted model: soft_check {} ns, soft_dispatch {} ns (prof {} / scope {} ns derived)\n",
@@ -519,6 +520,10 @@ impl RtCalibration {
             (
                 "host_spin_slack_p50_ns".to_string(),
                 self.calibration.spin_slack_ns.quantile(0.5).unwrap_or(0) as f64,
+            ),
+            (
+                "probe_retries".to_string(),
+                self.calibration.probe_retries as f64,
             ),
             (
                 "fitted_trigger_check_ns".to_string(),

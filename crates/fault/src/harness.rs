@@ -168,6 +168,9 @@ pub struct FaultReport {
     pub overload_surge_windows: u64,
     /// Slow clients injected by the overload class.
     pub overload_slow_clients: u64,
+    /// Runtime-thread wedges injected by the host class (modeled as CPU
+    /// stalls: no trigger states, latched backups, until the wedge ends).
+    pub host_stalls: u64,
     /// FNV-1a fingerprint of the fired-event sequence; byte-identical
     /// replay means equal fingerprints.
     pub fingerprint: u64,
@@ -204,6 +207,7 @@ struct Harness {
     rng_callbacks: SimRng,
     rng_arrivals: SimRng,
     rng_overload: SimRng,
+    rng_host: SimRng,
 
     /// True tick before which the CPU is wedged in a slow handler.
     busy_until: u64,
@@ -229,6 +233,10 @@ impl Harness {
         let rng_arrivals = master.fork(7);
         let rng_wire = master.fork(8);
         let rng_overload = master.fork(9);
+        // Appended after every pre-existing class: forks 1-9 above must
+        // keep drawing the exact streams the frozen fault_matrix seed
+        // output pins (tests/fault_plan_pin.rs).
+        let rng_host = master.fork(10);
 
         let config = Config {
             measure_hz: 1_000_000,
@@ -261,6 +269,7 @@ impl Harness {
             rng_callbacks,
             rng_arrivals,
             rng_overload,
+            rng_host,
             busy_until: 0,
             next_event_id: 0,
             next_packet_id: 0,
@@ -295,6 +304,7 @@ impl Harness {
                 transmits: 0,
                 overload_surge_windows: 0,
                 overload_slow_clients: 0,
+                host_stalls: 0,
                 fingerprint: FNV_OFFSET,
             },
             scratch: Vec::new(),
@@ -580,6 +590,17 @@ impl Harness {
             if t == next_trigger {
                 if t >= self.busy_until {
                     self.trigger_state(t);
+                    // The host class models a wedged runtime thread as a
+                    // CPU stall: no trigger states run and backup sweeps
+                    // latch until the wedge ends — the sim twin of the
+                    // thread stalls st-guard injects on the real machine.
+                    if let Some(f) = self.plan.host {
+                        if self.rng_host.chance(f.stall_chance) {
+                            self.report.host_stalls += 1;
+                            let stall = self.rng_host.range_u64(f.min_stall, f.max_stall + 1);
+                            self.busy_until = self.busy_until.max(t + stall);
+                        }
+                    }
                     // Maybe enter a starvation window.
                     let window = match self.plan.starvation {
                         Some(f) if self.rng_triggers.chance(f.window_chance) => {
@@ -652,6 +673,7 @@ mod tests {
             FaultPlan::hostile_callbacks(),
             FaultPlan::wire_faults(),
             FaultPlan::overload(),
+            FaultPlan::host_chaos(),
             FaultPlan::everything(),
         ];
         for (i, plan) in classes.iter().enumerate() {
@@ -687,6 +709,26 @@ mod tests {
 
         let ov = Scenario::new(FaultPlan::overload(), 7, DURATION).run();
         assert!(ov.overload_surge_windows > 0 && ov.overload_slow_clients > 0);
+
+        let host = Scenario::new(FaultPlan::host_chaos(), 7, DURATION).run();
+        assert!(host.host_stalls > 0, "no host stall injected");
+        // A wedged runtime thread stalls trigger states and latches the
+        // backup, so delays blow well past X — the bound st-guard's
+        // degradation policy exists to re-bound on the real machine.
+        assert!(host.max_delay > 1_000, "stalls never delayed a fire");
+    }
+
+    #[test]
+    fn host_class_leaves_existing_streams_untouched() {
+        // The host fork label (10) is appended after labels 1-9, and a
+        // plan without host faults never draws from it: every preexisting
+        // class must replay the exact run it produced before the host
+        // class existed. (The cross-version half of this guarantee is
+        // pinned by tests/fault_plan_pin.rs against frozen seed output.)
+        let with_field = Scenario::new(FaultPlan::none(), 42, DURATION).run();
+        let again = Scenario::new(FaultPlan::none(), 42, DURATION).run();
+        assert_eq!(with_field, again);
+        assert_eq!(with_field.host_stalls, 0);
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! is easy to keep on a healthy machine. This crate checks that the
 //! implementation keeps (or gracefully relaxes) it on an unhealthy one:
 //!
-//! - [`plan`] — composable [`plan::FaultPlan`]s covering seven classes:
+//! - [`plan`] — composable [`plan::FaultPlan`]s covering eight classes:
 //!   clock anomalies, trigger-state starvation, backup-interrupt loss,
 //!   NIC storms, hostile callbacks, per-packet wire faults (loss,
 //!   reordering, duplication — the injector itself lives in
-//!   [`st_net::wire`]), and overload pressure (arrival surges, slow
-//!   clients);
+//!   [`st_net::wire`]), overload pressure (arrival surges, slow
+//!   clients), and host-runtime chaos (wedged threads, panicking host
+//!   callbacks, clock jumps — injected on the real machine by
+//!   st-guard, modeled here as CPU wedges);
 //! - [`clock`] — [`clock::FaultyClock`], a measurement clock with skew,
 //!   jumps, and transient regressions;
 //! - [`backup`] — [`backup::BackupFaultStream`], per-slot fates for the
@@ -35,5 +37,5 @@ pub mod nic;
 pub mod plan;
 
 pub use harness::{FaultReport, Scenario};
-pub use plan::FaultPlan;
+pub use plan::{FaultPlan, HostFaults};
 pub use st_net::{WireFate, WireFaultInjector, WireFaults};

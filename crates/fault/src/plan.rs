@@ -170,6 +170,44 @@ impl OverloadFaults {
     }
 }
 
+/// Host-runtime faults: wedged runtime threads, panicking host
+/// callbacks, forward clock jumps. This is the class `st-rt`'s guard
+/// layer (st-guard) injects on the real machine; the sim harness models
+/// the same stalls as CPU wedges so every host chaos run has a
+/// deterministic sim-side twin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostFaults {
+    /// Probability, per scheduling quantum (sim: per trigger state),
+    /// that a runtime thread wedges.
+    pub stall_chance: f64,
+    /// Shortest stall, in measurement ticks.
+    pub min_stall: u64,
+    /// Longest stall, in measurement ticks.
+    pub max_stall: u64,
+    /// Probability a dispatched handler panics.
+    pub panic_chance: f64,
+    /// Probability, per scheduling quantum, of a forward clock jump.
+    pub jump_chance: f64,
+    /// Largest forward jump, in measurement ticks.
+    pub max_jump: u64,
+}
+
+impl HostFaults {
+    /// The chaos default: occasional 20–60 ms thread wedges (several
+    /// backup periods — long enough for a supervisor to notice), 10%
+    /// handler panics, rare forward jumps up to 10 ms.
+    pub fn nasty() -> Self {
+        HostFaults {
+            stall_chance: 0.005,
+            min_stall: 20_000,
+            max_stall: 60_000,
+            panic_chance: 0.1,
+            jump_chance: 0.001,
+            max_jump: 10_000,
+        }
+    }
+}
+
 /// A composable selection of fault classes; `None` means that class is
 /// healthy.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -189,6 +227,10 @@ pub struct FaultPlan {
     pub wire: Option<WireFaults>,
     /// Arrival surges and slow clients (overload pressure).
     pub overload: Option<OverloadFaults>,
+    /// Host-runtime faults: wedged threads, panicking host callbacks,
+    /// clock jumps. Injected on the real machine by st-guard's chaos
+    /// layer; the sim harness models the stalls as CPU wedges.
+    pub host: Option<HostFaults>,
 }
 
 impl FaultPlan {
@@ -232,7 +274,16 @@ impl FaultPlan {
         FaultPlan::none().with_overload(OverloadFaults::nasty())
     }
 
-    /// Every fault class at once.
+    /// Only host-runtime chaos: wedged threads, panicking callbacks,
+    /// clock jumps.
+    pub fn host_chaos() -> Self {
+        FaultPlan::none().with_host(HostFaults::nasty())
+    }
+
+    /// Every *simulator-native* fault class at once. The host class is
+    /// deliberately excluded: it describes faults st-guard injects into
+    /// real runtime threads, and the frozen `fault_matrix` seed output
+    /// pins this preset's draw streams byte-for-byte.
     pub fn everything() -> Self {
         FaultPlan {
             clock: Some(ClockFaults::nasty()),
@@ -242,6 +293,7 @@ impl FaultPlan {
             callbacks: Some(CallbackFaults::nasty()),
             wire: Some(WireFaults::nasty()),
             overload: Some(OverloadFaults::nasty()),
+            host: None,
         }
     }
 
@@ -287,6 +339,12 @@ impl FaultPlan {
         self
     }
 
+    /// Adds host-runtime chaos.
+    pub fn with_host(mut self, f: HostFaults) -> Self {
+        self.host = Some(f);
+        self
+    }
+
     /// Whether the paper's `(S+T, S+T+X+1)` firing bound can be asserted
     /// unrelaxed: it requires every backup sweep delivered on the grid
     /// and a trustworthy clock. Starvation, NIC, wire, callback, and
@@ -294,9 +352,14 @@ impl FaultPlan {
     /// exists precisely to cover the first, and the rest live in front
     /// of or around the facility, not inside it. In particular a surge
     /// of arrivals must never relax the firing bound: shedding load is
-    /// the admission layer's job, not the timer facility's.
+    /// the admission layer's job, not the timer facility's. Host chaos
+    /// breaks the bound too — a wedged backup lane or a jumped clock is
+    /// exactly a missed sweep or an untrustworthy clock.
     pub fn paper_bound_holds(&self) -> bool {
-        self.backup.is_none() && self.clock.is_none() && self.callbacks.is_none()
+        self.backup.is_none()
+            && self.clock.is_none()
+            && self.callbacks.is_none()
+            && self.host.is_none()
     }
 }
 
@@ -321,6 +384,12 @@ mod tests {
         assert!(!FaultPlan::backup_loss().paper_bound_holds());
         assert!(!FaultPlan::clock_anomalies().paper_bound_holds());
         assert!(!FaultPlan::everything().paper_bound_holds());
+        assert!(!FaultPlan::host_chaos().paper_bound_holds());
+        assert!(FaultPlan::host_chaos().host.is_some());
+        assert_eq!(FaultPlan::host_chaos().backup, None);
+        // The frozen fault_matrix pin depends on `everything()` staying a
+        // sim-native preset: appending the host class must not enable it.
+        assert_eq!(FaultPlan::everything().host, None);
     }
 
     #[test]

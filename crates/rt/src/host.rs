@@ -26,6 +26,7 @@
 //! event is actually due, so check cost stays at probe scale instead of
 //! being dominated by cross-thread lock contention.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -34,7 +35,8 @@ use st_core::{Config, Expired, FireOrigin, SoftTimerCore};
 use st_stats::HdrHistogram;
 use st_trace::json::ObjectBuilder;
 
-use crate::clock::NanoClock;
+use crate::chaos::{ChaosState, FaultClock};
+use crate::guard::Heartbeat;
 
 /// A real trigger source in the host runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,21 +108,26 @@ impl Default for HostConfig {
 /// A periodic event armed in the host core; the payload carries what the
 /// dispatcher needs to reschedule it drift-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct PeriodicEvent {
-    period_ns: u64,
+pub(crate) struct PeriodicEvent {
+    pub(crate) period_ns: u64,
 }
 
 /// Per-origin fire accounting shared by all dispatching threads. Fires are
 /// orders of magnitude rarer than checks, so a mutex is fine here; the
 /// check fast path never touches it.
-struct FireAccum {
-    trigger_delay: HdrHistogram,
-    backup_delay: HdrHistogram,
-    handler_runs: u64,
+pub(crate) struct FireAccum {
+    pub(crate) trigger_delay: HdrHistogram,
+    pub(crate) backup_delay: HdrHistogram,
+    pub(crate) handler_runs: u64,
+    /// Fire delays recorded while the supervisor held the runtime in
+    /// degraded mode — the population the predicted envelope bounds.
+    pub(crate) degraded_delay: HdrHistogram,
+    /// Injected handler panics caught by the dispatcher.
+    pub(crate) panics: u64,
 }
 
-struct Shared {
-    core: Mutex<SoftTimerCore<PeriodicEvent>>,
+pub(crate) struct Shared {
+    pub(crate) core: Mutex<SoftTimerCore<PeriodicEvent>>,
     /// Cached earliest armed deadline (ns; `u64::MAX` when none). The
     /// trigger-check fast path compares the clock against this atomic and
     /// only takes the core lock when an event is actually due — the
@@ -128,39 +135,130 @@ struct Shared {
     /// synchronized queue operation. Refreshed under the core lock after
     /// every mutation; a stale value only delays one fire to the next
     /// check or backup sweep, which the facility already tolerates.
-    earliest: AtomicU64,
-    clock: NanoClock,
-    stop: AtomicBool,
-    fires: Mutex<FireAccum>,
+    pub(crate) earliest: AtomicU64,
+    /// Host clock; healthy runs use [`FaultClock::healthy`], which reads
+    /// the raw clock plus one relaxed load.
+    pub(crate) clock: FaultClock,
+    pub(crate) stop: AtomicBool,
+    pub(crate) fires: Mutex<FireAccum>,
+    /// Backup-sweep period the backup lane re-reads every cycle; the
+    /// supervisor tightens it while degraded and restores on recovery.
+    pub(crate) backup_period_ns: AtomicU64,
+    /// Whether the supervisor currently holds the runtime in degraded
+    /// mode (fires recorded into `FireAccum::degraded_delay`).
+    pub(crate) degraded: AtomicBool,
+    /// Panic-injection decisions for chaos runs; `None` on healthy runs.
+    pub(crate) chaos: Option<ChaosState>,
 }
 
 impl Shared {
     /// Refreshes the cached earliest deadline. Call with the core lock
     /// held (the `core` borrow proves it).
-    fn refresh_earliest(&self, core: &SoftTimerCore<PeriodicEvent>) {
+    pub(crate) fn refresh_earliest(&self, core: &SoftTimerCore<PeriodicEvent>) {
         self.earliest.store(
             core.earliest_deadline().unwrap_or(u64::MAX),
             Ordering::Release,
         );
     }
+
+    /// Builds the shared runtime state with the periodic workload armed,
+    /// ready for lanes to start measuring. Healthy runs pass
+    /// [`FaultClock::healthy`] and no chaos state.
+    pub(crate) fn build(
+        config: &HostConfig,
+        clock: FaultClock,
+        chaos: Option<ChaosState>,
+    ) -> Arc<Shared> {
+        let bits = config.sub_bucket_bits;
+        let backup_period_ns =
+            u64::try_from(config.backup_period.as_nanos().max(1)).unwrap_or(u64::MAX);
+        let shared = Arc::new(Shared {
+            core: Mutex::new(SoftTimerCore::new(Config {
+                measure_hz: 1_000_000_000,
+                interrupt_hz: (1_000_000_000 / backup_period_ns).max(1),
+                record_stats: true,
+            })),
+            earliest: AtomicU64::new(u64::MAX),
+            clock,
+            stop: AtomicBool::new(false),
+            fires: Mutex::new(FireAccum {
+                trigger_delay: HdrHistogram::new(bits),
+                backup_delay: HdrHistogram::new(bits),
+                handler_runs: 0,
+                degraded_delay: HdrHistogram::new(bits),
+                panics: 0,
+            }),
+            backup_period_ns: AtomicU64::new(backup_period_ns),
+            degraded: AtomicBool::new(false),
+            chaos,
+        });
+        // Arm the periodic workload before any thread starts measuring.
+        {
+            let mut core = lock_recover(&shared.core);
+            let now = shared.clock.now_ns();
+            for period in &config.timer_periods {
+                let period_ns = u64::try_from(period.as_nanos()).unwrap_or(u64::MAX).max(1);
+                core.schedule(
+                    now,
+                    period_ns.saturating_sub(1),
+                    PeriodicEvent { period_ns },
+                );
+            }
+            shared.refresh_earliest(&core);
+        }
+        shared
+    }
+}
+
+/// Process-wide count of poisoned-lock recoveries (see
+/// [`lock_recoveries`]).
+static LOCK_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// How many times a host-runtime lock was acquired through poison
+/// recovery process-wide. A panicking handler (st-guard injects them
+/// deliberately) poisons whichever mutex it unwound through; the runtime
+/// keeps going because facility state stays consistent under its own
+/// methods — but recovery must be audible, not silent, so each one is
+/// counted here and in the `rt.lock_recoveries` trace counter.
+pub fn lock_recoveries() -> u64 {
+    LOCK_RECOVERIES.load(Ordering::Relaxed)
 }
 
 /// Locks a mutex, recovering the data if a previous holder panicked (same
 /// rationale as `st_core::rt`: state kept consistent by its own methods).
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+/// Recoveries are counted — see [`lock_recoveries`].
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        LOCK_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        if st_trace::active() {
+            st_trace::count("rt.lock_recoveries", 1);
+        }
+        poisoned.into_inner()
+    })
 }
 
 /// What one measuring thread (worker or idle poller) brings home.
-struct ThreadOut {
-    intervals: HdrHistogram,
+pub(crate) struct ThreadOut {
+    pub(crate) intervals: HdrHistogram,
     /// Wall-clock cost of each individual trigger check (ns), including
     /// any dispatches it performed — the in-situ counterpart of the
     /// probe's uncontended check cost.
-    check_ns: HdrHistogram,
-    checks: u64,
-    facility_ns: u64,
-    busy_ns: u64,
+    pub(crate) check_ns: HdrHistogram,
+    pub(crate) checks: u64,
+    pub(crate) facility_ns: u64,
+    pub(crate) busy_ns: u64,
+}
+
+impl ThreadOut {
+    pub(crate) fn empty(bits: u32) -> Self {
+        ThreadOut {
+            intervals: HdrHistogram::new(bits),
+            check_ns: HdrHistogram::new(bits),
+            checks: 0,
+            facility_ns: 0,
+            busy_ns: 0,
+        }
+    }
 }
 
 /// Sum of a cost histogram excluding samples at or above the p99.9
@@ -256,17 +354,37 @@ pub struct HostReport {
 }
 
 /// Runs one due-event batch through the dispatcher: records the fire
-/// delay, runs the (trivial) handler body, and reschedules the periodic
-/// event drift-free from its previous deadline.
+/// delay, runs the (possibly chaos-panicking) handler body isolated
+/// under `catch_unwind`, and reschedules the periodic event drift-free
+/// from its previous deadline.
 fn dispatch(shared: &Shared, ev: Expired<PeriodicEvent>) {
     let delay = ev.delay();
+    // The handler body. The measured workload's real handler is trivial;
+    // a chaos run makes some of them panic, and the dispatcher must
+    // contain that to the one fire — not the lane, not the runtime.
+    let panicked = match &shared.chaos {
+        Some(chaos) if chaos.should_panic() => {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                panic!("injected handler panic (due {})", ev.due)
+            }));
+            debug_assert!(r.is_err());
+            true
+        }
+        _ => false,
+    };
     {
         let mut fires = lock_recover(&shared.fires);
         match ev.origin {
             FireOrigin::TriggerState => fires.trigger_delay.record(delay),
             FireOrigin::BackupInterrupt => fires.backup_delay.record(delay),
         }
+        if shared.degraded.load(Ordering::Relaxed) {
+            fires.degraded_delay.record(delay);
+        }
         fires.handler_runs += 1;
+        if panicked {
+            fires.panics += 1;
+        }
     }
     // Sealed telemetry: visible to a trace/scope session on the
     // dispatching thread, a no-op otherwise (same contract as the sim).
@@ -294,9 +412,93 @@ fn dispatch(shared: &Shared, ev: Expired<PeriodicEvent>) {
         next += (behind / period + 1) * period;
     }
     let mut core = lock_recover(&shared.core);
+    if panicked {
+        core.note_handler_panic();
+    }
     // `schedule(now, delta)` arms deadline `now + delta + 1`.
     core.schedule(now, next - now - 1, ev.payload);
     shared.refresh_earliest(&core);
+}
+
+/// Per-lane control block threaded through the measuring loops: the
+/// heartbeat to beat, the generation cell that supersedes this thread
+/// when the supervisor restarts the lane, and the chaos stall windows
+/// this lane must execute. [`LaneCtl::none`] (plain runs) costs two
+/// predictable branches per loop iteration.
+pub(crate) struct LaneCtl {
+    pub(crate) hb: Option<Heartbeat>,
+    /// `(cell, my_generation)`: when the cell moves past my generation a
+    /// replacement lane thread is running and this one must exit.
+    pub(crate) gen: Option<(Arc<AtomicU64>, u64)>,
+    /// Absolute `(at_ns, duration_ns)` stall windows, sorted ascending.
+    pub(crate) stalls: Vec<(u64, u64)>,
+    stall_idx: usize,
+}
+
+impl LaneCtl {
+    /// No supervision, no chaos: the plain `run()` configuration.
+    pub(crate) fn none() -> Self {
+        LaneCtl {
+            hb: None,
+            gen: None,
+            stalls: Vec::new(),
+            stall_idx: 0,
+        }
+    }
+
+    /// A supervised lane, optionally with stall windows to execute.
+    pub(crate) fn supervised(
+        hb: Heartbeat,
+        gen: Arc<AtomicU64>,
+        my_gen: u64,
+        stalls: Vec<(u64, u64)>,
+    ) -> Self {
+        LaneCtl {
+            hb: Some(hb),
+            gen: Some((gen, my_gen)),
+            stalls,
+            stall_idx: 0,
+        }
+    }
+
+    /// True when the supervisor has spawned a replacement for this lane
+    /// thread and it must exit.
+    fn superseded(&self) -> bool {
+        match &self.gen {
+            Some((cell, mine)) => cell.load(Ordering::Relaxed) != *mine,
+            None => false,
+        }
+    }
+
+    /// One loop-top bookkeeping step: exits a superseded thread, beats
+    /// the heartbeat, and executes any due stall window as a
+    /// heartbeat-silent spin (in ~1 ms slices so stop/supersede still
+    /// terminate a wedged lane promptly — the *heartbeat* is what goes
+    /// silent, not the process). Returns `false` when the lane thread
+    /// should exit.
+    fn tick(&mut self, shared: &Shared) -> bool {
+        if self.superseded() {
+            return false;
+        }
+        let now = shared.clock.now_ns();
+        if let Some(hb) = &self.hb {
+            hb.beat(now);
+        }
+        if let Some(&(at, dur)) = self.stalls.get(self.stall_idx) {
+            if now >= at {
+                self.stall_idx += 1;
+                let until = now.saturating_add(dur);
+                while shared.clock.now_ns() < until {
+                    if shared.stop.load(Ordering::Relaxed) || self.superseded() {
+                        return false;
+                    }
+                    let slice = shared.clock.now_ns().saturating_add(1_000_000).min(until);
+                    shared.clock.spin_until(slice);
+                }
+            }
+        }
+        true
+    }
 }
 
 /// One trigger-state check (or backup sweep). The check fast path is a
@@ -331,19 +533,23 @@ fn trigger_check(shared: &Shared, buf: &mut Vec<Expired<PeriodicEvent>>, sweep: 
 
 /// The measuring loop shared by workers and the idle poller: do
 /// `work_ns` of busy work (0 for the idle loop), hit a trigger state,
-/// time the check, record the inter-check interval.
-fn measure_loop(shared: &Shared, work_ns: u64, pause_ns: u64, bits: u32) -> ThreadOut {
-    let mut out = ThreadOut {
-        intervals: HdrHistogram::new(bits),
-        check_ns: HdrHistogram::new(bits),
-        checks: 0,
-        facility_ns: 0,
-        busy_ns: 0,
-    };
+/// time the check, record the inter-check interval. `ctl` carries the
+/// lane's supervision hooks (heartbeat, supersede, chaos stalls).
+pub(crate) fn measure_loop(
+    shared: &Shared,
+    work_ns: u64,
+    pause_ns: u64,
+    bits: u32,
+    mut ctl: LaneCtl,
+) -> ThreadOut {
+    let mut out = ThreadOut::empty(bits);
     let mut buf: Vec<Expired<PeriodicEvent>> = Vec::new();
     let mut last_check: Option<u64> = None;
     let started = shared.clock.now_ns();
     while !shared.stop.load(Ordering::Relaxed) {
+        if !ctl.tick(shared) {
+            break;
+        }
         if work_ns > 0 {
             let t = shared.clock.now_ns();
             shared.clock.spin_until(t + work_ns);
@@ -366,43 +572,36 @@ fn measure_loop(shared: &Shared, work_ns: u64, pause_ns: u64, bits: u32) -> Thre
     out
 }
 
+/// The backup-sweep loop: sleep one period (re-read every cycle so the
+/// supervisor's degradation retunes take effect immediately), then sweep.
+pub(crate) fn backup_loop(shared: &Shared, bits: u32, mut ctl: LaneCtl) -> ThreadOut {
+    let mut out = ThreadOut::empty(bits);
+    let mut buf = Vec::new();
+    let mut last: Option<u64> = None;
+    while !shared.stop.load(Ordering::Relaxed) {
+        if !ctl.tick(shared) {
+            break;
+        }
+        let period_ns = shared.backup_period_ns.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_nanos(period_ns));
+        let t0 = shared.clock.now_ns();
+        if let Some(l) = last {
+            out.intervals.record(t0 - l);
+        }
+        last = Some(t0);
+        trigger_check(shared, &mut buf, true);
+        out.facility_ns += shared.clock.now_ns() - t0;
+        out.checks += 1;
+    }
+    out
+}
+
 /// Runs the host runtime for `config.duration` and reports what the real
 /// machine did. Spawns `workers + idle_poller + 1` threads; the calling
 /// thread sleeps for the duration and then joins them.
 pub fn run(config: &HostConfig) -> HostReport {
     let bits = config.sub_bucket_bits;
-    let shared = Arc::new(Shared {
-        core: Mutex::new(SoftTimerCore::new(Config {
-            measure_hz: 1_000_000_000,
-            interrupt_hz: (1_000_000_000
-                / u64::try_from(config.backup_period.as_nanos().max(1)).unwrap_or(u64::MAX))
-            .max(1),
-            record_stats: true,
-        })),
-        earliest: AtomicU64::new(u64::MAX),
-        clock: NanoClock::new(),
-        stop: AtomicBool::new(false),
-        fires: Mutex::new(FireAccum {
-            trigger_delay: HdrHistogram::new(bits),
-            backup_delay: HdrHistogram::new(bits),
-            handler_runs: 0,
-        }),
-    });
-
-    // Arm the periodic workload before any thread starts measuring.
-    {
-        let mut core = lock_recover(&shared.core);
-        let now = shared.clock.now_ns();
-        for period in &config.timer_periods {
-            let period_ns = u64::try_from(period.as_nanos()).unwrap_or(u64::MAX).max(1);
-            core.schedule(
-                now,
-                period_ns.saturating_sub(1),
-                PeriodicEvent { period_ns },
-            );
-        }
-        shared.refresh_earliest(&core);
-    }
+    let shared = Shared::build(config, FaultClock::healthy(), None);
 
     let work_ns = u64::try_from(config.task_work.as_nanos()).unwrap_or(u64::MAX);
     let pause_ns = u64::try_from(config.idle_pause.as_nanos()).unwrap_or(u64::MAX);
@@ -412,7 +611,7 @@ pub fn run(config: &HostConfig) -> HostReport {
         worker_handles.push(
             std::thread::Builder::new()
                 .name(format!("st-rt-worker-{i}"))
-                .spawn(move || measure_loop(&s, work_ns.max(1), 0, bits))
+                .spawn(move || measure_loop(&s, work_ns.max(1), 0, bits, LaneCtl::none()))
                 // One-time startup: a host that cannot spawn threads
                 // cannot run the runtime at all.
                 .expect("failed to spawn worker thread"),
@@ -422,39 +621,14 @@ pub fn run(config: &HostConfig) -> HostReport {
         let s = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("st-rt-idle".into())
-            .spawn(move || measure_loop(&s, 0, pause_ns, bits))
+            .spawn(move || measure_loop(&s, 0, pause_ns, bits, LaneCtl::none()))
             .expect("failed to spawn idle thread")
     });
     let backup_handle = {
         let s = Arc::clone(&shared);
-        let period = config.backup_period;
         std::thread::Builder::new()
             .name("st-rt-backup".into())
-            .spawn(move || {
-                let mut intervals = HdrHistogram::new(bits);
-                let mut buf = Vec::new();
-                let mut last: Option<u64> = None;
-                let mut facility_ns = 0u64;
-                let mut checks = 0u64;
-                while !s.stop.load(Ordering::Relaxed) {
-                    std::thread::sleep(period);
-                    let t0 = s.clock.now_ns();
-                    if let Some(l) = last {
-                        intervals.record(t0 - l);
-                    }
-                    last = Some(t0);
-                    trigger_check(&s, &mut buf, true);
-                    facility_ns += s.clock.now_ns() - t0;
-                    checks += 1;
-                }
-                ThreadOut {
-                    intervals,
-                    check_ns: HdrHistogram::new(bits),
-                    checks,
-                    facility_ns,
-                    busy_ns: 0,
-                }
-            })
+            .spawn(move || backup_loop(&s, bits, LaneCtl::none()))
             .expect("failed to spawn backup thread")
     };
 
@@ -463,6 +637,39 @@ pub fn run(config: &HostConfig) -> HostReport {
     shared.stop.store(true, Ordering::Relaxed);
     let duration_ns = (shared.clock.now_ns() - started).max(1);
 
+    let worker_outs: Vec<ThreadOut> = worker_handles
+        .into_iter()
+        .filter_map(|h| h.join().ok())
+        .collect();
+    let idle_outs: Vec<ThreadOut> = idle_handle
+        .and_then(|h| h.join().ok())
+        .into_iter()
+        .collect();
+    let backup_outs: Vec<ThreadOut> = backup_handle.join().into_iter().collect();
+    finish_report(
+        &shared,
+        config.workers,
+        duration_ns,
+        bits,
+        worker_outs,
+        idle_outs,
+        backup_outs,
+    )
+}
+
+/// Folds the per-thread measurements into a [`HostReport`]. A supervised
+/// run hands in several [`ThreadOut`]s per lane (one per restart
+/// generation); they merge the same way one does.
+pub(crate) fn finish_report(
+    shared: &Shared,
+    workers: usize,
+    duration_ns: u64,
+    bits: u32,
+    worker_outs: Vec<ThreadOut>,
+    idle_outs: Vec<ThreadOut>,
+    backup_outs: Vec<ThreadOut>,
+) -> HostReport {
+    let secs = duration_ns as f64 / 1e9;
     let mut task_return = SourceReport {
         source: TriggerSource::TaskReturn,
         checks: 0,
@@ -472,49 +679,53 @@ pub fn run(config: &HostConfig) -> HostReport {
     let mut facility_ns_total = 0u64;
     let mut busy_ns_total = 0u64;
     let mut check_cost = HdrHistogram::new(bits);
-    for h in worker_handles {
-        if let Ok(out) = h.join() {
-            task_return.checks += out.checks;
-            task_return.intervals.merge(&out.intervals);
+    for out in &worker_outs {
+        task_return.checks += out.checks;
+        task_return.intervals.merge(&out.intervals);
+        check_cost.merge(&out.check_ns);
+        facility_ns_total += out.facility_ns;
+        busy_ns_total += out.busy_ns;
+    }
+    task_return.density_hz = task_return.checks as f64 / secs;
+
+    let idle_poll = (!idle_outs.is_empty()).then(|| {
+        let mut idle = SourceReport {
+            source: TriggerSource::IdlePoll,
+            checks: 0,
+            density_hz: 0.0,
+            intervals: HdrHistogram::new(bits),
+        };
+        for out in &idle_outs {
+            idle.checks += out.checks;
+            idle.intervals.merge(&out.intervals);
             check_cost.merge(&out.check_ns);
             facility_ns_total += out.facility_ns;
             busy_ns_total += out.busy_ns;
         }
-    }
-    task_return.density_hz = task_return.checks as f64 / (duration_ns as f64 / 1e9);
-
-    let idle_poll = idle_handle.and_then(|h| h.join().ok()).map(|out| {
-        check_cost.merge(&out.check_ns);
-        facility_ns_total += out.facility_ns;
-        busy_ns_total += out.busy_ns;
-        SourceReport {
-            source: TriggerSource::IdlePoll,
-            checks: out.checks,
-            density_hz: out.checks as f64 / (duration_ns as f64 / 1e9),
-            intervals: out.intervals,
-        }
+        idle.density_hz = idle.checks as f64 / secs;
+        idle
     });
 
-    let backup_out = backup_handle.join().unwrap_or(ThreadOut {
-        intervals: HdrHistogram::new(bits),
-        check_ns: HdrHistogram::new(bits),
-        checks: 0,
-        facility_ns: 0,
-        busy_ns: 0,
-    });
-    let backup_sweep = SourceReport {
+    let mut backup_sweep = SourceReport {
         source: TriggerSource::BackupSweep,
-        checks: backup_out.checks,
-        density_hz: backup_out.checks as f64 / (duration_ns as f64 / 1e9),
-        intervals: backup_out.intervals,
+        checks: 0,
+        density_hz: 0.0,
+        intervals: HdrHistogram::new(bits),
     };
+    let mut backup_facility_ns = 0u64;
+    for out in &backup_outs {
+        backup_sweep.checks += out.checks;
+        backup_sweep.intervals.merge(&out.intervals);
+        backup_facility_ns += out.facility_ns;
+    }
+    backup_sweep.density_hz = backup_sweep.checks as f64 / secs;
 
     let fires = lock_recover(&shared.fires);
     let stats = lock_recover(&shared.core).stats().clone();
     let fired_total = fires.trigger_delay.count() + fires.backup_delay.count();
     HostReport {
         duration_ns,
-        workers: config.workers,
+        workers,
         fired_trigger: FireReport {
             count: fires.trigger_delay.count(),
             delay_ns: fires.trigger_delay.clone(),
@@ -540,7 +751,7 @@ pub fn run(config: &HostConfig) -> HostReport {
             0.0
         },
         check_cost,
-        backup_cpu_fraction: backup_out.facility_ns as f64 / duration_ns as f64,
+        backup_cpu_fraction: backup_facility_ns as f64 / duration_ns as f64,
         task_return,
         idle_poll,
         backup_sweep,
@@ -718,6 +929,34 @@ mod tests {
             report.task_return.checks
         );
         assert_eq!(snapshot.counter("rt.host.checks.idle_poll"), 0);
+    }
+
+    #[test]
+    fn lock_recovery_is_counted_not_silent() {
+        let m = std::sync::Mutex::new(7u64);
+        let before = lock_recoveries();
+        // Poison the lock: a thread panics while holding the guard.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(r.is_err());
+        assert!(m.is_poisoned());
+        // A healthy lock doesn't count.
+        let healthy = std::sync::Mutex::new(1u64);
+        drop(lock_recover(&healthy));
+        assert_eq!(lock_recoveries(), before);
+        // Recovery yields the data, still consistent, and is counted.
+        {
+            let mut g = lock_recover(&m);
+            assert_eq!(*g, 7);
+            *g = 8;
+        }
+        assert_eq!(lock_recoveries(), before + 1);
+        // The recovered mutex stays poisoned (std semantics), so every
+        // subsequent recovery is also audible.
+        drop(lock_recover(&m));
+        assert_eq!(lock_recoveries(), before + 2);
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //! - [`probe`] — microbenchmarks fitting the machine's trigger-check /
 //!   dispatch / clock-read costs and sleep-vs-spin wake-up precision, the
 //!   inputs to `CostModel::calibrated_host` and `repro rt_calibration`.
+//! - [`guard`] — supervision and self-healing: per-lane heartbeats, a
+//!   pure supervisor core detecting stalls and restarting lanes under a
+//!   backoff budget, and graceful degradation that tightens the backup
+//!   sweep to a predicted fire-delay envelope when the trigger stream
+//!   starves.
+//! - [`chaos`] — deterministic host-side fault injection (thread stalls,
+//!   handler panics, clock jumps) scheduled up front from the st-fault
+//!   plan's seed, so every chaos run has a seed-replayable sim twin.
 //!
 //! This is, deliberately, the **only** crate outside `core/src/rt.rs`
 //! allowed to read wall-clock time — the `no-wall-clock` lint pins host
@@ -22,10 +30,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
+pub mod guard;
 pub mod host;
 pub mod probe;
 
+pub use chaos::{ChaosSchedule, ChaosState, FaultClock};
 pub use clock::NanoClock;
-pub use host::{FireReport, HostConfig, HostReport, SourceReport, TriggerSource};
+pub use guard::{
+    lane_classes, plan_lane_stalls, run_guarded, Action, ChaosConfig, GuardConfig, GuardReport,
+    Heartbeat, LaneClass, SupervisorConfig, SupervisorCore,
+};
+pub use host::{lock_recoveries, FireReport, HostConfig, HostReport, SourceReport, TriggerSource};
 pub use probe::Calibration;

@@ -14,7 +14,13 @@
 //!
 //! Cost probes report the **minimum over batches** — the canonical
 //! noise-rejection estimator for "how fast can this go", since scheduler
-//! preemption and cache misses only ever add time.
+//! preemption and cache misses only ever add time. A minimum is only
+//! trusted when a *second*, independent batch lands within
+//! [`CORROBORATION_FACTOR`] of it; an uncorroborated minimum (one freak
+//! batch, e.g. the timer interrupt coalescing reads) triggers a bounded
+//! retry of the whole batch set, and every retry is surfaced in
+//! [`Calibration::probe_retries`] so a noisy calibration is visible in
+//! the report instead of silently wrong.
 
 use std::time::Duration;
 
@@ -44,50 +50,100 @@ pub struct Calibration {
     /// Overshoot of a spin-wait past its deadline (ns): the precision
     /// floor trigger states can reach.
     pub spin_slack_ns: HdrHistogram,
+    /// Batch-set retries the cost probes needed before their minima were
+    /// corroborated by a second batch (0 on a quiet machine). A high
+    /// count means the constants above were fitted under load — treat
+    /// the calibration with suspicion.
+    pub probe_retries: u64,
 }
 
+/// A second batch must land within this factor of the best batch for the
+/// minimum to count as corroborated.
+pub const CORROBORATION_FACTOR: f64 = 1.5;
+
+/// Whole-batch-set retries allowed per probe before the (possibly
+/// uncorroborated) minimum is reported anyway.
+pub const MAX_RETRY_ROUNDS: u32 = 4;
+
 /// Minimum per-iteration time over `batches` batches of `iters` calls of
-/// `body` (ns). Batching amortizes the two boundary clock reads.
-fn min_per_iter(clock: &NanoClock, batches: usize, iters: u64, mut body: impl FnMut()) -> f64 {
+/// `body` (ns), with an outlier guard: the minimum must be corroborated
+/// by a second batch within [`CORROBORATION_FACTOR`], else the whole
+/// batch set is retried (up to [`MAX_RETRY_ROUNDS`] extra rounds, each
+/// counted into `retries`). Batching amortizes the two boundary clock
+/// reads.
+fn min_per_iter_guarded(
+    clock: &NanoClock,
+    batches: usize,
+    iters: u64,
+    retries: &mut u64,
+    mut body: impl FnMut(),
+) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..batches {
-        let t0 = clock.now_ns();
-        for _ in 0..iters {
-            body();
+    let mut second = f64::INFINITY;
+    for round in 0..=MAX_RETRY_ROUNDS {
+        for _ in 0..batches {
+            let t0 = clock.now_ns();
+            for _ in 0..iters {
+                body();
+            }
+            let elapsed = clock.now_ns() - t0;
+            let mean = elapsed as f64 / iters as f64;
+            if mean < best {
+                second = best;
+                best = mean;
+            } else if mean < second {
+                second = mean;
+            }
         }
-        let elapsed = clock.now_ns() - t0;
-        best = best.min(elapsed as f64 / iters as f64);
+        if second <= best * CORROBORATION_FACTOR {
+            break;
+        }
+        if round < MAX_RETRY_ROUNDS {
+            *retries += 1;
+        }
     }
     best
 }
 
-/// Cost of one clock read (ns).
-pub fn clock_read_cost(clock: &NanoClock) -> f64 {
-    min_per_iter(clock, 32, 10_000, || {
+/// Cost of one clock read (ns). Batch retries forced by the outlier
+/// guard accumulate into `retries`.
+pub fn clock_read_cost_tracked(clock: &NanoClock, retries: &mut u64) -> f64 {
+    min_per_iter_guarded(clock, 32, 10_000, retries, || {
         std::hint::black_box(clock.now_ns());
     })
 }
 
+/// Cost of one clock read (ns).
+pub fn clock_read_cost(clock: &NanoClock) -> f64 {
+    clock_read_cost_tracked(clock, &mut 0)
+}
+
 /// Cost of one empty trigger-state check (ns): a clock read plus a `poll`
 /// on a core holding one far-future event (the common case — events are
-/// pending but none is due).
-pub fn trigger_check_cost(clock: &NanoClock) -> f64 {
+/// pending but none is due). Batch retries accumulate into `retries`.
+pub fn trigger_check_cost_tracked(clock: &NanoClock, retries: &mut u64) -> f64 {
     let mut core: SoftTimerCore<u32> = SoftTimerCore::new(Config::default());
     // One pending event a long way out, so `poll` takes its real
     // earliest-deadline path instead of the empty-wheel shortcut.
     core.schedule(0, u32::MAX as u64, 0);
     let mut buf: Vec<Expired<u32>> = Vec::new();
     let mut now = 1u64;
-    min_per_iter(clock, 32, 10_000, || {
+    min_per_iter_guarded(clock, 32, 10_000, retries, || {
         now += 1;
         core.poll(std::hint::black_box(now), &mut buf);
         std::hint::black_box(&buf);
-    }) + clock_read_cost(clock)
+    }) + clock_read_cost_tracked(clock, retries)
+}
+
+/// Cost of one empty trigger-state check (ns).
+pub fn trigger_check_cost(clock: &NanoClock) -> f64 {
+    trigger_check_cost_tracked(clock, &mut 0)
 }
 
 /// Marginal cost of dispatching one due event (ns): schedule-and-fire in
-/// a tight loop, minus the empty-check cost measured the same way.
-pub fn fire_dispatch_cost(clock: &NanoClock) -> f64 {
+/// a tight loop, minus the empty-check cost measured the same way. Batch
+/// retries accumulate into `retries`.
+pub fn fire_dispatch_cost_tracked(clock: &NanoClock, retries: &mut u64) -> f64 {
     let check = {
         // Empty-check baseline *without* the clock-read add-on: the
         // subtraction below must compare like with like.
@@ -95,7 +151,7 @@ pub fn fire_dispatch_cost(clock: &NanoClock) -> f64 {
         core.schedule(0, u32::MAX as u64, 0);
         let mut buf: Vec<Expired<u32>> = Vec::new();
         let mut now = 1u64;
-        min_per_iter(clock, 32, 10_000, || {
+        min_per_iter_guarded(clock, 32, 10_000, retries, || {
             now += 1;
             core.poll(std::hint::black_box(now), &mut buf);
         })
@@ -103,7 +159,7 @@ pub fn fire_dispatch_cost(clock: &NanoClock) -> f64 {
     let mut core: SoftTimerCore<u32> = SoftTimerCore::new(Config::default());
     let mut buf: Vec<Expired<u32>> = Vec::new();
     let mut now = 1u64;
-    let with_fire = min_per_iter(clock, 32, 5_000, || {
+    let with_fire = min_per_iter_guarded(clock, 32, 5_000, retries, || {
         // Deadline is now+1; advancing two ticks makes it due, so every
         // iteration is one schedule + one firing poll.
         core.schedule(now, 0, 7);
@@ -115,6 +171,11 @@ pub fn fire_dispatch_cost(clock: &NanoClock) -> f64 {
     // dispatch (schedule and dispatch both touch one wheel slot and are
     // within ~2x of each other on every machine we have seen).
     ((with_fire - check) / 2.0).max(1.0)
+}
+
+/// Marginal cost of dispatching one due event (ns).
+pub fn fire_dispatch_cost(clock: &NanoClock) -> f64 {
+    fire_dispatch_cost_tracked(clock, &mut 0)
 }
 
 /// Overshoot distribution of `thread::sleep(requested)` (ns).
@@ -147,9 +208,10 @@ pub fn spin_slack(clock: &NanoClock, requested: Duration, samples: usize) -> Hdr
 /// sleep-slack samples are taken (each pays a ~1 ms sleep).
 pub fn calibrate(budget: Duration) -> Calibration {
     let clock = NanoClock::new();
-    let clock_read_ns = clock_read_cost(&clock);
-    let trigger_check_ns = trigger_check_cost(&clock);
-    let fire_dispatch_ns = fire_dispatch_cost(&clock);
+    let mut probe_retries = 0u64;
+    let clock_read_ns = clock_read_cost_tracked(&clock, &mut probe_retries);
+    let trigger_check_ns = trigger_check_cost_tracked(&clock, &mut probe_retries);
+    let fire_dispatch_ns = fire_dispatch_cost_tracked(&clock, &mut probe_retries);
     let sleep_req = Duration::from_millis(1);
     // Leave half the budget for sleeps; each sample costs ~1 ms + slack.
     let sleep_samples = (budget.as_millis() / 2).clamp(8, 200) as usize;
@@ -162,6 +224,7 @@ pub fn calibrate(budget: Duration) -> Calibration {
         max_idle_density_hz: 1e9 / trigger_check_ns.max(1.0),
         sleep_slack_ns,
         spin_slack_ns,
+        probe_retries,
     }
 }
 
@@ -186,6 +249,7 @@ impl Calibration {
             .f64("max_idle_density_hz", self.max_idle_density_hz)
             .raw("sleep_slack_ns", &hist(&self.sleep_slack_ns))
             .raw("spin_slack_ns", &hist(&self.spin_slack_ns))
+            .u64("probe_retries", self.probe_retries)
             .build()
     }
 }
@@ -230,7 +294,50 @@ mod tests {
         let json = cal.to_json();
         st_trace::json::validate(&json).expect("invalid calibration JSON");
         assert!(json.contains("\"schema\":\"st-rt-calibration-v1\""));
+        assert!(json.contains("\"probe_retries\""));
         assert!(cal.max_idle_density_hz > 1_000.0);
         assert!(cal.sleep_slack_ns.count() >= 8);
+        // Five guarded batch sets run under calibrate (clock read, check
+        // + its read baseline, dispatch + its check baseline), each
+        // bounded at MAX_RETRY_ROUNDS.
+        assert!(cal.probe_retries <= 5 * MAX_RETRY_ROUNDS as u64);
+    }
+
+    #[test]
+    fn uncorroborated_minimum_triggers_bounded_retry() {
+        // First round: batch 0 is fast, batch 1 spins 200 µs per call —
+        // the minimum has no corroborating batch within the factor, so
+        // the guard must retry. Later rounds are all fast, so the
+        // retried minimum corroborates and the loop stops early.
+        let clock = NanoClock::new();
+        let mut calls = 0u64;
+        let mut retries = 0u64;
+        let iters = 200u64;
+        let v = min_per_iter_guarded(&clock, 2, iters, &mut retries, || {
+            calls += 1;
+            if calls > iters && calls <= 2 * iters {
+                let t = clock.now_ns();
+                clock.spin_until(t + 1_000);
+            }
+        });
+        assert!(retries >= 1, "outlier minimum must force a retry");
+        assert!(
+            retries <= MAX_RETRY_ROUNDS as u64,
+            "retries {retries} unbounded"
+        );
+        assert!(v < 1_000.0, "estimate {v} ns should come from fast batches");
+    }
+
+    #[test]
+    fn quiet_batches_need_no_retry() {
+        // A body whose batches all behave identically corroborates
+        // immediately: retries stays 0.
+        let clock = NanoClock::new();
+        let mut retries = 0u64;
+        let v = min_per_iter_guarded(&clock, 8, 5_000, &mut retries, || {
+            std::hint::black_box(clock.now_ns());
+        });
+        assert_eq!(retries, 0, "uniform batches must corroborate in round 0");
+        assert!(v > 0.0);
     }
 }

@@ -164,6 +164,15 @@ impl HdrHistogram {
         self.sum as f64 / self.total as f64
     }
 
+    /// Exact integer sum of the recorded values.
+    ///
+    /// Where the histogram holds durations (st-guard records one entry
+    /// per degraded window), this is the exact total without the float
+    /// round-trip of `mean() * count()`.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Approximate `q`-quantile (`q` in `[0, 1]`), `None` when empty.
     ///
     /// Interpolates linearly inside the containing bucket and clamps to
@@ -269,6 +278,8 @@ mod tests {
         for (i, (lo, hi, c)) in h.buckets().enumerate() {
             assert_eq!((lo, hi, c), (i as u64, i as u64 + 1, 1));
         }
+        // The exact sum survives bucketing: 0 + 1 + ... + 127.
+        assert_eq!(h.sum(), 127 * 128 / 2);
     }
 
     #[test]

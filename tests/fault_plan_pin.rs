@@ -1,0 +1,45 @@
+//! Pins the fault-injection draw streams against frozen seed output.
+//!
+//! `tests/data/fault_matrix_seed42_quick.json` is the byte-exact output
+//! of `repro fault_matrix --quick --seed 42 --json -` captured before
+//! the host fault class existed. The harness forks one `SimRng` per
+//! fault class under stable labels, and appending a class must append a
+//! fork label — never shift the draws of existing classes. If this test
+//! fails, a change reordered or consumed another class's stream and
+//! every historical `(plan, seed)` replay is silently invalidated.
+
+use st_experiments::{fault_matrix, Scale};
+use st_trace::json::ObjectBuilder;
+
+/// Rebuilds the exact JSON line `repro --json` emits for one experiment.
+fn repro_json_line(name: &str, seed: u64, scale: &str, metrics: &[(String, f64)]) -> String {
+    let mut m = ObjectBuilder::new();
+    for (k, v) in metrics {
+        m = m.f64(k, *v);
+    }
+    ObjectBuilder::new()
+        .str("experiment", name)
+        .u64("seed", seed)
+        .str("scale", scale)
+        .raw("metrics", &m.build())
+        .build()
+}
+
+#[test]
+fn fault_matrix_seed42_matches_frozen_output() {
+    // The hostile-callback rows inject panics the harness catches; keep
+    // the default hook from spraying backtraces over the test output.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let matrix = fault_matrix::run(Scale::Quick, 42);
+    std::panic::set_hook(hook);
+
+    let line = repro_json_line("fault_matrix", 42, "quick", &matrix.key_metrics());
+    let frozen = include_str!("data/fault_matrix_seed42_quick.json");
+    assert_eq!(
+        line,
+        frozen.trim_end(),
+        "fault_matrix seed-42 output drifted from the frozen pin: \
+         an existing fault class's draw stream changed"
+    );
+}
